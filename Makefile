@@ -1,0 +1,42 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test vet bench sweep sweep-fast fuzz cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# One benchmark iteration per paper figure + ablations (fast, shape-level).
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x .
+
+# Regenerate every figure at paper scale (600 s per sweep point).
+sweep:
+	$(GO) run ./cmd/gesweep -duration 600 -out results
+	$(GO) run ./cmd/gesweep -duration 600 -out results -figures ablations
+
+# Same figures at 1/10 scale for a quick look.
+sweep-fast:
+	$(GO) run ./cmd/gesweep -duration 60 -out results-fast
+
+fuzz:
+	$(GO) test -fuzz FuzzLongestFirst -fuzztime 30s ./internal/cut/
+	$(GO) test -fuzz FuzzWaterFill -fuzztime 30s ./internal/dist/
+	$(GO) test -fuzz FuzzReadTrace -fuzztime 30s ./internal/workload/
+
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+clean:
+	rm -f cover.out
+	rm -rf results-fast

@@ -1,0 +1,367 @@
+// Per-figure benchmarks: one testing.B target per table/figure of the
+// paper's evaluation section. Each benchmark regenerates its figure on a
+// reduced (but shape-preserving) scale and reports the figure's key
+// quantities via b.ReportMetric, so
+//
+//	go test -bench=Fig -benchmem
+//
+// prints a compact reproduction of the whole evaluation. cmd/gesweep runs
+// the same experiments at full paper scale (600 s per point).
+package goodenough
+
+import (
+	"testing"
+
+	"goodenough/internal/experiments"
+	"goodenough/internal/plot"
+)
+
+// benchSettings keeps each iteration around a second: short runs, coarse
+// rate axis. Shapes (orderings, crossovers) survive this reduction; the
+// absolute numbers are what gesweep reproduces at full scale.
+func benchSettings(rates ...float64) experiments.Settings {
+	s := experiments.DefaultSettings()
+	s.Duration = 5
+	s.Rates = rates
+	s.Workers = 1
+	return s
+}
+
+// lastY extracts series label's y at the given x (0 when absent).
+func lastY(f plot.Figure, label string, x float64) float64 {
+	for _, s := range f.Series {
+		if s.Label != label {
+			continue
+		}
+		for i := range s.X {
+			if s.X[i] == x {
+				return s.Y[i]
+			}
+		}
+	}
+	return 0
+}
+
+func BenchmarkFig01AESFraction(b *testing.B) {
+	s := benchSettings(100, 150, 200)
+	var light, heavy float64
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Fig1(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		light = lastY(fig, "GE", 100)
+		heavy = lastY(fig, "GE", 200)
+	}
+	b.ReportMetric(light, "aes_frac@100")
+	b.ReportMetric(heavy, "aes_frac@200")
+}
+
+func BenchmarkFig02JobCutting(b *testing.B) {
+	var q float64
+	for i := 0; i < b.N; i++ {
+		_, res := experiments.Fig2(0.9)
+		q = res.Quality
+	}
+	b.ReportMetric(q, "batch_quality")
+}
+
+func BenchmarkFig03Schedulers(b *testing.B) {
+	s := benchSettings(110, 150)
+	var saving, geQ float64
+	for i := 0; i < b.N; i++ {
+		qf, ef, err := experiments.Fig3(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		geQ = lastY(qf, "GE", 150)
+		sv, _, err := experiments.HeadlineSaving(ef)
+		if err != nil {
+			b.Fatal(err)
+		}
+		saving = sv
+	}
+	b.ReportMetric(geQ, "ge_quality@150")
+	b.ReportMetric(saving*100, "ge_vs_be_saving_%")
+}
+
+func BenchmarkFig04RandomDeadlines(b *testing.B) {
+	s := benchSettings(200)
+	var fdfs, fcfs float64
+	for i := 0; i < b.N; i++ {
+		qf, _, err := experiments.Fig4(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fdfs = lastY(qf, "FDFS", 200)
+		fcfs = lastY(qf, "FCFS", 200)
+	}
+	b.ReportMetric(fdfs, "fdfs_quality@200")
+	b.ReportMetric(fcfs, "fcfs_quality@200")
+}
+
+func BenchmarkFig05Compensation(b *testing.B) {
+	s := benchSettings(175)
+	var comp, nocomp float64
+	for i := 0; i < b.N; i++ {
+		qf, _, err := experiments.Fig5(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		comp = lastY(qf, "Compensation", 175)
+		nocomp = lastY(qf, "No-Compensation", 175)
+	}
+	b.ReportMetric(comp, "comp_quality@175")
+	b.ReportMetric(nocomp, "nocomp_quality@175")
+}
+
+func BenchmarkFig06SpeedVariance(b *testing.B) {
+	s := benchSettings(110)
+	var wf, es float64
+	for i := 0; i < b.N; i++ {
+		_, vf, err := experiments.Fig6(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		wf = lastY(vf, "Water-Filling", 110)
+		es = lastY(vf, "Equal-Sharing", 110)
+	}
+	b.ReportMetric(wf, "wf_speed_var@110")
+	b.ReportMetric(es, "es_speed_var@110")
+}
+
+func BenchmarkFig07PowerPolicies(b *testing.B) {
+	s := benchSettings(110, 185)
+	var esSave, wfHeavyQ float64
+	for i := 0; i < b.N; i++ {
+		qf, ef, err := experiments.Fig7(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		wfE := lastY(ef, "Water-Filling", 110)
+		esE := lastY(ef, "Equal-Sharing", 110)
+		if wfE > 0 {
+			esSave = (1 - esE/wfE) * 100
+		}
+		wfHeavyQ = lastY(qf, "Water-Filling", 185)
+	}
+	b.ReportMetric(esSave, "es_saving_%@110")
+	b.ReportMetric(wfHeavyQ, "wf_quality@185")
+}
+
+func BenchmarkFig08ControlPolicies(b *testing.B) {
+	s := benchSettings(130)
+	var ge, bep, bes float64
+	for i := 0; i < b.N; i++ {
+		qf, _, err := experiments.Fig8(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ge = lastY(qf, "GE", 130)
+		bep = lastY(qf, "BE-P", 130)
+		bes = lastY(qf, "BE-S", 130)
+	}
+	b.ReportMetric(ge, "ge_quality@130")
+	b.ReportMetric(bep, "bep_quality@130")
+	b.ReportMetric(bes, "bes_quality@130")
+}
+
+func BenchmarkFig09Concavity(b *testing.B) {
+	s := benchSettings(210)
+	var lo, hi float64
+	for i := 0; i < b.N; i++ {
+		qf, _, err := experiments.Fig9(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lo = lastY(qf, "c = 0.0005", 210)
+		hi = lastY(qf, "c = 0.009", 210)
+	}
+	b.ReportMetric(lo, "quality_c0.0005@210")
+	b.ReportMetric(hi, "quality_c0.009@210")
+}
+
+func BenchmarkFig10PowerBudget(b *testing.B) {
+	s := benchSettings(200)
+	var q80, q480 float64
+	for i := 0; i < b.N; i++ {
+		qf, _, err := experiments.Fig10(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		q80 = lastY(qf, "budget = 80", 200)
+		q480 = lastY(qf, "budget = 480", 200)
+	}
+	b.ReportMetric(q80, "quality_80W@200")
+	b.ReportMetric(q480, "quality_480W@200")
+}
+
+func BenchmarkFig11CoreCount(b *testing.B) {
+	s := benchSettings(154)
+	var q1, q64, e1, e64 float64
+	for i := 0; i < b.N; i++ {
+		qf, ef, err := experiments.Fig11(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		q1 = lastY(qf, "GE", 0)
+		q64 = lastY(qf, "GE", 6)
+		e1 = lastY(ef, "GE", 0)
+		e64 = lastY(ef, "GE", 6)
+	}
+	b.ReportMetric(q1, "quality_1core")
+	b.ReportMetric(q64, "quality_64core")
+	if e64 > 0 {
+		b.ReportMetric(e1/e64, "energy_ratio_1v64")
+	}
+}
+
+func BenchmarkFig12DiscreteSpeed(b *testing.B) {
+	s := benchSettings(150)
+	var dq, cq float64
+	for i := 0; i < b.N; i++ {
+		qf, _, err := experiments.Fig12(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cq = lastY(qf, "Continuous Speed", 150)
+		dq = lastY(qf, "Discrete Speed", 150)
+	}
+	b.ReportMetric(cq, "continuous_quality@150")
+	b.ReportMetric(dq, "discrete_quality@150")
+}
+
+// BenchmarkSimulatorThroughput measures raw simulator speed: simulated
+// seconds per wall second for a GE run at the critical load.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.DurationSec = 10
+	cfg.ArrivalRate = 154
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation benches: the design choices DESIGN.md calls out ---
+
+func BenchmarkAblationAssignment(b *testing.B) {
+	s := benchSettings(150)
+	var crr, rr float64
+	for i := 0; i < b.N; i++ {
+		qf, _, err := experiments.AblationAssignment(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		crr = lastY(qf, "C-RR", 150)
+		rr = lastY(qf, "RR", 150)
+	}
+	b.ReportMetric(crr, "crr_quality@150")
+	b.ReportMetric(rr, "rr_quality@150")
+}
+
+func BenchmarkAblationHybrid(b *testing.B) {
+	s := benchSettings(110, 185)
+	var lightSave, heavyQ float64
+	for i := 0; i < b.N; i++ {
+		qf, ef, err := experiments.AblationHybrid(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		wf := lastY(ef, "Fixed-WF", 110)
+		hy := lastY(ef, "Hybrid", 110)
+		if wf > 0 {
+			lightSave = (1 - hy/wf) * 100
+		}
+		heavyQ = lastY(qf, "Hybrid", 185)
+	}
+	b.ReportMetric(lightSave, "hybrid_saving_%@110")
+	b.ReportMetric(heavyQ, "hybrid_quality@185")
+}
+
+func BenchmarkAblationMonitorWindow(b *testing.B) {
+	s := benchSettings(160)
+	var cum, win float64
+	for i := 0; i < b.N; i++ {
+		qf, _, err := experiments.AblationMonitorWindow(s, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cum = lastY(qf, "Cumulative", 160)
+		win = lastY(qf, "Windowed", 160)
+	}
+	b.ReportMetric(cum, "cumulative_quality@160")
+	b.ReportMetric(win, "windowed_quality@160")
+}
+
+func BenchmarkAblationStaticPower(b *testing.B) {
+	s := benchSettings(150)
+	var bestExp float64
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.AblationStaticPower(s, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Find the energy-optimal core count under static power.
+		best := -1.0
+		for _, series := range fig.Series {
+			if series.Label == "dynamic only" {
+				continue
+			}
+			for k := range series.X {
+				if best < 0 || series.Y[k] < best {
+					best = series.Y[k]
+					bestExp = series.X[k]
+				}
+			}
+		}
+	}
+	b.ReportMetric(bestExp, "optimal_log2_cores")
+}
+
+func BenchmarkExtLatency(b *testing.B) {
+	s := benchSettings(130)
+	var ge, be float64
+	for i := 0; i < b.N; i++ {
+		m, _, err := experiments.ExtLatency(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ge = lastY(m, "GE", 130)
+		be = lastY(m, "BE", 130)
+	}
+	b.ReportMetric(ge, "ge_mean_resp_ms@130")
+	b.ReportMetric(be, "be_mean_resp_ms@130")
+}
+
+func BenchmarkExtManyCore(b *testing.B) {
+	s := benchSettings(154)
+	var q256 float64
+	for i := 0; i < b.N; i++ {
+		q, _, err := experiments.ExtManyCore(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		q256 = lastY(q, "GE", 8)
+	}
+	b.ReportMetric(q256, "quality_256cores")
+}
+
+func BenchmarkExtBigLittle(b *testing.B) {
+	s := benchSettings(130)
+	var saving float64
+	for i := 0; i < b.N; i++ {
+		_, e, err := experiments.ExtBigLittle(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ho := lastY(e, "Homogeneous", 130)
+		he := lastY(e, "big.LITTLE", 130)
+		if ho > 0 {
+			saving = (1 - he/ho) * 100
+		}
+	}
+	b.ReportMetric(saving, "biglittle_saving_%@130")
+}

@@ -1,0 +1,81 @@
+// Command gecap is a capacity-planning calculator built on the closed-form
+// analysis in internal/analytic: given a machine (cores, budget, power
+// curve), a workload shape, and a quality target, it prints the raw and
+// post-cutting capacities, the population cut level, and utilization at a
+// rate of interest — the numbers an operator needs before trusting a
+// quality target to production.
+//
+//	gecap                          # the paper's defaults
+//	gecap -cores 32 -budget 640 -qge 0.85 -rate 300
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"goodenough/internal/analytic"
+	"goodenough/internal/power"
+	"goodenough/internal/quality"
+	"goodenough/internal/workload"
+)
+
+func main() {
+	var (
+		cores  = flag.Int("cores", 16, "number of DVFS cores")
+		budget = flag.Float64("budget", 320, "total dynamic power budget (W)")
+		pa     = flag.Float64("power-a", 5, "power model scale a in P = a*s^b")
+		pb     = flag.Float64("power-b", 2, "power model exponent b")
+		qge    = flag.Float64("qge", 0.9, "good-enough quality target")
+		qc     = flag.Float64("quality-c", 0.003, "quality concavity c")
+		alpha  = flag.Float64("pareto-alpha", 3, "demand Pareto index")
+		xmin   = flag.Float64("demand-min", 130, "demand lower bound (units)")
+		xmax   = flag.Float64("demand-max", 1000, "demand upper bound (units)")
+		rate   = flag.Float64("rate", 154, "arrival rate of interest (req/s)")
+	)
+	flag.Parse()
+
+	model := power.Model{A: *pa, Beta: *pb}
+	spec := workload.DefaultSpec(*rate, 1)
+	spec.ParetoAlpha, spec.Xmin, spec.Xmax = *alpha, *xmin, *xmax
+	f := quality.NewExponential(*qc, *xmax)
+
+	cap, err := analytic.Capacity(model, *cores, *budget, spec)
+	if err != nil {
+		fatal(err)
+	}
+	level, kept, err := analytic.CutKeepFraction(f, spec, *qge)
+	if err != nil {
+		fatal(err)
+	}
+	eff, err := analytic.EffectiveCapacity(model, *cores, *budget, spec, f, *qge)
+	if err != nil {
+		fatal(err)
+	}
+	util, err := analytic.Utilization(model, *cores, *budget, spec, *rate)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("machine            %d cores, %.0f W, P = %g*s^%g\n", *cores, *budget, *pa, *pb)
+	fmt.Printf("mean demand        %.1f units (bounded Pareto %.1f, %.0f..%.0f)\n",
+		spec.MeanDemand(), *alpha, *xmin, *xmax)
+	fmt.Printf("raw capacity       %.1f req/s (full-quality service)\n", cap)
+	fmt.Printf("cut level @ %.2f   %.1f units (keeps %.1f%% of the work)\n", *qge, level, kept*100)
+	fmt.Printf("GE capacity        %.1f req/s (after cutting to QGE=%.2f)\n", eff, *qge)
+	fmt.Printf("at %.0f req/s       %.1f%% of raw, %.1f%% of GE capacity\n",
+		*rate, util*100, *rate/eff*100)
+	switch {
+	case *rate > eff:
+		fmt.Println("verdict            OVERLOADED even with cutting: quality will sag below QGE")
+	case *rate > cap:
+		fmt.Println("verdict            above raw capacity; GE holds QGE only by cutting tails")
+	default:
+		fmt.Println("verdict            within raw capacity; GE cutting converts headroom to energy savings")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gecap:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,135 @@
+// Command gesim runs a single scheduling simulation and prints its
+// metrics. It is the quickest way to poke at the reproduction:
+//
+//	gesim -scheduler ge -rate 154
+//	gesim -scheduler be -rate 154 -duration 600
+//	gesim -scheduler ge -rate 200 -budget 480 -cores 32
+//	gesim -scheduler be-p -rate 150 -bep-budget 240
+//	gesim -scheduler ge -rate 150 -discrete
+//	gesim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"goodenough"
+)
+
+// compareAll runs every registered scheduler on the same workload and
+// prints one row per policy.
+func compareAll(cfg goodenough.Config) {
+	fmt.Printf("%-10s %8s %12s %6s %9s %9s %8s\n",
+		"scheduler", "quality", "energy(J)", "AES", "completed", "expired", "cut")
+	for _, name := range goodenough.Schedulers() {
+		c := cfg
+		c.Scheduler = name
+		res, err := goodenough.Run(c)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gesim: %s: %v\n", name, err)
+			continue
+		}
+		fmt.Printf("%-10s %8.4f %12.1f %6.3f %9d %9d %8d\n",
+			name, res.Quality, res.Energy, res.AESFraction,
+			res.Completed, res.Expired, res.CutJobs)
+	}
+}
+
+func main() {
+	var (
+		list      = flag.Bool("list", false, "list available schedulers and exit")
+		scheduler = flag.String("scheduler", "ge", "scheduling policy")
+		rate      = flag.Float64("rate", 154, "Poisson arrival rate (req/s)")
+		duration  = flag.Float64("duration", 60, "simulated seconds of arrivals")
+		cores     = flag.Int("cores", 16, "number of DVFS cores")
+		budget    = flag.Float64("budget", 320, "total dynamic power budget (W)")
+		qge       = flag.Float64("qge", 0.9, "good-enough quality target")
+		qualityC  = flag.Float64("quality-c", 0.003, "quality-function concavity c")
+		seed      = flag.Uint64("seed", 2017, "workload RNG seed")
+		randomWin = flag.Bool("random-window", false, "uniform 150-500 ms response windows")
+		discrete  = flag.Bool("discrete", false, "discrete DVFS (0.2 GHz steps to 3.2 GHz)")
+		bepBudget = flag.Float64("bep-budget", 0, "reduced budget for scheduler be-p (W)")
+		besCap    = flag.Float64("bes-cap", 0, "speed cap for scheduler be-s (GHz)")
+		csv       = flag.Bool("csv", false, "emit a single CSV row instead of text")
+		timeline  = flag.String("timeline", "", "write a quality/power/mode time series CSV to this file")
+		compare   = flag.Bool("compare", false, "run every scheduler on this workload and print a comparison table")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(goodenough.Schedulers(), "\n"))
+		return
+	}
+
+	cfg := goodenough.DefaultConfig()
+	cfg.Scheduler = *scheduler
+	cfg.ArrivalRate = *rate
+	cfg.DurationSec = *duration
+	cfg.Cores = *cores
+	cfg.PowerBudget = *budget
+	cfg.QGE = *qge
+	cfg.QualityC = *qualityC
+	cfg.Seed = *seed
+	cfg.RandomWindow = *randomWin
+	cfg.BEPBudget = *bepBudget
+	cfg.BESCap = *besCap
+	if cfg.BEPBudget == 0 {
+		cfg.BEPBudget = cfg.PowerBudget * 0.75 // sensible default for -compare
+	}
+	if cfg.BESCap == 0 {
+		cfg.BESCap = 1.8
+	}
+	if *discrete {
+		for s := 0.2; s <= 3.2001; s += 0.2 {
+			cfg.DiscreteSpeeds = append(cfg.DiscreteSpeeds, s)
+		}
+	}
+
+	if *compare {
+		compareAll(cfg)
+		return
+	}
+
+	var res goodenough.Result
+	var err error
+	if *timeline != "" {
+		f, ferr := os.Create(*timeline)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, "gesim:", ferr)
+			os.Exit(1)
+		}
+		res, err = goodenough.RunWithTimeline(cfg, 0.5, f)
+		f.Close()
+	} else {
+		res, err = goodenough.Run(cfg)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gesim:", err)
+		os.Exit(1)
+	}
+
+	if *csv {
+		fmt.Printf("scheduler,rate,quality,energy_j,aes_fraction,avg_speed_ghz,speed_variance,jobs,completed,expired,cut_jobs,mode_switches,sim_time_s\n")
+		fmt.Printf("%s,%g,%.6f,%.2f,%.4f,%.4f,%.4f,%d,%d,%d,%d,%d,%.2f\n",
+			res.Scheduler, *rate, res.Quality, res.Energy, res.AESFraction,
+			res.AvgSpeed, res.SpeedVariance, res.Jobs, res.Completed,
+			res.Expired, res.CutJobs, res.ModeSwitches, res.SimTime)
+		return
+	}
+
+	fmt.Printf("scheduler        %s\n", res.Scheduler)
+	fmt.Printf("arrival rate     %g req/s over %g s (%d jobs)\n", *rate, *duration, res.Jobs)
+	fmt.Printf("service quality  %.4f (target %.2f)\n", res.Quality, *qge)
+	fmt.Printf("energy           %.1f J (AES %.1f + BQ %.1f)\n",
+		res.Energy, res.AESEnergy, res.BQEnergy)
+	fmt.Printf("response         mean %.1f ms, p95 %.1f ms\n",
+		res.MeanResponse*1000, res.P95Response*1000)
+	fmt.Printf("AES fraction     %.3f\n", res.AESFraction)
+	fmt.Printf("avg core speed   %.3f GHz (variance %.4f)\n", res.AvgSpeed, res.SpeedVariance)
+	fmt.Printf("completed        %d\n", res.Completed)
+	fmt.Printf("expired          %d\n", res.Expired)
+	fmt.Printf("cut jobs         %d\n", res.CutJobs)
+	fmt.Printf("mode switches    %d\n", res.ModeSwitches)
+}

@@ -1,0 +1,183 @@
+// Command gesweep regenerates every figure of the paper's evaluation
+// section. Each figure is written as tidy CSV plus an aligned text table
+// (and optionally an ASCII chart) under the output directory, and the
+// headline GE-vs-BE energy saving is printed at the end.
+//
+//	gesweep                         # all figures, paper-scale (600 s runs)
+//	gesweep -duration 60            # 10x faster, same shapes
+//	gesweep -figures fig1,fig3      # a subset
+//	gesweep -out results -ascii
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"goodenough/internal/experiments"
+	"goodenough/internal/plot"
+)
+
+func main() {
+	var (
+		out      = flag.String("out", "results", "output directory")
+		duration = flag.Float64("duration", 600, "simulated seconds per sweep point")
+		seed     = flag.Uint64("seed", 2017, "workload RNG seed")
+		figures  = flag.String("figures", "all", "comma-separated subset: fig1,fig2,...,fig12")
+		ascii    = flag.Bool("ascii", false, "also print ASCII charts to stdout")
+		workers  = flag.Int("workers", 0, "sweep parallelism (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	s := experiments.DefaultSettings()
+	s.Duration = *duration
+	s.Seed = *seed
+	s.Workers = *workers
+
+	want := map[string]bool{}
+	if *figures == "all" {
+		for i := 1; i <= 12; i++ {
+			want[fmt.Sprintf("fig%d", i)] = true
+		}
+	} else {
+		for _, f := range strings.Split(*figures, ",") {
+			want[strings.TrimSpace(strings.ToLower(f))] = true
+		}
+	}
+
+	emit := func(name string, fig plot.Figure) {
+		path := filepath.Join(*out, name+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := fig.WriteCSV(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+		tpath := filepath.Join(*out, name+".txt")
+		tf, err := os.Create(tpath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := fig.WriteTable(tf); err != nil {
+			fatal(err)
+		}
+		tf.Close()
+		fmt.Printf("wrote %s (+.txt)\n", path)
+		if *ascii {
+			if err := fig.WriteASCII(os.Stdout, 72, 18); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
+	type pair func() (plot.Figure, plot.Figure, error)
+	runPair := func(id, aName, bName string, fn pair) {
+		if !want[id] {
+			return
+		}
+		start := time.Now()
+		a, b, err := fn()
+		if err != nil {
+			fatal(err)
+		}
+		emit(aName, a)
+		emit(bName, b)
+		fmt.Printf("%s done in %v\n", id, time.Since(start).Round(time.Millisecond))
+		if id == "fig3" {
+			if saving, at, err := experiments.HeadlineSaving(b); err == nil {
+				fmt.Printf("headline: GE saves %.1f%% energy vs BE at rate %g (paper: up to 23.9%%)\n",
+					saving*100, at)
+			}
+		}
+	}
+
+	if want["fig1"] {
+		start := time.Now()
+		fig, err := experiments.Fig1(s)
+		if err != nil {
+			fatal(err)
+		}
+		emit("fig1_aes_fraction", fig)
+		fmt.Printf("fig1 done in %v\n", time.Since(start).Round(time.Millisecond))
+	}
+	if want["fig2"] {
+		fig, res := experiments.Fig2(s.Base.QGE)
+		emit("fig2_job_cutting", fig)
+		fmt.Printf("fig2: cut %d jobs, removed %.0f units, batch quality %.4f\n",
+			res.Cut, res.WorkRemoved, res.Quality)
+	}
+	runPair("fig3", "fig3a_quality", "fig3b_energy", func() (plot.Figure, plot.Figure, error) { return experiments.Fig3(s) })
+	runPair("fig4", "fig4a_quality", "fig4b_energy", func() (plot.Figure, plot.Figure, error) { return experiments.Fig4(s) })
+	runPair("fig5", "fig5a_quality", "fig5b_energy", func() (plot.Figure, plot.Figure, error) { return experiments.Fig5(s) })
+	runPair("fig6", "fig6a_avg_speed", "fig6b_speed_variance", func() (plot.Figure, plot.Figure, error) { return experiments.Fig6(s) })
+	runPair("fig7", "fig7a_quality", "fig7b_energy", func() (plot.Figure, plot.Figure, error) { return experiments.Fig7(s) })
+	runPair("fig8", "fig8a_quality", "fig8b_energy", func() (plot.Figure, plot.Figure, error) { return experiments.Fig8(s) })
+	runPair("fig9", "fig9a_quality", "fig9b_quality_functions", func() (plot.Figure, plot.Figure, error) {
+		s9 := s
+		s9.Rates = fig9Rates()
+		return experiments.Fig9(s9)
+	})
+	runPair("fig10", "fig10a_quality", "fig10b_energy", func() (plot.Figure, plot.Figure, error) { return experiments.Fig10(s) })
+	runPair("fig11", "fig11a_quality", "fig11b_energy", func() (plot.Figure, plot.Figure, error) {
+		s11 := s
+		s11.Rates = []float64{154} // fixed rate; x axis is the core count
+		return experiments.Fig11(s11)
+	})
+	runPair("fig12", "fig12a_quality", "fig12b_energy", func() (plot.Figure, plot.Figure, error) { return experiments.Fig12(s) })
+
+	// Ablations beyond the paper's figures (DESIGN.md §7): request with
+	// -figures ablations (or individually: abl-assign, abl-hybrid,
+	// abl-monitor, abl-static).
+	if want["ablations"] {
+		for _, id := range []string{"abl-assign", "abl-hybrid", "abl-monitor", "abl-static", "ext-latency", "ext-manycore", "ext-biglittle"} {
+			want[id] = true
+		}
+	}
+	runPair("abl-assign", "abl_assign_quality", "abl_assign_energy",
+		func() (plot.Figure, plot.Figure, error) { return experiments.AblationAssignment(s) })
+	runPair("abl-hybrid", "abl_hybrid_quality", "abl_hybrid_energy",
+		func() (plot.Figure, plot.Figure, error) { return experiments.AblationHybrid(s) })
+	runPair("abl-monitor", "abl_monitor_quality", "abl_monitor_switches",
+		func() (plot.Figure, plot.Figure, error) { return experiments.AblationMonitorWindow(s, 5) })
+	runPair("ext-latency", "ext_latency_mean", "ext_latency_p95",
+		func() (plot.Figure, plot.Figure, error) { return experiments.ExtLatency(s) })
+	runPair("ext-biglittle", "ext_biglittle_quality", "ext_biglittle_energy",
+		func() (plot.Figure, plot.Figure, error) { return experiments.ExtBigLittle(s) })
+	runPair("ext-manycore", "ext_manycore_quality", "ext_manycore_energy",
+		func() (plot.Figure, plot.Figure, error) {
+			sm := s
+			sm.Rates = []float64{154}
+			return experiments.ExtManyCore(sm)
+		})
+	if want["abl-static"] {
+		sStatic := s
+		sStatic.Rates = []float64{154}
+		fig, err := experiments.AblationStaticPower(sStatic, 10)
+		if err != nil {
+			fatal(err)
+		}
+		emit("abl_static_energy", fig)
+	}
+}
+
+// fig9Rates is the paper's Fig. 9 x axis (180–240 req/s).
+func fig9Rates() []float64 {
+	rates := make([]float64, 0, 7)
+	for r := 180.0; r <= 240; r += 10 {
+		rates = append(rates, r)
+	}
+	return rates
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gesweep:", err)
+	os.Exit(1)
+}

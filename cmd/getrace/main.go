@@ -1,0 +1,108 @@
+// Command getrace exports and replays workload traces, so the exact same
+// request stream can be archived, shared, or swapped for a real trace.
+//
+//	getrace export -rate 154 -duration 60 -o trace.json
+//	getrace replay -scheduler ge trace.json
+//	getrace replay -scheduler be trace.json     # same stream, other policy
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"goodenough"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "export":
+		export(os.Args[2:])
+	case "replay":
+		replay(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  getrace export [-rate R] [-duration S] [-seed N] [-random-window] [-o FILE]
+  getrace replay [-scheduler NAME] [-cores N] [-budget W] [-qge Q] FILE`)
+	os.Exit(2)
+}
+
+func export(args []string) {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	rate := fs.Float64("rate", 154, "Poisson arrival rate (req/s)")
+	duration := fs.Float64("duration", 60, "arrival span (seconds)")
+	seed := fs.Uint64("seed", 2017, "RNG seed")
+	randomWin := fs.Bool("random-window", false, "uniform 150-500 ms windows")
+	out := fs.String("o", "-", "output file (default stdout)")
+	fs.Parse(args)
+
+	cfg := goodenough.DefaultConfig()
+	cfg.ArrivalRate = *rate
+	cfg.DurationSec = *duration
+	cfg.Seed = *seed
+	cfg.RandomWindow = *randomWin
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := goodenough.ExportTrace(cfg, w); err != nil {
+		fatal(err)
+	}
+	if *out != "-" {
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	}
+}
+
+func replay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	scheduler := fs.String("scheduler", "ge", "scheduling policy")
+	cores := fs.Int("cores", 16, "number of cores")
+	budget := fs.Float64("budget", 320, "power budget (W)")
+	qge := fs.Float64("qge", 0.9, "good-enough quality target")
+	bepBudget := fs.Float64("bep-budget", 0, "budget for be-p")
+	besCap := fs.Float64("bes-cap", 0, "speed cap for be-s")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+
+	cfg := goodenough.DefaultConfig()
+	cfg.Scheduler = *scheduler
+	cfg.Cores = *cores
+	cfg.PowerBudget = *budget
+	cfg.QGE = *qge
+	cfg.BEPBudget = *bepBudget
+	cfg.BESCap = *besCap
+
+	res, err := goodenough.RunTrace(cfg, f)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("scheduler %s: %d jobs, quality %.4f, energy %.1f J, AES %.3f\n",
+		res.Scheduler, res.Jobs, res.Quality, res.Energy, res.AESFraction)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "getrace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,63 @@
+package goodenough_test
+
+import (
+	"fmt"
+
+	"goodenough"
+)
+
+// ExampleRun simulates the paper's default web-search server under the GE
+// scheduler for one minute of traffic at the critical load.
+func ExampleRun() {
+	cfg := goodenough.DefaultConfig()
+	cfg.DurationSec = 60
+	cfg.ArrivalRate = 154
+	res, err := goodenough.Run(cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("quality within target band: %v\n", res.Quality > 0.88 && res.Quality < 0.92)
+	fmt.Printf("all jobs accounted: %v\n", int64(res.Jobs) == res.Completed+res.Expired)
+	// Output:
+	// quality within target band: true
+	// all jobs accounted: true
+}
+
+// ExampleRun_comparison contrasts Good Enough with Best Effort on the same
+// workload: same request stream, ~90% quality, materially less energy.
+func ExampleRun_comparison() {
+	cfg := goodenough.DefaultConfig()
+	cfg.DurationSec = 30
+	cfg.ArrivalRate = 130
+
+	cfg.Scheduler = "ge"
+	ge, _ := goodenough.Run(cfg)
+	cfg.Scheduler = "be"
+	be, _ := goodenough.Run(cfg)
+
+	fmt.Printf("GE cheaper than BE: %v\n", ge.Energy < be.Energy)
+	fmt.Printf("BE quality higher: %v\n", be.Quality > ge.Quality)
+	// Output:
+	// GE cheaper than BE: true
+	// BE quality higher: true
+}
+
+// ExampleSchedulers lists every available policy.
+func ExampleSchedulers() {
+	for _, name := range goodenough.Schedulers() {
+		fmt.Println(name)
+	}
+	// Output:
+	// be
+	// be-p
+	// be-s
+	// fcfs
+	// fdfs
+	// ge
+	// ge-es
+	// ge-nocomp
+	// ge-wf
+	// ljf
+	// oq
+	// sjf
+}

@@ -1,0 +1,56 @@
+// Mixedworkload: the paper's future-work scenario — "other big-data
+// applications". A server handles a 3:1 mixture of interactive search
+// requests (small demands, 150 ms windows) and analytics queries (heavy
+// Pareto-2 demands up to 4000 units, relaxed 0.5–2 s windows). Because the
+// quality function saturates at 1000 units, the analytics tails are almost
+// free to cut — GE harvests them first, preserving interactive quality.
+//
+//	go run ./examples/mixedworkload
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"goodenough"
+)
+
+func main() {
+	cfg := goodenough.DefaultConfig()
+	cfg.DurationSec = 30
+	cfg.DemandMax = 4000 // quality saturates at the largest class demand
+	cfg.Mix = []goodenough.WorkloadClass{
+		{
+			Name: "interactive", Weight: 3,
+			ParetoAlpha: 3, DemandMin: 130, DemandMax: 1000,
+			WindowMS: 150,
+		},
+		{
+			Name: "analytics", Weight: 1,
+			ParetoAlpha: 2, DemandMin: 500, DemandMax: 4000,
+			RandomWindow: true, WindowMinMS: 500, WindowMaxMS: 2000,
+		},
+	}
+
+	fmt.Println("rate   GE quality / energy       BE quality / energy      saving")
+	for _, rate := range []float64{60, 90, 120, 150} {
+		cfg.ArrivalRate = rate
+
+		cfg.Scheduler = "ge"
+		ge, err := goodenough.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Scheduler = "be"
+		be, err := goodenough.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%4.0f   %.3f / %9.0f J      %.3f / %9.0f J     %5.1f%%\n",
+			rate, ge.Quality, ge.Energy, be.Quality, be.Energy,
+			(1-ge.Energy/be.Energy)*100)
+	}
+	fmt.Println("\nThe mixture's heavy analytics tails saturate the quality curve,")
+	fmt.Println("so GE cuts them aggressively — larger savings than the pure")
+	fmt.Println("web-search workload at the same quality target.")
+}

@@ -1,0 +1,53 @@
+// Powerbudget: a power-capped rack. The operator has a hard budget per
+// server (the paper's motivating constraint — e.g. the DoE's 20 MW
+// exascale envelope) and wants to know two things:
+//
+//  1. how much quality each budget level sustains at peak traffic, and
+//  2. how the user-facing QGE knob converts tolerated quality loss into
+//     energy savings under a fixed budget.
+//
+// go run ./examples/powerbudget
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"goodenough"
+)
+
+func main() {
+	base := goodenough.DefaultConfig()
+	base.DurationSec = 30
+	base.ArrivalRate = 180 // peak traffic, slightly past the capacity knee
+	base.Scheduler = "ge"
+
+	fmt.Println("-- budget sweep at rate 180 req/s, QGE = 0.9 (paper Fig. 10) --")
+	fmt.Println("budget   quality   energy      avg speed")
+	for _, budget := range []float64{80, 160, 320, 480} {
+		cfg := base
+		cfg.PowerBudget = budget
+		res, err := goodenough.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%4.0f W   %.3f    %8.0f J   %.2f GHz\n",
+			budget, res.Quality, res.Energy, res.AvgSpeed)
+	}
+
+	fmt.Println()
+	fmt.Println("-- QGE sweep at 320 W: tolerated loss vs energy --")
+	fmt.Println("QGE     quality   energy      cut jobs")
+	for _, qge := range []float64{1.0, 0.95, 0.9, 0.85, 0.8} {
+		cfg := base
+		cfg.QGE = qge
+		res, err := goodenough.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%.2f    %.3f    %8.0f J   %d\n",
+			qge, res.Quality, res.Energy, res.CutJobs)
+	}
+	fmt.Println("\nLower QGE -> more tail-cutting -> less energy; the knee of the")
+	fmt.Println("concave quality function makes the first few percent cheap.")
+}

@@ -1,0 +1,35 @@
+// Quickstart: run the Good Enough scheduler on the paper's default setup
+// and compare it against Best Effort in a dozen lines.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"goodenough"
+)
+
+func main() {
+	cfg := goodenough.DefaultConfig()
+	cfg.DurationSec = 60 // one simulated minute is plenty for a demo
+
+	cfg.Scheduler = "ge"
+	ge, err := goodenough.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg.Scheduler = "be"
+	be, err := goodenough.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Good Enough:  quality %.3f, energy %8.0f J, %.0f%% of time in AES mode\n",
+		ge.Quality, ge.Energy, ge.AESFraction*100)
+	fmt.Printf("Best Effort:  quality %.3f, energy %8.0f J\n", be.Quality, be.Energy)
+	fmt.Printf("GE saves %.1f%% energy while holding the %.0f%% quality target.\n",
+		(1-ge.Energy/be.Energy)*100, cfg.QGE*100)
+}

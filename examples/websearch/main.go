@@ -1,0 +1,56 @@
+// Websearch: the paper's motivating scenario. A web-search frontend serves
+// requests whose partial results are still useful (a results page with 90%
+// of the best hits is indistinguishable to most users). Traffic follows a
+// diurnal pattern; this example walks a day's hourly arrival rates and
+// shows how GE's energy tracks the load while BE burns power polishing
+// quality nobody asked for.
+//
+//	go run ./examples/websearch
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"goodenough"
+)
+
+// hourlyRates sketches a diurnal traffic curve (req/s per hour of day).
+var hourlyRates = []float64{
+	60, 50, 45, 40, 40, 55, // 00:00 - 05:00  night trough
+	80, 110, 140, 160, 165, 170, // 06:00 - 11:00  morning ramp
+	165, 160, 160, 155, 150, 150, // 12:00 - 17:00  afternoon plateau
+	160, 170, 150, 120, 90, 70, // 18:00 - 23:00  evening peak and fall
+}
+
+func main() {
+	base := goodenough.DefaultConfig()
+	base.DurationSec = 30 // simulate 30 s of each hour's steady state
+	base.QGE = 0.9
+
+	fmt.Println("hour  rate   GE quality  GE energy   BE energy   saving")
+	totalGE, totalBE := 0.0, 0.0
+	for hour, rate := range hourlyRates {
+		cfg := base
+		cfg.ArrivalRate = rate
+		cfg.Seed = uint64(1000 + hour) // different traffic each hour
+
+		cfg.Scheduler = "ge"
+		ge, err := goodenough.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Scheduler = "be"
+		be, err := goodenough.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		totalGE += ge.Energy
+		totalBE += be.Energy
+		fmt.Printf("%02d:00 %4.0f   %.3f       %7.0f J   %7.0f J   %5.1f%%\n",
+			hour, rate, ge.Quality, ge.Energy, be.Energy,
+			(1-ge.Energy/be.Energy)*100)
+	}
+	fmt.Printf("\nwhole day: GE %.0f J vs BE %.0f J — %.1f%% saved at QGE=%.0f%%\n",
+		totalGE, totalBE, (1-totalGE/totalBE)*100, base.QGE*100)
+}

@@ -1,0 +1,3 @@
+module goodenough
+
+go 1.22

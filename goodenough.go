@@ -1,0 +1,532 @@
+// Package goodenough is a from-scratch reproduction of "When Good Enough
+// Is Better: Energy-Aware Scheduling for Multicore Servers" (Hui, Du, Liu,
+// Sun, He, Bader — IPDPSW 2017).
+//
+// It provides the Good Enough (GE) energy-aware scheduling algorithm for
+// approximate interactive services on multicore DVFS servers, every
+// baseline the paper compares against, and a discrete-event simulator to
+// run them on. A single call drives a full simulation:
+//
+//	cfg := goodenough.DefaultConfig()
+//	cfg.Scheduler = "ge"
+//	cfg.ArrivalRate = 154
+//	res, err := goodenough.Run(cfg)
+//	// res.Quality ≈ 0.9, res.Energy in joules, res.AESFraction, ...
+//
+// Scheduler names accepted by Config.Scheduler:
+//
+//	ge        Good Enough (LF cutting + compensation + hybrid ES/WF)
+//	oq        Over-Qualified (target QGE+0.02, no compensation)
+//	be        Best Effort (no cutting, always Water-Filling)
+//	ge-nocomp GE without the compensation policy
+//	ge-es     GE pinned to Equal-Sharing power distribution
+//	ge-wf     GE pinned to Water-Filling power distribution
+//	be-p      Best Effort under a reduced power budget (set BEPBudget)
+//	be-s      Best Effort under a per-core speed cap (set BESCap)
+//	fcfs fdfs ljf sjf   classic single-job baselines
+//
+// The experiment harness reproducing every figure of the paper lives in
+// cmd/gesweep; the per-figure benchmarks live in bench_test.go.
+package goodenough
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"goodenough/internal/core"
+	"goodenough/internal/dist"
+	"goodenough/internal/metrics"
+	"goodenough/internal/power"
+	"goodenough/internal/quality"
+	"goodenough/internal/sched"
+	"goodenough/internal/stats"
+	"goodenough/internal/workload"
+)
+
+// Config is the user-facing knob set: machine, workload, and scheduler.
+type Config struct {
+	// Scheduler selects the policy (see the package comment for names).
+	Scheduler string
+
+	// --- Machine (paper §IV-B defaults) ---
+
+	// Cores is the number of DVFS cores (16).
+	Cores int
+	// PowerBudget is the total dynamic power budget H in watts (320).
+	PowerBudget float64
+	// PowerAlpha and PowerBeta parameterize the per-core dynamic power
+	// P = a·s^β with s in GHz (a=5, β=2).
+	PowerAlpha float64
+	PowerBeta  float64
+	// DiscreteSpeeds, when non-empty, restricts cores to these speeds
+	// (GHz) — the discrete DVFS model of §IV-A5. Empty means continuous.
+	DiscreteSpeeds []float64
+	// CoreGroups, when non-empty, builds a heterogeneous (big.LITTLE)
+	// machine: the groups are expanded in order and their counts override
+	// Cores. Not combinable with DiscreteSpeeds.
+	CoreGroups []CoreGroup
+
+	// --- Quality model ---
+
+	// QGE is the user-specified good-enough quality (0.9).
+	QGE float64
+	// QualityC is the concavity multiplier of Eq. 1 (0.003).
+	QualityC float64
+	// QualityFamily selects the quality-function family: "exp" (Eq. 1,
+	// default), "log", "pow", or "linear". QualityC parameterizes each:
+	// the exponential multiplier, the logarithmic k, or the power-law
+	// gamma (clamped to (0,1]); "linear" ignores it.
+	QualityFamily string
+
+	// --- Workload ---
+
+	// ArrivalRate is the Poisson request rate λ in req/s.
+	ArrivalRate float64
+	// ParetoAlpha, DemandMin, DemandMax parameterize the bounded Pareto
+	// service demands in processing units (3, 130, 1000).
+	ParetoAlpha float64
+	DemandMin   float64
+	DemandMax   float64
+	// WindowMS is the response window in milliseconds (150). When
+	// RandomWindow is set, windows are uniform in [WindowMinMS,
+	// WindowMaxMS] (150–500) instead.
+	WindowMS     float64
+	RandomWindow bool
+	WindowMinMS  float64
+	WindowMaxMS  float64
+	// DurationSec is the simulated arrival span in seconds (600).
+	DurationSec float64
+	// Seed fixes the workload streams for reproducibility.
+	Seed uint64
+	// Bursty, when set, replaces the homogeneous Poisson arrivals with a
+	// two-phase Markov-modulated process (flash-crowd traffic): BurstHigh/
+	// BurstLow req/s phases lasting on average BurstMeanHighSec/
+	// BurstMeanLowSec. ArrivalRate is then ignored.
+	Bursty           bool
+	BurstHigh        float64
+	BurstLow         float64
+	BurstMeanHighSec float64
+	BurstMeanLowSec  float64
+
+	// --- Scheduler plumbing ---
+
+	// QuantumMS is the quantum trigger period in milliseconds (500).
+	QuantumMS float64
+	// CounterTrigger is the waiting-queue length trigger (8).
+	CounterTrigger int
+	// CriticalLoad is the req/s threshold between Equal-Sharing and
+	// Water-Filling in the hybrid distribution (154).
+	CriticalLoad float64
+
+	// Mix, when non-empty, replaces the single demand distribution with a
+	// weighted mixture of request classes (e.g. an interactive tier plus
+	// an analytics tier). The single-class Pareto/window fields above are
+	// then ignored. The quality function still saturates at DemandMax, so
+	// set DemandMax to the largest class Xmax.
+	Mix []WorkloadClass
+
+	// --- Baseline-specific ---
+
+	// BEPBudget is the reduced budget used by the "be-p" scheduler.
+	BEPBudget float64
+	// BESCap is the per-core speed cap (GHz) used by "be-s".
+	BESCap float64
+}
+
+// CoreGroup describes one cluster of identical cores in a heterogeneous
+// machine (Config.CoreGroups).
+type CoreGroup struct {
+	// Count is the number of cores in the cluster.
+	Count int
+	// PowerAlpha and PowerBeta parameterize the cluster's power curve
+	// P = a·s^β.
+	PowerAlpha float64
+	PowerBeta  float64
+	// MaxSpeedGHz optionally caps the cluster's speed (0 = power-limited
+	// only).
+	MaxSpeedGHz float64
+}
+
+// WorkloadClass is one component of a mixed workload (Config.Mix).
+type WorkloadClass struct {
+	// Name labels the class in reports.
+	Name string
+	// Weight is the relative arrival share.
+	Weight float64
+	// ParetoAlpha, DemandMin, DemandMax parameterize the class demands.
+	ParetoAlpha float64
+	DemandMin   float64
+	DemandMax   float64
+	// WindowMS is the class response window; RandomWindow selects uniform
+	// [WindowMinMS, WindowMaxMS] instead.
+	WindowMS     float64
+	RandomWindow bool
+	WindowMinMS  float64
+	WindowMaxMS  float64
+}
+
+// DefaultConfig returns the paper's §IV-B setup with the GE scheduler at
+// the critical arrival rate.
+func DefaultConfig() Config {
+	return Config{
+		Scheduler:      "ge",
+		Cores:          16,
+		PowerBudget:    320,
+		PowerAlpha:     5,
+		PowerBeta:      2,
+		QGE:            0.9,
+		QualityC:       0.003,
+		ArrivalRate:    154,
+		ParetoAlpha:    3,
+		DemandMin:      130,
+		DemandMax:      1000,
+		WindowMS:       150,
+		WindowMinMS:    150,
+		WindowMaxMS:    500,
+		DurationSec:    600,
+		Seed:           2017,
+		QuantumMS:      500,
+		CounterTrigger: 8,
+		CriticalLoad:   154,
+	}
+}
+
+// Result reports what one simulation achieved.
+type Result struct {
+	// Scheduler is the policy that ran.
+	Scheduler string
+	// Quality is the achieved average quality Σf(c)/Σf(p) over all jobs.
+	Quality float64
+	// Energy is the total dynamic energy in joules.
+	Energy float64
+	// AESFraction is the share of time spent in the Aggressive Energy
+	// Saving mode (GE family only).
+	AESFraction float64
+	// AvgSpeed and SpeedVariance are busy-time-weighted core-speed moments.
+	AvgSpeed      float64
+	SpeedVariance float64
+	// Jobs, Completed, Expired, CutJobs count request outcomes.
+	Jobs      int
+	Completed int64
+	Expired   int64
+	CutJobs   int64
+	// ModeSwitches counts AES↔BQ transitions.
+	ModeSwitches int64
+	// SimTime is the simulated span in seconds.
+	SimTime float64
+	// MeanResponse and P95Response summarize completed jobs' response
+	// times in seconds (finish − release).
+	MeanResponse float64
+	P95Response  float64
+	// AESEnergy and BQEnergy split Energy by the execution mode active
+	// while it was consumed (GE family; always-BQ policies put everything
+	// in BQEnergy).
+	AESEnergy float64
+	BQEnergy  float64
+}
+
+// Schedulers lists the accepted Config.Scheduler names.
+func Schedulers() []string {
+	names := make([]string, 0, len(schedulerMakers))
+	for name := range schedulerMakers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+type makerArgs struct {
+	qge       float64
+	bepBudget float64
+	besCap    float64
+}
+
+var schedulerMakers = map[string]func(a makerArgs) sched.Policy{
+	"ge":        func(a makerArgs) sched.Policy { return core.NewGE(a.qge) },
+	"oq":        func(a makerArgs) sched.Policy { return core.NewOQ(a.qge) },
+	"be":        func(a makerArgs) sched.Policy { return core.NewBE() },
+	"ge-nocomp": func(a makerArgs) sched.Policy { return core.NewNoComp(a.qge) },
+	"ge-es":     func(a makerArgs) sched.Policy { return core.NewFixedDist(a.qge, dist.PolicyES) },
+	"ge-wf":     func(a makerArgs) sched.Policy { return core.NewFixedDist(a.qge, dist.PolicyWF) },
+	"be-p":      func(a makerArgs) sched.Policy { return core.NewBEP(a.bepBudget) },
+	"be-s":      func(a makerArgs) sched.Policy { return core.NewBES(a.besCap) },
+	"fcfs":      func(a makerArgs) sched.Policy { return sched.NewFCFS() },
+	"fdfs":      func(a makerArgs) sched.Policy { return sched.NewFDFS() },
+	"ljf":       func(a makerArgs) sched.Policy { return sched.NewLJF() },
+	"sjf":       func(a makerArgs) sched.Policy { return sched.NewSJF() },
+}
+
+// Run executes one simulation described by cfg.
+func Run(cfg Config) (Result, error) {
+	scfg, spec, policy, err := lower(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	runner, err := sched.NewRunner(scfg, policy, spec)
+	if err != nil {
+		return Result{}, err
+	}
+	return finish(runner)
+}
+
+// RunTrace executes one simulation over a recorded workload trace (JSON,
+// as produced by ExportTrace or cmd/getrace) instead of a synthetic
+// stream. The workload fields of cfg (ArrivalRate, demand distribution,
+// windows, duration, seed) are ignored; machine and scheduler fields apply.
+func RunTrace(cfg Config, traceJSON io.Reader) (Result, error) {
+	scfg, _, policy, err := lowerMachineOnly(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	tr, err := workload.ReadTrace(traceJSON)
+	if err != nil {
+		return Result{}, err
+	}
+	src, err := workload.NewReplayer(tr)
+	if err != nil {
+		return Result{}, err
+	}
+	runner, err := sched.NewRunnerFromSource(scfg, policy, src)
+	if err != nil {
+		return Result{}, err
+	}
+	return finish(runner)
+}
+
+// Replication summarizes repeated runs of the same configuration under
+// different seeds — the reproduction's answer to "is this one lucky
+// stream?". Fields aggregate per-seed Results.
+type Replication struct {
+	// Runs is the number of seeds simulated.
+	Runs int
+	// QualityMean/Std and EnergyMean/Std aggregate across seeds.
+	QualityMean float64
+	QualityStd  float64
+	EnergyMean  float64
+	EnergyStd   float64
+	// QualityMin/Max and EnergyMin/Max are the extremes observed.
+	QualityMin float64
+	QualityMax float64
+	EnergyMin  float64
+	EnergyMax  float64
+	// Results holds the individual runs in seed order.
+	Results []Result
+}
+
+// RunSeeds executes cfg once per seed and aggregates the results. The
+// cfg.Seed field is overridden by each entry.
+func RunSeeds(cfg Config, seeds []uint64) (Replication, error) {
+	if len(seeds) == 0 {
+		return Replication{}, fmt.Errorf("goodenough: RunSeeds needs at least one seed")
+	}
+	var rep Replication
+	var q, e stats.Running
+	for _, seed := range seeds {
+		c := cfg
+		c.Seed = seed
+		res, err := Run(c)
+		if err != nil {
+			return Replication{}, err
+		}
+		rep.Results = append(rep.Results, res)
+		q.Add(res.Quality)
+		e.Add(res.Energy)
+	}
+	rep.Runs = len(seeds)
+	rep.QualityMean, rep.QualityStd = q.Mean(), q.Std()
+	rep.EnergyMean, rep.EnergyStd = e.Mean(), e.Std()
+	rep.QualityMin, rep.QualityMax = q.Min(), q.Max()
+	rep.EnergyMin, rep.EnergyMax = e.Min(), e.Max()
+	return rep, nil
+}
+
+// RunWithTimeline is Run plus a recorded time series: quality, power draw,
+// queued load, and execution mode are sampled at scheduling events (thinned
+// to one sample per intervalSec) and written as CSV to w after the run.
+func RunWithTimeline(cfg Config, intervalSec float64, w io.Writer) (Result, error) {
+	scfg, spec, policy, err := lower(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	runner, err := sched.NewRunner(scfg, policy, spec)
+	if err != nil {
+		return Result{}, err
+	}
+	tl := metrics.NewTimeline(intervalSec)
+	runner.SetTimeline(tl)
+	res, err := finish(runner)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := tl.WriteCSV(w); err != nil {
+		return Result{}, err
+	}
+	return res, nil
+}
+
+// ExportTrace generates the synthetic workload described by cfg and writes
+// it as a JSON trace, so the exact request stream can be archived, shared,
+// and replayed with RunTrace.
+func ExportTrace(cfg Config, w io.Writer) error {
+	_, spec, _, err := lower(cfg)
+	if err != nil {
+		return err
+	}
+	jobs := workload.NewGenerator(spec).All()
+	tr := workload.Record(jobs, &spec, "exported by goodenough.ExportTrace")
+	return tr.Write(w)
+}
+
+func finish(runner *sched.Runner) (Result, error) {
+	res, err := runner.Run()
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Scheduler:     res.Scheduler,
+		Quality:       res.Quality,
+		Energy:        res.Energy,
+		AESFraction:   res.AESFraction,
+		AvgSpeed:      res.AvgSpeed,
+		SpeedVariance: res.SpeedVariance,
+		Jobs:          res.Jobs,
+		Completed:     res.Completed,
+		Expired:       res.Expired,
+		CutJobs:       res.CutJobs,
+		ModeSwitches:  res.ModeSwitches,
+		SimTime:       res.SimTime,
+		MeanResponse:  res.MeanResponse,
+		P95Response:   res.P95Response,
+		AESEnergy:     res.AESEnergy,
+		BQEnergy:      res.BQEnergy,
+	}, nil
+}
+
+// qualityFor instantiates the configured quality-function family.
+func qualityFor(cfg Config) (quality.Function, error) {
+	xmax := cfg.DemandMax
+	switch cfg.QualityFamily {
+	case "", "exp":
+		return quality.NewExponential(cfg.QualityC, xmax), nil
+	case "log":
+		return quality.NewLogarithmic(cfg.QualityC, xmax), nil
+	case "pow":
+		gamma := cfg.QualityC
+		if gamma > 1 {
+			gamma = 1
+		}
+		return quality.NewPowerLaw(gamma, xmax), nil
+	case "linear":
+		return quality.NewLinear(xmax), nil
+	default:
+		return nil, fmt.Errorf("goodenough: unknown quality family %q (exp|log|pow|linear)",
+			cfg.QualityFamily)
+	}
+}
+
+// lower converts the public Config into the internal configuration triple.
+func lower(cfg Config) (sched.Config, workload.Spec, sched.Policy, error) {
+	scfg, _, policy, err := lowerMachineOnly(cfg)
+	if err != nil {
+		return sched.Config{}, workload.Spec{}, nil, err
+	}
+	spec := workload.Spec{
+		ArrivalRate:  cfg.ArrivalRate,
+		ParetoAlpha:  cfg.ParetoAlpha,
+		Xmin:         cfg.DemandMin,
+		Xmax:         cfg.DemandMax,
+		Window:       cfg.WindowMS / 1000,
+		RandomWindow: cfg.RandomWindow,
+		WindowMin:    cfg.WindowMinMS / 1000,
+		WindowMax:    cfg.WindowMaxMS / 1000,
+		Duration:     cfg.DurationSec,
+		Seed:         cfg.Seed,
+	}
+	if cfg.Bursty {
+		spec.Burst = &workload.Burst{
+			HighRate: cfg.BurstHigh, LowRate: cfg.BurstLow,
+			MeanHigh: cfg.BurstMeanHighSec, MeanLow: cfg.BurstMeanLowSec,
+		}
+	}
+	for _, m := range cfg.Mix {
+		spec.Classes = append(spec.Classes, workload.Class{
+			Name: m.Name, Weight: m.Weight,
+			ParetoAlpha: m.ParetoAlpha, Xmin: m.DemandMin, Xmax: m.DemandMax,
+			Window: m.WindowMS / 1000, RandomWindow: m.RandomWindow,
+			WindowMin: m.WindowMinMS / 1000, WindowMax: m.WindowMaxMS / 1000,
+		})
+	}
+	if err := spec.Validate(); err != nil {
+		return sched.Config{}, workload.Spec{}, nil, err
+	}
+	return scfg, spec, policy, nil
+}
+
+// lowerMachineOnly builds the machine configuration and policy, ignoring
+// the workload fields (used by trace replay).
+func lowerMachineOnly(cfg Config) (sched.Config, workload.Spec, sched.Policy, error) {
+	mk, ok := schedulerMakers[cfg.Scheduler]
+	if !ok {
+		return sched.Config{}, workload.Spec{}, nil,
+			fmt.Errorf("goodenough: unknown scheduler %q (valid: %v)", cfg.Scheduler, Schedulers())
+	}
+	if cfg.Scheduler == "be-p" && cfg.BEPBudget <= 0 {
+		return sched.Config{}, workload.Spec{}, nil,
+			fmt.Errorf("goodenough: scheduler be-p requires BEPBudget > 0")
+	}
+	if cfg.Scheduler == "be-s" && cfg.BESCap <= 0 {
+		return sched.Config{}, workload.Spec{}, nil,
+			fmt.Errorf("goodenough: scheduler be-s requires BESCap > 0")
+	}
+	if cfg.QualityC <= 0 || cfg.DemandMax <= 0 {
+		return sched.Config{}, workload.Spec{}, nil,
+			fmt.Errorf("goodenough: QualityC and DemandMax must be positive")
+	}
+	qf, err := qualityFor(cfg)
+	if err != nil {
+		return sched.Config{}, workload.Spec{}, nil, err
+	}
+
+	cores := cfg.Cores
+	var perCore []power.Model
+	if len(cfg.CoreGroups) > 0 {
+		cores = 0
+		for _, g := range cfg.CoreGroups {
+			if g.Count <= 0 {
+				return sched.Config{}, workload.Spec{}, nil,
+					fmt.Errorf("goodenough: core group count must be positive, got %d", g.Count)
+			}
+			m := power.Model{A: g.PowerAlpha, Beta: g.PowerBeta, MaxSpeed: g.MaxSpeedGHz}
+			for i := 0; i < g.Count; i++ {
+				perCore = append(perCore, m)
+			}
+			cores += g.Count
+		}
+	}
+	scfg := sched.Config{
+		Cores:          cores,
+		PowerBudget:    cfg.PowerBudget,
+		Model:          power.Model{A: cfg.PowerAlpha, Beta: cfg.PowerBeta},
+		PerCoreModels:  perCore,
+		Quality:        qf,
+		QGE:            cfg.QGE,
+		CriticalLoad:   cfg.CriticalLoad,
+		QuantumSec:     cfg.QuantumMS / 1000,
+		CounterTrigger: cfg.CounterTrigger,
+		RateWindow:     2,
+	}
+	if len(cfg.DiscreteSpeeds) > 0 {
+		ladder, err := power.NewLadder(cfg.DiscreteSpeeds)
+		if err != nil {
+			return sched.Config{}, workload.Spec{}, nil, err
+		}
+		scfg.Ladder = ladder
+	}
+	if err := scfg.Validate(); err != nil {
+		return sched.Config{}, workload.Spec{}, nil, err
+	}
+
+	policy := mk(makerArgs{qge: cfg.QGE, bepBudget: cfg.BEPBudget, besCap: cfg.BESCap})
+	return scfg, workload.Spec{}, policy, nil
+}

@@ -1,0 +1,121 @@
+// Package assign implements the batch job-to-core assignment policies.
+//
+// The paper uses Cumulative Round-Robin (C-RR): plain round-robin, except
+// the distribution cursor persists across scheduling cycles, so job k of
+// the next batch continues from where the previous batch stopped. Over the
+// long run this spreads jobs more evenly than restarting at core 0 every
+// cycle. Plain RR and a least-loaded policy are provided for ablations.
+package assign
+
+import (
+	"fmt"
+
+	"goodenough/internal/job"
+)
+
+// Assigner maps a batch of waiting jobs onto cores. Implementations set
+// each job's Core field and State; they must never move an already
+// assigned job (no migration, paper §II-B).
+type Assigner interface {
+	// Assign binds each job to a core index in [0, cores). loads gives the
+	// current remaining work per core for load-aware policies.
+	Assign(jobs []*job.Job, cores int, loads []float64)
+	// Name identifies the policy.
+	Name() string
+	// Reset clears any cross-cycle state (new simulation run).
+	Reset()
+}
+
+// RoundRobin restarts at core 0 on every batch.
+type RoundRobin struct{}
+
+// Assign implements Assigner.
+func (RoundRobin) Assign(jobs []*job.Job, cores int, _ []float64) {
+	if cores <= 0 {
+		panic("assign: no cores")
+	}
+	for i, j := range jobs {
+		bind(j, i%cores)
+	}
+}
+
+// Name implements Assigner.
+func (RoundRobin) Name() string { return "rr" }
+
+// Reset implements Assigner.
+func (RoundRobin) Reset() {}
+
+// CumulativeRR is the paper's C-RR policy: the cursor persists across
+// batches.
+type CumulativeRR struct {
+	cursor int
+}
+
+// Assign implements Assigner.
+func (c *CumulativeRR) Assign(jobs []*job.Job, cores int, _ []float64) {
+	if cores <= 0 {
+		panic("assign: no cores")
+	}
+	if c.cursor >= cores {
+		// The core count shrank between runs; wrap.
+		c.cursor %= cores
+	}
+	for _, j := range jobs {
+		bind(j, c.cursor)
+		c.cursor = (c.cursor + 1) % cores
+	}
+}
+
+// Name implements Assigner.
+func (c *CumulativeRR) Name() string { return "c-rr" }
+
+// Reset implements Assigner.
+func (c *CumulativeRR) Reset() { c.cursor = 0 }
+
+// LeastLoaded binds each job to the core with the least remaining work,
+// updating the load estimate as it assigns (ablation policy).
+type LeastLoaded struct{}
+
+// Assign implements Assigner.
+func (LeastLoaded) Assign(jobs []*job.Job, cores int, loads []float64) {
+	if cores <= 0 {
+		panic("assign: no cores")
+	}
+	local := make([]float64, cores)
+	copy(local, loads)
+	for _, j := range jobs {
+		best := 0
+		for i := 1; i < cores; i++ {
+			if local[i] < local[best] {
+				best = i
+			}
+		}
+		bind(j, best)
+		local[best] += j.Remaining()
+	}
+}
+
+// Name implements Assigner.
+func (LeastLoaded) Name() string { return "least-loaded" }
+
+// Reset implements Assigner.
+func (LeastLoaded) Reset() {}
+
+func bind(j *job.Job, core int) {
+	j.Core = core
+	j.State = job.StateAssigned
+}
+
+// New returns an assigner by name: "rr", "c-rr", or "least-loaded".
+func New(name string) (Assigner, error) {
+	switch name {
+	case "rr":
+		return RoundRobin{}, nil
+	case "c-rr", "crr":
+		return &CumulativeRR{}, nil
+	case "least-loaded", "ll":
+		return LeastLoaded{}, nil
+	default:
+		return nil, fmt.Errorf("assign: unknown policy %q", name)
+	}
+}

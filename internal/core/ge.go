@@ -1,0 +1,326 @@
+// Package core implements the paper's contribution: the Good Enough (GE)
+// scheduling algorithm for multicore servers (§III), together with its
+// configurable family — OQ, BE, the compensation and power-distribution
+// ablations, and the BE-P / BE-S control-policy baselines, which are all
+// parameterizations of the same pipeline.
+//
+// The pipeline at every trigger (§III-E):
+//
+//  1. sweep expired jobs off the cores;
+//  2. batch-assign the waiting queue to cores with Cumulative Round-Robin;
+//  3. decide the execution mode: AES while the monitored quality is at or
+//     above Q_GE, BQ below it (the compensation policy);
+//  4. in AES mode, apply Longest-First job cutting per core to the target
+//     quality; in BQ mode, restore full targets;
+//  5. compute each core's power demand (the YDS peak speed of its cut
+//     workload) and distribute the budget — Equal-Sharing under light load,
+//     Water-Filling under heavy load (the hybrid policy);
+//  6. per core: if the granted power cannot finish the workload, run
+//     Quality-OPT as a second cut; then lay out the minimal-energy
+//     Energy-OPT (YDS) plan, optionally rectified to discrete speeds.
+package core
+
+import (
+	"math"
+
+	"goodenough/internal/assign"
+	"goodenough/internal/cut"
+	"goodenough/internal/dist"
+	"goodenough/internal/job"
+	"goodenough/internal/machine"
+	"goodenough/internal/power"
+	"goodenough/internal/qopt"
+	"goodenough/internal/sched"
+	"goodenough/internal/yds"
+)
+
+// Options parameterize the GE pipeline. The zero value is not useful; use
+// the constructors below or fill Target and Dist explicitly.
+type Options struct {
+	// Target is the batch quality the LF cutting aims for in AES mode.
+	// GE uses the user's Q_GE; OQ uses Q_GE + 0.02.
+	Target float64
+	// Compensation enables the AES→BQ switch when the monitored quality
+	// falls below the user's Q_GE (and back once it recovers).
+	Compensation bool
+	// AlwaysBQ disables cutting entirely (the Best-Effort baseline).
+	AlwaysBQ bool
+	// Dist selects the power-distribution policy (hybrid for GE, WF for
+	// BE, or fixed ES/WF for the Fig. 6–7 ablations).
+	Dist dist.Policy
+	// Assigner maps batches onto cores; nil defaults to Cumulative RR.
+	Assigner assign.Assigner
+	// BudgetOverride, when positive, replaces the configured power budget
+	// (the BE-P power-control baseline).
+	BudgetOverride float64
+	// SpeedCap, when positive, caps every core's speed in GHz (the BE-S
+	// speed-control baseline).
+	SpeedCap float64
+	// GlobalCut applies LF cutting jointly across all cores' jobs instead
+	// of per core. The paper describes the cutting algorithm globally
+	// (§III-B) but applies it per core in the pipeline (§III-E); per-core
+	// is the default, and this option quantifies the difference.
+	GlobalCut bool
+	// MonitorWindow, when positive, evaluates the compensation trigger
+	// over roughly the last MonitorWindow seconds of finalized quality
+	// mass instead of the cumulative average (extension knob; the paper's
+	// monitor is cumulative).
+	MonitorWindow float64
+}
+
+// GE is the Good Enough scheduler (and its whole parameterized family).
+type GE struct {
+	name string
+	opts Options
+
+	inAES bool
+	// history of (time, achieved, possible) snapshots for the optional
+	// windowed monitor.
+	hist []monitorSnap
+}
+
+type monitorSnap struct {
+	t        float64
+	achieved float64
+	possible float64
+}
+
+// New builds a policy from explicit options.
+func New(name string, opts Options) *GE {
+	if opts.Assigner == nil {
+		opts.Assigner = &assign.CumulativeRR{}
+	}
+	return &GE{name: name, opts: opts, inAES: !opts.AlwaysBQ}
+}
+
+// NewGE returns the paper's GE algorithm: cutting to qge, compensation on,
+// hybrid ES/WF power distribution, C-RR assignment.
+func NewGE(qge float64) *GE {
+	return New("GE", Options{Target: qge, Compensation: true, Dist: dist.PolicyHybrid})
+}
+
+// NewOQ returns the Over-Qualified baseline: target qge+0.02, no
+// compensation (§IV-A1).
+func NewOQ(qge float64) *GE {
+	return New("OQ", Options{Target: math.Min(qge+0.02, 1), Dist: dist.PolicyHybrid})
+}
+
+// NewBE returns the Best-Effort baseline: always BQ, always Water-Filling.
+func NewBE() *GE {
+	return New("BE", Options{Target: 1, AlwaysBQ: true, Dist: dist.PolicyWF})
+}
+
+// NewNoComp returns GE without the compensation policy (Fig. 5 ablation).
+func NewNoComp(qge float64) *GE {
+	return New("GE-NoComp", Options{Target: qge, Dist: dist.PolicyHybrid})
+}
+
+// NewFixedDist returns GE with a fixed power-distribution policy (the
+// Fig. 6–7 WF-vs-ES ablation).
+func NewFixedDist(qge float64, p dist.Policy) *GE {
+	name := "GE-" + p.String()
+	return New(name, Options{Target: qge, Compensation: true, Dist: p})
+}
+
+// NewBEP returns the power-control baseline BE-P: Best Effort under a
+// reduced budget (calibrated by the experiment harness to the least budget
+// that still meets Q_GE).
+func NewBEP(budget float64) *GE {
+	return New("BE-P", Options{Target: 1, AlwaysBQ: true, Dist: dist.PolicyWF,
+		BudgetOverride: budget})
+}
+
+// NewBES returns the speed-control baseline BE-S: Best Effort under a
+// per-core speed cap (calibrated likewise).
+func NewBES(cap float64) *GE {
+	return New("BE-S", Options{Target: 1, AlwaysBQ: true, Dist: dist.PolicyWF,
+		SpeedCap: cap})
+}
+
+// Name implements sched.Policy.
+func (g *GE) Name() string { return g.name }
+
+// Reset implements sched.Policy.
+func (g *GE) Reset() {
+	g.inAES = !g.opts.AlwaysBQ
+	g.hist = nil
+	g.opts.Assigner.Reset()
+}
+
+// Schedule implements sched.Policy — the full GE pipeline.
+func (g *GE) Schedule(ctx *sched.Context) {
+	cfg := ctx.Cfg
+	now := ctx.Now
+	model := cfg.Model
+
+	// 1. Sweep jobs that expired while queued behind a running head.
+	for _, c := range ctx.Server.Cores {
+		c.DropExpired(now, ctx.Finalize)
+	}
+
+	// 2. Batch-assign everything that is waiting.
+	batch := ctx.Waiting.Drain()
+	if len(batch) > 0 {
+		g.opts.Assigner.Assign(batch, cfg.Cores, ctx.Server.Loads())
+	}
+	perCore := make([][]*job.Job, cfg.Cores)
+	for _, c := range ctx.Server.Cores {
+		perCore[c.Index] = c.Queue()
+	}
+	for _, j := range batch {
+		perCore[j.Core] = append(perCore[j.Core], j)
+	}
+
+	// 3. Mode decision (the compensation policy).
+	g.decideMode(ctx)
+	ctx.SetMode(g.inAES)
+
+	// 4. Cut (AES) or restore (BQ) — per core by default, or jointly over
+	// the whole machine with the GlobalCut option.
+	if g.opts.GlobalCut {
+		var all []*job.Job
+		for i := range perCore {
+			all = append(all, perCore[i]...)
+		}
+		if g.inAES {
+			cut.LongestFirst(all, cfg.Quality, g.opts.Target)
+		} else {
+			cut.Restore(all)
+		}
+	} else {
+		for i := range perCore {
+			if len(perCore[i]) == 0 {
+				continue
+			}
+			if g.inAES {
+				cut.LongestFirst(perCore[i], cfg.Quality, g.opts.Target)
+			} else {
+				cut.Restore(perCore[i])
+			}
+		}
+	}
+
+	// 5. Power distribution over per-core demands.
+	budget := cfg.PowerBudget
+	if g.opts.BudgetOverride > 0 && g.opts.BudgetOverride < budget {
+		budget = g.opts.BudgetOverride
+	}
+	demands := make([]float64, cfg.Cores)
+	peaks := make([]float64, cfg.Cores)
+	for i := range perCore {
+		coreModel := cfg.ModelFor(i)
+		maxSpeed := coreModel.Speed(budget) // a core can use at most everything
+		if g.opts.SpeedCap > 0 && g.opts.SpeedCap < maxSpeed {
+			maxSpeed = g.opts.SpeedCap
+		}
+		peak := yds.PeakSpeed(now, perCore[i])
+		if peak > maxSpeed {
+			peak = maxSpeed
+		}
+		peaks[i] = peak
+		demands[i] = coreModel.Power(peak)
+	}
+	heavy := ctx.ArrivalRate >= cfg.CriticalLoad
+	alloc := dist.Distribute(g.opts.Dist, budget, demands, heavy)
+
+	// Discrete speed scaling: rectify each core's chosen speed against the
+	// ladder (paper §IV-A5), lowest allocation first.
+	var discSpeeds []float64
+	if cfg.Ladder != nil {
+		chosen := make([]float64, cfg.Cores)
+		for i := range chosen {
+			s := model.Speed(alloc[i])
+			if peaks[i] < s {
+				s = peaks[i] // don't ask for more than the workload needs
+			}
+			chosen[i] = model.Power(s)
+		}
+		discSpeeds, _ = dist.RectifyDiscrete(model, cfg.Ladder, budget, chosen)
+	}
+
+	// 6. Per-core second cut + Energy-OPT plan.
+	for i, c := range ctx.Server.Cores {
+		jobs := perCore[i]
+		if len(jobs) == 0 {
+			c.SetPlan(nil)
+			continue
+		}
+		speedCap := cfg.ModelFor(i).Speed(alloc[i])
+		if g.opts.SpeedCap > 0 && g.opts.SpeedCap < speedCap {
+			speedCap = g.opts.SpeedCap
+		}
+		if cfg.Ladder != nil {
+			speedCap = discSpeeds[i]
+		}
+		if speedCap <= 0 {
+			// No power granted: park the jobs; they expire at deadlines.
+			entries := make([]machine.Entry, len(jobs))
+			sortEDF(jobs)
+			for k, j := range jobs {
+				entries[k] = machine.Entry{Job: j, Speed: 0}
+			}
+			c.SetPlan(entries)
+			continue
+		}
+		if yds.PeakSpeed(now, jobs) > speedCap*(1+1e-9) {
+			qopt.Allocate(now, jobs, power.Rate(speedCap), cfg.Quality)
+		}
+		var entries []machine.Entry
+		if cfg.Ladder != nil {
+			// Core-level constant discrete speed, EDF order.
+			sortEDF(jobs)
+			entries = make([]machine.Entry, len(jobs))
+			for k, j := range jobs {
+				entries[k] = machine.Entry{Job: j, Speed: speedCap}
+			}
+		} else {
+			plan := yds.PlanCommonRelease(now, jobs, speedCap)
+			entries = make([]machine.Entry, len(plan))
+			for k, a := range plan {
+				entries[k] = machine.Entry{Job: a.Job, Speed: a.Speed}
+			}
+		}
+		c.SetPlan(entries)
+	}
+}
+
+// decideMode implements the compensation policy.
+func (g *GE) decideMode(ctx *sched.Context) {
+	if g.opts.AlwaysBQ {
+		g.inAES = false
+		return
+	}
+	if !g.opts.Compensation {
+		g.inAES = true
+		return
+	}
+	g.inAES = g.monitoredQuality(ctx) >= ctx.Cfg.QGE
+}
+
+// monitoredQuality returns the cumulative achieved quality, or the windowed
+// quality when MonitorWindow is set.
+func (g *GE) monitoredQuality(ctx *sched.Context) float64 {
+	acc := ctx.Monitor
+	if g.opts.MonitorWindow <= 0 {
+		return acc.Quality()
+	}
+	snap := monitorSnap{t: ctx.Now, achieved: acc.Achieved(), possible: acc.Possible()}
+	g.hist = append(g.hist, snap)
+	cutoff := ctx.Now - g.opts.MonitorWindow
+	// Drop history older than the window, keeping one snapshot at or
+	// before the cutoff as the baseline.
+	for len(g.hist) > 1 && g.hist[1].t <= cutoff {
+		g.hist = g.hist[1:]
+	}
+	base := g.hist[0]
+	dp := snap.possible - base.possible
+	if dp <= 0 {
+		return 1
+	}
+	return (snap.achieved - base.achieved) / dp
+}
+
+// InAES reports the current mode (tests and diagnostics).
+func (g *GE) InAES() bool { return g.inAES }
+
+func sortEDF(jobs []*job.Job) { job.SortEDF(jobs) }

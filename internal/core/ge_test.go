@@ -1,0 +1,451 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"goodenough/internal/dist"
+	"goodenough/internal/power"
+	"goodenough/internal/quality"
+	"goodenough/internal/sched"
+	"goodenough/internal/workload"
+)
+
+func shortSpec(rate float64, seed uint64) workload.Spec {
+	s := workload.DefaultSpec(rate, seed)
+	s.Duration = 30
+	return s
+}
+
+func run(t *testing.T, cfg sched.Config, p sched.Policy, spec workload.Spec) sched.Result {
+	t.Helper()
+	r, err := sched.NewRunner(cfg, p, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestGEHoldsTargetQuality(t *testing.T) {
+	// Pre-overload, GE must sit at ~Q_GE (Fig. 3a).
+	for _, rate := range []float64{100, 130, 154} {
+		res := run(t, sched.Defaults(), NewGE(0.9), shortSpec(rate, 1))
+		if res.Quality < 0.88 {
+			t.Fatalf("rate %v: GE quality %v below target band", rate, res.Quality)
+		}
+		if res.Quality > 0.96 {
+			t.Fatalf("rate %v: GE quality %v — cutting is not engaging", rate, res.Quality)
+		}
+	}
+}
+
+func TestGESavesEnergyVersusBE(t *testing.T) {
+	// The headline: GE spends materially less energy than BE while meeting
+	// Q_GE (paper: up to 23.9%).
+	for _, rate := range []float64{100, 130, 154} {
+		ge := run(t, sched.Defaults(), NewGE(0.9), shortSpec(rate, 2))
+		be := run(t, sched.Defaults(), NewBE(), shortSpec(rate, 2))
+		if ge.Energy >= be.Energy {
+			t.Fatalf("rate %v: GE energy %v not below BE %v", rate, ge.Energy, be.Energy)
+		}
+		saving := 1 - ge.Energy/be.Energy
+		if saving < 0.05 {
+			t.Fatalf("rate %v: GE saving only %.1f%%", rate, saving*100)
+		}
+		if be.Quality < ge.Quality {
+			t.Fatalf("rate %v: BE quality %v below GE %v", rate, be.Quality, ge.Quality)
+		}
+	}
+}
+
+func TestBEQualityNearOne(t *testing.T) {
+	res := run(t, sched.Defaults(), NewBE(), shortSpec(100, 3))
+	if res.Quality < 0.99 {
+		t.Fatalf("BE light-load quality = %v, want ~1", res.Quality)
+	}
+	// BE never LF-cuts, but Quality-OPT may trim a few jobs in arrival
+	// bursts where even Water-Filling cannot power every core fully.
+	if frac := float64(res.CutJobs) / float64(res.Jobs); frac > 0.05 {
+		t.Fatalf("BE cut %.1f%% of jobs; only rare burst trims are expected", frac*100)
+	}
+}
+
+func TestAESFractionDeclinesWithLoad(t *testing.T) {
+	// Fig. 1: high AES share at light load, near zero past overload.
+	light := run(t, sched.Defaults(), NewGE(0.9), shortSpec(100, 4))
+	heavy := run(t, sched.Defaults(), NewGE(0.9), shortSpec(220, 4))
+	if light.AESFraction < 0.5 {
+		t.Fatalf("light-load AES fraction = %v, want > 0.5", light.AESFraction)
+	}
+	if heavy.AESFraction > 0.3 {
+		t.Fatalf("overload AES fraction = %v, want small", heavy.AESFraction)
+	}
+	if heavy.AESFraction >= light.AESFraction {
+		t.Fatal("AES fraction should decline with load")
+	}
+}
+
+func TestCompensationLiftsQuality(t *testing.T) {
+	// Fig. 5: without compensation quality sags under load; with it, GE
+	// holds the target at slightly higher energy.
+	rate := 175.0
+	comp := run(t, sched.Defaults(), NewGE(0.9), shortSpec(rate, 5))
+	nocomp := run(t, sched.Defaults(), NewNoComp(0.9), shortSpec(rate, 5))
+	if comp.Quality <= nocomp.Quality {
+		t.Fatalf("compensation did not lift quality: %v vs %v", comp.Quality, nocomp.Quality)
+	}
+	if comp.Energy < nocomp.Energy {
+		t.Fatalf("compensation should cost energy: %v vs %v", comp.Energy, nocomp.Energy)
+	}
+}
+
+func TestNoCompNeverSwitches(t *testing.T) {
+	res := run(t, sched.Defaults(), NewNoComp(0.9), shortSpec(200, 6))
+	if res.ModeSwitches != 0 {
+		t.Fatalf("no-comp recorded %d mode switches", res.ModeSwitches)
+	}
+	if res.AESFraction < 0.99 {
+		t.Fatalf("no-comp AES fraction = %v, want ~1", res.AESFraction)
+	}
+}
+
+func TestESLowerSpeedVarianceThanWFLightLoad(t *testing.T) {
+	// Fig. 6b: under light load ES keeps core speeds tight while WF (with
+	// compensation switching) thrashes.
+	rate := 110.0
+	es := run(t, sched.Defaults(), NewFixedDist(0.9, dist.PolicyES), shortSpec(rate, 7))
+	wf := run(t, sched.Defaults(), NewFixedDist(0.9, dist.PolicyWF), shortSpec(rate, 7))
+	if es.SpeedVariance >= wf.SpeedVariance {
+		t.Fatalf("ES variance %v should be below WF %v at light load",
+			es.SpeedVariance, wf.SpeedVariance)
+	}
+}
+
+func TestESSavesEnergyAtLightLoadSameQuality(t *testing.T) {
+	// Fig. 7: at light load ES matches WF's quality with less energy.
+	rate := 110.0
+	es := run(t, sched.Defaults(), NewFixedDist(0.9, dist.PolicyES), shortSpec(rate, 8))
+	wf := run(t, sched.Defaults(), NewFixedDist(0.9, dist.PolicyWF), shortSpec(rate, 8))
+	if math.Abs(es.Quality-wf.Quality) > 0.03 {
+		t.Fatalf("light-load quality gap too large: ES %v WF %v", es.Quality, wf.Quality)
+	}
+	if es.Energy >= wf.Energy {
+		t.Fatalf("ES energy %v should undercut WF %v at light load", es.Energy, wf.Energy)
+	}
+}
+
+func TestWFBetterQualityAtHeavyLoad(t *testing.T) {
+	// Fig. 7a: under heavy (pre-overload-ish) load WF exploits the budget
+	// where ES strands power on light cores.
+	rate := 185.0
+	es := run(t, sched.Defaults(), NewFixedDist(0.9, dist.PolicyES), shortSpec(rate, 9))
+	wf := run(t, sched.Defaults(), NewFixedDist(0.9, dist.PolicyWF), shortSpec(rate, 9))
+	if wf.Quality < es.Quality-0.005 {
+		t.Fatalf("WF quality %v should not trail ES %v at heavy load", wf.Quality, es.Quality)
+	}
+}
+
+func TestOQOverProvisionsAtLightLoad(t *testing.T) {
+	// OQ targets Q_GE+0.02 without compensation: more quality and more
+	// energy than GE when the system keeps up.
+	rate := 120.0
+	ge := run(t, sched.Defaults(), NewGE(0.9), shortSpec(rate, 10))
+	oq := run(t, sched.Defaults(), NewOQ(0.9), shortSpec(rate, 10))
+	if oq.Quality <= ge.Quality-0.01 {
+		t.Fatalf("OQ quality %v should be at or above GE %v pre-overload", oq.Quality, ge.Quality)
+	}
+	// At light load the two are close in energy (GE's compensation churn
+	// roughly offsets OQ's higher target); OQ must not be dramatically
+	// cheaper, or its "over-qualified" premise would be violated.
+	if oq.Energy < ge.Energy*0.9 {
+		t.Fatalf("OQ energy %v far below GE %v", oq.Energy, ge.Energy)
+	}
+}
+
+func TestGEBeatsOQUnderOverload(t *testing.T) {
+	// Fig. 3a: OQ "cannot satisfy the quality demand when the workload is
+	// heavy" because it never compensates.
+	rate := 185.0
+	ge := run(t, sched.Defaults(), NewGE(0.9), shortSpec(rate, 11))
+	oq := run(t, sched.Defaults(), NewOQ(0.9), shortSpec(rate, 11))
+	if ge.Quality < oq.Quality-0.005 {
+		t.Fatalf("GE quality %v should match or beat OQ %v under load", ge.Quality, oq.Quality)
+	}
+}
+
+func TestBEPReducedBudget(t *testing.T) {
+	// BE-P with a lower budget must use no more energy than plain BE.
+	rate := 150.0
+	be := run(t, sched.Defaults(), NewBE(), shortSpec(rate, 12))
+	bep := run(t, sched.Defaults(), NewBEP(200), shortSpec(rate, 12))
+	if bep.Energy > be.Energy+1e-6 {
+		t.Fatalf("BE-P energy %v exceeds BE %v", bep.Energy, be.Energy)
+	}
+	if bep.Quality > be.Quality+1e-9 {
+		t.Fatalf("BE-P quality %v exceeds BE %v", bep.Quality, be.Quality)
+	}
+}
+
+func TestBESSpeedCap(t *testing.T) {
+	rate := 150.0
+	bes := run(t, sched.Defaults(), NewBES(1.5), shortSpec(rate, 13))
+	if bes.AvgSpeed > 1.5+1e-6 {
+		t.Fatalf("BE-S average speed %v exceeds the 1.5 GHz cap", bes.AvgSpeed)
+	}
+	be := run(t, sched.Defaults(), NewBE(), shortSpec(rate, 13))
+	if bes.Quality > be.Quality+1e-9 {
+		t.Fatalf("capped BE-S quality %v above BE %v", bes.Quality, be.Quality)
+	}
+}
+
+func TestHigherBudgetHelpsUnderLoad(t *testing.T) {
+	// Fig. 10: more budget → better quality under heavy load; energy rises
+	// with budget until saturation.
+	rate := 200.0
+	cfg80 := sched.Defaults()
+	cfg80.PowerBudget = 80
+	cfg480 := sched.Defaults()
+	cfg480.PowerBudget = 480
+	lo := run(t, cfg80, NewGE(0.9), shortSpec(rate, 14))
+	hi := run(t, cfg480, NewGE(0.9), shortSpec(rate, 14))
+	if hi.Quality <= lo.Quality {
+		t.Fatalf("bigger budget should raise overloaded quality: %v vs %v", hi.Quality, lo.Quality)
+	}
+	if hi.Energy <= lo.Energy {
+		t.Fatalf("bigger budget should spend more energy under overload: %v vs %v",
+			hi.Energy, lo.Energy)
+	}
+}
+
+func TestMoreCoresHelp(t *testing.T) {
+	// Fig. 11: with the same budget, more cores raise quality and lower
+	// energy (convexity of the power curve).
+	rate := 150.0
+	cfg2 := sched.Defaults()
+	cfg2.Cores = 2
+	cfg32 := sched.Defaults()
+	cfg32.Cores = 32
+	small := run(t, cfg2, NewGE(0.9), shortSpec(rate, 15))
+	big := run(t, cfg32, NewGE(0.9), shortSpec(rate, 15))
+	if big.Quality <= small.Quality {
+		t.Fatalf("more cores should raise quality: %v (32) vs %v (2)", big.Quality, small.Quality)
+	}
+	if big.Energy >= small.Energy {
+		t.Fatalf("more cores should lower energy: %v (32) vs %v (2)", big.Energy, small.Energy)
+	}
+}
+
+func TestConcavityHelpsQualityUnderLoad(t *testing.T) {
+	// Fig. 9a: a more concave quality function (larger c) yields higher
+	// measured quality at the same load.
+	rate := 200.0
+	mkCfg := func(c float64) sched.Config {
+		cfg := sched.Defaults()
+		cfg.Quality = qualityExp(c)
+		return cfg
+	}
+	low := run(t, mkCfg(0.0005), NewGE(0.9), shortSpec(rate, 16))
+	high := run(t, mkCfg(0.009), NewGE(0.9), shortSpec(rate, 16))
+	if high.Quality <= low.Quality {
+		t.Fatalf("larger c should raise quality: c=0.009 → %v vs c=0.0005 → %v",
+			high.Quality, low.Quality)
+	}
+}
+
+func TestDiscreteSpeedScaling(t *testing.T) {
+	// Fig. 12: discrete scaling stays close to continuous on both axes.
+	rate := 150.0
+	cont := run(t, sched.Defaults(), NewGE(0.9), shortSpec(rate, 17))
+	cfgD := sched.Defaults()
+	ladder, err := power.UniformLadder(3.2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgD.Ladder = ladder
+	disc := run(t, cfgD, NewGE(0.9), shortSpec(rate, 17))
+	if math.Abs(disc.Quality-cont.Quality) > 0.05 {
+		t.Fatalf("discrete quality %v too far from continuous %v", disc.Quality, cont.Quality)
+	}
+	if disc.Energy <= 0 {
+		t.Fatal("discrete run recorded no energy")
+	}
+	ratio := disc.Energy / cont.Energy
+	if ratio < 0.7 || ratio > 1.4 {
+		t.Fatalf("discrete energy ratio %v out of plausible band", ratio)
+	}
+}
+
+func TestGEDeterminism(t *testing.T) {
+	a := run(t, sched.Defaults(), NewGE(0.9), shortSpec(154, 18))
+	b := run(t, sched.Defaults(), NewGE(0.9), shortSpec(154, 18))
+	if a.Quality != b.Quality || a.Energy != b.Energy || a.AESFraction != b.AESFraction {
+		t.Fatalf("GE runs diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestAllJobsAccountedGE(t *testing.T) {
+	res := run(t, sched.Defaults(), NewGE(0.9), shortSpec(200, 19))
+	if int64(res.Jobs) != res.Completed+res.Expired {
+		t.Fatalf("%d jobs vs %d completed + %d expired", res.Jobs, res.Completed, res.Expired)
+	}
+}
+
+func TestModeSwitchesHappen(t *testing.T) {
+	// Near the knee GE should alternate AES/BQ (the compensation policy in
+	// action).
+	res := run(t, sched.Defaults(), NewGE(0.9), shortSpec(160, 20))
+	if res.ModeSwitches == 0 {
+		t.Fatal("GE never exercised the compensation switch near the knee")
+	}
+}
+
+func TestWindowedMonitor(t *testing.T) {
+	// The windowed-monitor extension must run and stay in the quality band.
+	p := New("GE-windowed", Options{
+		Target: 0.9, Compensation: true, Dist: dist.PolicyHybrid, MonitorWindow: 5,
+	})
+	res := run(t, sched.Defaults(), p, shortSpec(154, 21))
+	if res.Quality < 0.85 {
+		t.Fatalf("windowed monitor quality = %v", res.Quality)
+	}
+}
+
+func TestGEReset(t *testing.T) {
+	p := NewGE(0.9)
+	spec := shortSpec(150, 22)
+	r1, _ := sched.NewRunner(sched.Defaults(), p, spec)
+	a, err := r1.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-using the same policy object must reproduce the run exactly
+	// (Reset clears the C-RR cursor and mode latch).
+	r2, _ := sched.NewRunner(sched.Defaults(), p, spec)
+	b, err := r2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Quality != b.Quality || a.Energy != b.Energy {
+		t.Fatalf("policy reuse diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestInAESAccessor(t *testing.T) {
+	if !NewGE(0.9).InAES() {
+		t.Fatal("GE should start in AES mode")
+	}
+	if NewBE().InAES() {
+		t.Fatal("BE must never be in AES mode")
+	}
+}
+
+func TestConstructorNames(t *testing.T) {
+	cases := map[string]*GE{
+		"GE": NewGE(0.9), "OQ": NewOQ(0.9), "BE": NewBE(),
+		"GE-NoComp": NewNoComp(0.9), "BE-P": NewBEP(100), "BE-S": NewBES(2),
+		"GE-equal-sharing": NewFixedDist(0.9, dist.PolicyES),
+		"GE-water-filling": NewFixedDist(0.9, dist.PolicyWF),
+	}
+	for want, p := range cases {
+		if p.Name() != want {
+			t.Errorf("name = %q, want %q", p.Name(), want)
+		}
+	}
+}
+
+func TestOQTargetClamped(t *testing.T) {
+	oq := NewOQ(0.995)
+	if oq.opts.Target > 1 {
+		t.Fatalf("OQ target %v exceeds 1", oq.opts.Target)
+	}
+}
+
+// qualityExp builds the paper's quality function with the given concavity.
+func qualityExp(c float64) quality.Function { return quality.NewExponential(c, 1000) }
+
+func TestGlobalCutMatchesTargetToo(t *testing.T) {
+	p := New("GE-global", Options{
+		Target: 0.9, Compensation: true, Dist: dist.PolicyHybrid, GlobalCut: true,
+	})
+	res := run(t, sched.Defaults(), p, shortSpec(140, 30))
+	if res.Quality < 0.88 || res.Quality > 0.96 {
+		t.Fatalf("global-cut quality = %v, want ~0.9", res.Quality)
+	}
+}
+
+func TestGlobalCutVsPerCore(t *testing.T) {
+	// Global cutting sees the whole demand population, so its level is
+	// uniform across cores; per-core cutting adapts to each core's batch.
+	// Both must hold the target; energies should be within a few percent.
+	perCore := run(t, sched.Defaults(), NewGE(0.9), shortSpec(130, 31))
+	global := run(t, sched.Defaults(), New("GE-global", Options{
+		Target: 0.9, Compensation: true, Dist: dist.PolicyHybrid, GlobalCut: true,
+	}), shortSpec(130, 31))
+	if global.Quality < 0.88 {
+		t.Fatalf("global quality = %v", global.Quality)
+	}
+	ratio := global.Energy / perCore.Energy
+	if ratio < 0.85 || ratio > 1.15 {
+		t.Fatalf("global/per-core energy ratio = %v; expected close agreement", ratio)
+	}
+}
+
+func TestZeroTargetCutsEverything(t *testing.T) {
+	// Target 0 cuts every job to its floor: all jobs "complete" with zero
+	// work, quality collapses to ~0, and energy is near zero. This also
+	// exercises the zero-demand Water-Filling path (cores ask for no
+	// power).
+	p := New("GE-zero", Options{Target: 0, Dist: dist.PolicyWF})
+	res := run(t, sched.Defaults(), p, shortSpec(120, 40))
+	if res.Quality > 0.01 {
+		t.Fatalf("target-0 quality = %v, want ~0", res.Quality)
+	}
+	if int64(res.Jobs) != res.Completed+res.Expired {
+		t.Fatalf("accounting broken: %+v", res)
+	}
+	// Energy should be negligible compared to a real run.
+	ref := run(t, sched.Defaults(), NewGE(0.9), shortSpec(120, 40))
+	if res.Energy > ref.Energy*0.05 {
+		t.Fatalf("target-0 energy %v should be tiny vs %v", res.Energy, ref.Energy)
+	}
+}
+
+func TestVeryLowBudget(t *testing.T) {
+	cfg := sched.Defaults()
+	cfg.PowerBudget = 1 // one watt for the whole machine
+	res := run(t, cfg, NewGE(0.9), shortSpec(100, 41))
+	if int64(res.Jobs) != res.Completed+res.Expired {
+		t.Fatalf("accounting broken on starved machine: %+v", res)
+	}
+	if res.Energy > 1*res.SimTime {
+		t.Fatalf("energy %v exceeds the 1 W envelope", res.Energy)
+	}
+}
+
+func TestSingleCoreMachine(t *testing.T) {
+	cfg := sched.Defaults()
+	cfg.Cores = 1
+	cfg.PowerBudget = 20
+	res := run(t, cfg, NewGE(0.9), shortSpec(12, 42))
+	// One 2 GHz-max core at λ=12 (≈2300 u/s offered vs 2000 capacity) is
+	// nearly saturated but must still function.
+	if res.Quality <= 0.5 {
+		t.Fatalf("single-core quality = %v", res.Quality)
+	}
+}
+
+func TestGEModeEnergySplit(t *testing.T) {
+	// Near the knee GE alternates modes; both buckets must be populated
+	// and sum to the total.
+	res := run(t, sched.Defaults(), NewGE(0.9), shortSpec(160, 43))
+	if res.AESEnergy <= 0 || res.BQEnergy <= 0 {
+		t.Fatalf("mode energy split degenerate: AES %v BQ %v", res.AESEnergy, res.BQEnergy)
+	}
+	if math.Abs(res.AESEnergy+res.BQEnergy-res.Energy) > 1e-6*res.Energy {
+		t.Fatalf("split %v + %v != %v", res.AESEnergy, res.BQEnergy, res.Energy)
+	}
+}

@@ -1,0 +1,170 @@
+// Package cut implements the paper's Longest-First (LF) job-cutting policy
+// — the heart of the AES (Aggressive Energy Saving) mode.
+//
+// Given a batch of jobs and a target quality Q_GE, the policy repeatedly
+// trims the longest job(s) down to the next-longest level, recomputing the
+// batch quality Q = Σf(target_j)/Σf(demand_j) after every level, until Q
+// would drop to (or below) Q_GE. The final level is then solved exactly:
+// the uncut jobs keep their full quality F_U, and each of the |C| cut jobs
+// is given the volume c with
+//
+//	f(c) = (Q_GE · (F_U + F_C) − F_U) / |C|
+//
+// found by inverting the concave quality function (binary search in the
+// general case; the exponential family has a closed form). Because f is
+// concave, cutting the *tails of the longest jobs first* sacrifices the
+// least quality per unit of work removed.
+package cut
+
+import (
+	"sort"
+
+	"goodenough/internal/job"
+	"goodenough/internal/quality"
+)
+
+// Result summarizes a cutting pass.
+type Result struct {
+	// Cut is the number of jobs whose target was reduced.
+	Cut int
+	// WorkRemoved is the total volume trimmed, in processing units.
+	WorkRemoved float64
+	// Quality is the batch quality implied by the new targets,
+	// Σf(target)/Σf(demand).
+	Quality float64
+}
+
+// LongestFirst applies LF cutting in place: each job's Target is lowered so
+// the batch quality lands on qge (within the resolution of the quality
+// function's inverse). Jobs' Processed volumes act as floors — work already
+// done cannot be un-done, so a job whose processed volume exceeds its
+// computed cut level simply keeps its processed volume as the target
+// (paper §III-B: a running job is treated as a new job with its original
+// demand; if the calculated demand is smaller than what remains, it is cut
+// accordingly, otherwise it continues).
+//
+// qge >= 1 restores every target to the full demand and cuts nothing.
+// An empty batch returns a perfect-quality result.
+func LongestFirst(jobs []*job.Job, f quality.Function, qge float64) Result {
+	if len(jobs) == 0 {
+		return Result{Quality: 1}
+	}
+	if qge >= 1 {
+		for _, j := range jobs {
+			j.RestoreTarget()
+		}
+		return Result{Quality: 1}
+	}
+	if qge < 0 {
+		qge = 0
+	}
+
+	// Cutting reasons about the ORIGINAL demands (a running job is
+	// re-considered as new); floors are applied at the end.
+	n := len(jobs)
+	demands := make([]float64, n)
+	order := make([]int, n) // indices sorted by demand descending
+	fullQ := 0.0            // Σ f(p_j)
+	for i, j := range jobs {
+		demands[i] = j.Demand
+		order[i] = i
+		fullQ += f.Value(j.Demand)
+	}
+	if fullQ == 0 {
+		// Nothing has any quality mass; leave targets alone.
+		return Result{Quality: 1}
+	}
+	sort.SliceStable(order, func(a, b int) bool { return demands[order[a]] > demands[order[b]] })
+
+	// level[k] walks the distinct demand values from the top. After the
+	// cutting loop, jobs 0..cutCount-1 (in `order`) are cut to `level`,
+	// the rest keep their demands.
+	targetSum := qge * fullQ // Σ f(target) we must retain
+
+	// Iteratively lower the longest group to the next-longest demand.
+	// curQ tracks Σ f(target) under the hypothetical cut.
+	cutCount := 0
+	level := demands[order[0]]
+	curQ := fullQ
+	for cutCount < n {
+		// Extend the cut group over all jobs tied at the current level.
+		for cutCount < n && demands[order[cutCount]] >= level-1e-12 {
+			cutCount++
+		}
+		next := 0.0
+		if cutCount < n {
+			next = demands[order[cutCount]]
+		}
+		// Quality if the group drops to `next`.
+		hypo := curQ + float64(cutCount)*(f.Value(next)-f.Value(level))
+		if hypo <= targetSum || cutCount == n {
+			break
+		}
+		curQ = hypo
+		level = next
+	}
+
+	// Solve the exact level for the cut group:
+	// cutCount jobs at f(c) each, plus the quality of the uncut tail,
+	// must equal targetSum.
+	uncutQ := 0.0
+	for i := cutCount; i < n; i++ {
+		uncutQ += f.Value(demands[order[i]])
+	}
+	perJobQ := (targetSum - uncutQ) / float64(cutCount)
+	var exact float64
+	switch {
+	case perJobQ <= 0:
+		exact = 0
+	default:
+		exact = f.Inverse(perJobQ)
+	}
+
+	// Apply targets with processed-volume floors.
+	res := Result{}
+	achieved := 0.0
+	for rank, idx := range order {
+		j := jobs[idx]
+		want := j.Demand
+		if rank < cutCount {
+			want = exact
+		}
+		old := j.Target
+		j.RestoreTarget()
+		j.SetTarget(want) // clamps to [Processed, Demand]
+		if j.Target < j.Demand-1e-12 {
+			res.Cut++
+		}
+		if j.Target < old {
+			res.WorkRemoved += old - j.Target
+		}
+		achieved += f.Value(j.Target)
+	}
+	res.Quality = achieved / fullQ
+	return res
+}
+
+// Restore removes every cut: all targets return to the full demands (the
+// BQ / Best-Quality mode).
+func Restore(jobs []*job.Job) {
+	for _, j := range jobs {
+		j.RestoreTarget()
+	}
+}
+
+// BatchQuality returns Σf(Target)/Σf(Demand) for the jobs — the quality the
+// current targets would achieve if fully executed.
+func BatchQuality(jobs []*job.Job, f quality.Function) float64 {
+	num, den := 0.0, 0.0
+	for _, j := range jobs {
+		if j.Demand <= 0 {
+			continue
+		}
+		num += f.Value(j.Target)
+		den += f.Value(j.Demand)
+	}
+	if den == 0 {
+		return 1
+	}
+	return num / den
+}

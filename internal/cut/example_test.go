@@ -1,0 +1,34 @@
+package cut_test
+
+import (
+	"fmt"
+
+	"goodenough/internal/cut"
+	"goodenough/internal/job"
+	"goodenough/internal/quality"
+)
+
+// ExampleLongestFirst reproduces the paper's Figure 2: four jobs of
+// decreasing length are cut longest-first until the batch quality is
+// exactly the 0.9 target. The two longest jobs land on a shared level;
+// the shorter two keep their full demands.
+func ExampleLongestFirst() {
+	f := quality.NewExponential(0.003, 1000)
+	jobs := []*job.Job{
+		job.New(1, 0, 0.150, 1000),
+		job.New(2, 0, 0.150, 700),
+		job.New(3, 0, 0.150, 400),
+		job.New(4, 0, 0.150, 200),
+	}
+	res := cut.LongestFirst(jobs, f, 0.9)
+	for _, j := range jobs {
+		fmt.Printf("J%d: demand %4.0f -> target %5.1f\n", j.ID, j.Demand, j.Target)
+	}
+	fmt.Printf("batch quality %.4f, work removed %.0f units\n", res.Quality, res.WorkRemoved)
+	// Output:
+	// J1: demand 1000 -> target 482.7
+	// J2: demand  700 -> target 482.7
+	// J3: demand  400 -> target 400.0
+	// J4: demand  200 -> target 200.0
+	// batch quality 0.9000, work removed 735 units
+}

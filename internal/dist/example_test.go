@@ -1,0 +1,26 @@
+package dist_test
+
+import (
+	"fmt"
+
+	"goodenough/internal/dist"
+)
+
+// ExampleWaterFill distributes a 60 W budget over three cores demanding
+// 10, 40 and 40 W: the light core is satisfied first, and the rest of the
+// budget is split evenly over the two heavy cores.
+func ExampleWaterFill() {
+	alloc := dist.WaterFill(60, []float64{10, 40, 40})
+	fmt.Println(alloc)
+	// Output:
+	// [10 25 25]
+}
+
+// ExampleEqualShare is the light-load policy: every core gets the same
+// share regardless of demand, keeping speeds (and the convex power bill)
+// uniform.
+func ExampleEqualShare() {
+	fmt.Println(dist.EqualShare(320, 16)[0])
+	// Output:
+	// 20
+}

@@ -1,0 +1,107 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"goodenough/internal/power"
+)
+
+// FuzzWaterFill checks conservation and cap-respect for arbitrary demand
+// vectors and budgets.
+func FuzzWaterFill(f *testing.F) {
+	f.Add(uint16(320), []byte{10, 40, 40})
+	f.Add(uint16(0), []byte{5})
+	f.Add(uint16(1000), []byte{})
+	f.Add(uint16(12), []byte{10, 40, 40, 0, 0})
+	f.Fuzz(func(t *testing.T, hRaw uint16, raw []byte) {
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		h := float64(hRaw) / 2
+		demands := make([]float64, len(raw))
+		total := 0.0
+		for i, b := range raw {
+			demands[i] = float64(b)
+			total += demands[i]
+		}
+		alloc := WaterFill(h, demands)
+		if len(alloc) != len(demands) {
+			t.Fatalf("allocation length %d != %d", len(alloc), len(demands))
+		}
+		sum := 0.0
+		for i, a := range alloc {
+			if math.IsNaN(a) {
+				t.Fatal("NaN allocation")
+			}
+			if a < -1e-9 {
+				t.Fatalf("negative allocation %v", a)
+			}
+			if a > demands[i]+1e-9 {
+				t.Fatalf("allocation %v exceeds demand %v", a, demands[i])
+			}
+			sum += a
+		}
+		if sum > h+1e-6 {
+			t.Fatalf("allocated %v of budget %v", sum, h)
+		}
+		if h > 0 && total >= h && len(demands) > 0 && math.Abs(sum-h) > 1e-6 {
+			t.Fatalf("scarce budget not exhausted: %v of %v", sum, h)
+		}
+		if h > 0 && total < h && math.Abs(sum-total) > 1e-6 {
+			t.Fatalf("ample budget should satisfy all: %v vs %v", sum, total)
+		}
+	})
+}
+
+// FuzzRectifyDiscrete checks the budget invariant of discrete
+// rectification for arbitrary allocations.
+func FuzzRectifyDiscrete(f *testing.F) {
+	f.Add(uint16(320), []byte{20, 20, 45})
+	f.Add(uint16(25), []byte{7, 8})
+	f.Fuzz(func(t *testing.T, hRaw uint16, raw []byte) {
+		if len(raw) > 32 {
+			raw = raw[:32]
+		}
+		h := float64(hRaw) / 2
+		alloc := make([]float64, len(raw))
+		for i, b := range raw {
+			alloc[i] = float64(b)
+		}
+		m := powerDefault()
+		ladder := defaultLadder()
+		speeds, draw := RectifyDiscrete(m, ladder, h, alloc)
+		used := 0.0
+		for i := range speeds {
+			if speeds[i] < 0 {
+				t.Fatal("negative rectified speed")
+			}
+			if speeds[i] > 0 {
+				found := false
+				for _, s := range ladder.Speeds() {
+					if math.Abs(s-speeds[i]) < 1e-12 {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("speed %v not on the ladder", speeds[i])
+				}
+			}
+			used += draw[i]
+		}
+		if used > h+1e-6 {
+			t.Fatalf("rectified draw %v exceeds budget %v", used, h)
+		}
+	})
+}
+
+func powerDefault() power.Model { return power.Default() }
+
+func defaultLadder() *power.Ladder {
+	l, err := power.UniformLadder(3.2, 16)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}

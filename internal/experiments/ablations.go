@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"fmt"
+
+	"goodenough/internal/assign"
+	"goodenough/internal/core"
+	"goodenough/internal/dist"
+	"goodenough/internal/plot"
+	"goodenough/internal/sched"
+)
+
+// This file holds the ablation studies DESIGN.md commits to beyond the
+// paper's own figures: each isolates one GE design choice the paper
+// motivates but does not sweep.
+
+// AblationAssignment compares the batch job-to-core assignment policies:
+// the paper's Cumulative Round-Robin against plain Round-Robin and a
+// least-loaded assigner (§III-E argues C-RR balances better long-run).
+func AblationAssignment(s Settings) (qualityFig, energyFig plot.Figure, err error) {
+	if err := s.Validate(); err != nil {
+		return plot.Figure{}, plot.Figure{}, err
+	}
+	mkGE := func(name string, a func() assign.Assigner) func() sched.Policy {
+		return func() sched.Policy {
+			return core.New(name, core.Options{
+				Target: s.Base.QGE, Compensation: true,
+				Dist: dist.PolicyHybrid, Assigner: a(),
+			})
+		}
+	}
+	set := map[string]func() sched.Policy{
+		"C-RR":         mkGE("GE/C-RR", func() assign.Assigner { return &assign.CumulativeRR{} }),
+		"RR":           mkGE("GE/RR", func() assign.Assigner { return assign.RoundRobin{} }),
+		"Least-Loaded": mkGE("GE/LL", func() assign.Assigner { return assign.LeastLoaded{} }),
+	}
+	res, err := s.sweepSet(set)
+	if err != nil {
+		return plot.Figure{}, plot.Figure{}, err
+	}
+	order := []string{"C-RR", "RR", "Least-Loaded"}
+	var qs, es []plot.Series
+	for _, name := range order {
+		qs = append(qs, series(name, res[name], qualityOf))
+		es = append(es, series(name, res[name], energyOf))
+	}
+	qualityFig = plot.Figure{Title: "Ablation: assignment policy (a) quality",
+		XLabel: "arrival rate (req/s)", YLabel: "service quality", Series: qs}
+	energyFig = plot.Figure{Title: "Ablation: assignment policy (b) energy",
+		XLabel: "arrival rate (req/s)", YLabel: "energy (J)", Series: es}
+	return qualityFig, energyFig, nil
+}
+
+// AblationHybrid pits the paper's hybrid ES/WF switch against each fixed
+// policy, completing the Fig. 6–7 story: the hybrid should match ES's
+// energy at light load AND WF's quality at heavy load.
+func AblationHybrid(s Settings) (qualityFig, energyFig plot.Figure, err error) {
+	if err := s.Validate(); err != nil {
+		return plot.Figure{}, plot.Figure{}, err
+	}
+	set := map[string]func() sched.Policy{
+		"Hybrid":   func() sched.Policy { return core.NewGE(s.Base.QGE) },
+		"Fixed-WF": func() sched.Policy { return core.NewFixedDist(s.Base.QGE, dist.PolicyWF) },
+		"Fixed-ES": func() sched.Policy { return core.NewFixedDist(s.Base.QGE, dist.PolicyES) },
+	}
+	res, err := s.sweepSet(set)
+	if err != nil {
+		return plot.Figure{}, plot.Figure{}, err
+	}
+	order := []string{"Hybrid", "Fixed-WF", "Fixed-ES"}
+	var qs, es []plot.Series
+	for _, name := range order {
+		qs = append(qs, series(name, res[name], qualityOf))
+		es = append(es, series(name, res[name], energyOf))
+	}
+	qualityFig = plot.Figure{Title: "Ablation: hybrid distribution (a) quality",
+		XLabel: "arrival rate (req/s)", YLabel: "service quality", Series: qs}
+	energyFig = plot.Figure{Title: "Ablation: hybrid distribution (b) energy",
+		XLabel: "arrival rate (req/s)", YLabel: "energy (J)", Series: es}
+	return qualityFig, energyFig, nil
+}
+
+// AblationMonitorWindow compares the paper's cumulative quality monitor
+// with the windowed-monitor extension (compensation decisions based on the
+// last W seconds only). The windowed monitor reacts faster after load
+// spikes but switches modes more often.
+func AblationMonitorWindow(s Settings, windowSec float64) (qualityFig, switchFig plot.Figure, err error) {
+	if err := s.Validate(); err != nil {
+		return plot.Figure{}, plot.Figure{}, err
+	}
+	if windowSec <= 0 {
+		return plot.Figure{}, plot.Figure{}, fmt.Errorf("experiments: window must be positive")
+	}
+	set := map[string]func() sched.Policy{
+		"Cumulative": func() sched.Policy { return core.NewGE(s.Base.QGE) },
+		"Windowed": func() sched.Policy {
+			return core.New("GE-windowed", core.Options{
+				Target: s.Base.QGE, Compensation: true,
+				Dist: dist.PolicyHybrid, MonitorWindow: windowSec,
+			})
+		},
+	}
+	res, err := s.sweepSet(set)
+	if err != nil {
+		return plot.Figure{}, plot.Figure{}, err
+	}
+	order := []string{"Cumulative", "Windowed"}
+	var qs, ms []plot.Series
+	for _, name := range order {
+		qs = append(qs, series(name, res[name], qualityOf))
+		ms = append(ms, series(name, res[name], func(r sched.Result) float64 {
+			return float64(r.ModeSwitches)
+		}))
+	}
+	qualityFig = plot.Figure{Title: "Ablation: quality monitor (a) quality",
+		XLabel: "arrival rate (req/s)", YLabel: "service quality", Series: qs}
+	switchFig = plot.Figure{Title: "Ablation: quality monitor (b) mode switches",
+		XLabel: "arrival rate (req/s)", YLabel: "AES/BQ switches", Series: ms}
+	return qualityFig, switchFig, nil
+}
+
+// AblationStaticPower revisits the Fig. 11 core-count sweep with per-core
+// static power added post-hoc (static · cores · simTime). The paper
+// excludes static power and concludes "more cores are always better";
+// with a realistic static term the energy curve becomes U-shaped and an
+// optimal core count appears.
+func AblationStaticPower(s Settings, staticWatts float64) (plot.Figure, error) {
+	if err := s.Validate(); err != nil {
+		return plot.Figure{}, err
+	}
+	if staticWatts < 0 {
+		return plot.Figure{}, fmt.Errorf("experiments: static power must be non-negative")
+	}
+	rate := s.Rates[0]
+	var points []point
+	for exp := 0; exp <= 6; exp++ {
+		cores := 1 << exp
+		cfg := s.Base
+		cfg.Cores = cores
+		points = append(points, point{series: "GE", x: float64(exp), cfg: cfg,
+			mk:   func() sched.Policy { return core.NewGE(cfg.QGE) },
+			spec: s.spec(rate, false)})
+	}
+	res, err := runAll(points, s.workers())
+	if err != nil {
+		return plot.Figure{}, err
+	}
+	dynamic := series("dynamic only", res["GE"], energyOf)
+	total := series(fmt.Sprintf("with %gW static/core", staticWatts), res["GE"],
+		func(r sched.Result) float64 { return r.Energy }) // placeholder, fixed below
+	for i, x := range total.X {
+		cores := float64(int(1) << int(x))
+		r := res["GE"][x]
+		total.Y[i] = r.Energy + staticWatts*cores*r.SimTime
+	}
+	return plot.Figure{
+		Title:  fmt.Sprintf("Ablation: static power on the core-count sweep (rate = %g)", rate),
+		XLabel: "number of cores 2^x", YLabel: "energy (J)",
+		Series: []plot.Series{dynamic, total},
+	}, nil
+}
+
+// sweepSet runs every (policy, rate) combination of a named policy set.
+func (s Settings) sweepSet(set map[string]func() sched.Policy) (map[string]map[float64]sched.Result, error) {
+	var points []point
+	for name, mk := range set {
+		for _, rate := range s.Rates {
+			points = append(points, point{series: name, x: rate, cfg: s.Base, mk: mk,
+				spec: s.spec(rate, false)})
+		}
+	}
+	return runAll(points, s.workers())
+}

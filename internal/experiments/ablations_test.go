@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAblationAssignment(t *testing.T) {
+	q, e, err := AblationAssignment(quickSettings(150))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Series) != 3 || len(e.Series) != 3 {
+		t.Fatalf("expected 3 assignment policies, got %d/%d", len(q.Series), len(e.Series))
+	}
+	for _, name := range []string{"C-RR", "Least-Loaded"} {
+		s := findSeries(t, q, name)
+		if v := yOf(t, s, 150); v < 0.8 || v > 1 {
+			t.Fatalf("%s quality = %v", name, v)
+		}
+	}
+	// The ablation's headline: plain RR restarts at core 0 on every batch,
+	// and since most triggers carry tiny batches it starves the other
+	// cores — C-RR's cumulative cursor is what makes batch assignment
+	// work. The gap is dramatic, not subtle.
+	crr := yOf(t, findSeries(t, q, "C-RR"), 150)
+	rr := yOf(t, findSeries(t, q, "RR"), 150)
+	if rr >= crr-0.05 {
+		t.Fatalf("plain RR (%v) should badly trail C-RR (%v)", rr, crr)
+	}
+}
+
+func TestAblationHybridMatchesBestOfBoth(t *testing.T) {
+	s := quickSettings(110, 185)
+	q, e, err := AblationHybrid(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hybridE := findSeries(t, e, "Hybrid")
+	wfE := findSeries(t, e, "Fixed-WF")
+	hybridQ := findSeries(t, q, "Hybrid")
+	esQ := findSeries(t, q, "Fixed-ES")
+	// Light load: hybrid uses ES, so it must undercut fixed WF's energy.
+	if yOf(t, hybridE, 110) >= yOf(t, wfE, 110) {
+		t.Fatalf("hybrid energy %v should undercut fixed WF %v at light load",
+			yOf(t, hybridE, 110), yOf(t, wfE, 110))
+	}
+	// Heavy load: hybrid uses WF, so its quality must not trail fixed ES.
+	if yOf(t, hybridQ, 185) < yOf(t, esQ, 185)-0.01 {
+		t.Fatalf("hybrid quality %v trails fixed ES %v at heavy load",
+			yOf(t, hybridQ, 185), yOf(t, esQ, 185))
+	}
+}
+
+func TestAblationMonitorWindow(t *testing.T) {
+	q, sw, err := AblationMonitorWindow(quickSettings(160), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"Cumulative", "Windowed"} {
+		if v := yOf(t, findSeries(t, q, name), 160); v < 0.8 {
+			t.Fatalf("%s monitor quality = %v", name, v)
+		}
+		if v := yOf(t, findSeries(t, sw, name), 160); v < 0 {
+			t.Fatalf("%s switches = %v", name, v)
+		}
+	}
+	if _, _, err := AblationMonitorWindow(quickSettings(100), 0); err == nil {
+		t.Fatal("zero window accepted")
+	}
+}
+
+func TestAblationStaticPower(t *testing.T) {
+	fig, err := AblationStaticPower(quickSettings(150), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn := findSeries(t, fig, "dynamic only")
+	tot := findSeries(t, fig, "with 10W static/core")
+	if len(dyn.X) != 7 || len(tot.X) != 7 {
+		t.Fatalf("core sweep truncated: %d/%d points", len(dyn.X), len(tot.X))
+	}
+	// Static power must strictly dominate at the 64-core end...
+	if yOf(t, tot, 6) <= yOf(t, dyn, 6) {
+		t.Fatal("static term missing at 64 cores")
+	}
+	// ...and the gap must grow with the core count.
+	gapSmall := yOf(t, tot, 0) - yOf(t, dyn, 0)
+	gapBig := yOf(t, tot, 6) - yOf(t, dyn, 6)
+	if gapBig <= gapSmall {
+		t.Fatalf("static gap should grow with cores: %v vs %v", gapSmall, gapBig)
+	}
+	// With the paper's assumption (no static), energy falls monotonically
+	// toward 64 cores; with static it must turn upward somewhere.
+	turnedUp := false
+	for i := 1; i < len(tot.Y); i++ {
+		if tot.Y[i] > tot.Y[i-1] {
+			turnedUp = true
+			break
+		}
+	}
+	if !turnedUp {
+		t.Fatal("static power should create a U-shaped energy curve")
+	}
+	if _, err := AblationStaticPower(quickSettings(150), -1); err == nil {
+		t.Fatal("negative static power accepted")
+	}
+}
+
+func TestAblationEnergySeriesConsistency(t *testing.T) {
+	// The dynamic-only series of the static ablation must agree with a
+	// plain Fig-11 energy sweep at the same settings.
+	s := quickSettings(150)
+	fig, err := AblationStaticPower(s, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, e11, err := Fig11(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn := findSeries(t, fig, "dynamic only")
+	ref := findSeries(t, e11, "GE")
+	for i := range dyn.X {
+		if math.Abs(dyn.Y[i]-ref.Y[i]) > 1e-6*math.Max(ref.Y[i], 1) {
+			t.Fatalf("dynamic series diverges from Fig 11 at x=%v", dyn.X[i])
+		}
+	}
+}
+
+func TestExtLatency(t *testing.T) {
+	m, p, err := ExtLatency(quickSettings(130))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ge := yOf(t, findSeries(t, m, "GE"), 130)
+	be := yOf(t, findSeries(t, m, "BE"), 130)
+	if ge <= 0 || be <= 0 {
+		t.Fatalf("degenerate latencies: GE %v BE %v", ge, be)
+	}
+	// GE completes cut jobs early: its mean response must undercut BE's.
+	if ge >= be {
+		t.Fatalf("GE mean response %v ms should undercut BE %v ms", ge, be)
+	}
+	// p95 bounded by the 150 ms window.
+	for _, name := range []string{"GE", "BE", "FDFS"} {
+		if v := yOf(t, findSeries(t, p, name), 130); v > 150+1e-6 {
+			t.Fatalf("%s p95 %v ms exceeds the window", name, v)
+		}
+	}
+}
+
+func TestExtManyCore(t *testing.T) {
+	s := quickSettings(150)
+	q, e, err := ExtManyCore(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ge := findSeries(t, q, "GE")
+	if len(ge.X) != 5 {
+		t.Fatalf("many-core sweep has %d points, want 5 (16..256 cores)", len(ge.X))
+	}
+	// Weak scaling must hold the quality target at every size.
+	for i := range ge.X {
+		if ge.Y[i] < 0.87 {
+			t.Fatalf("quality at 2^%v cores = %v, want ~0.9", ge.X[i], ge.Y[i])
+		}
+	}
+	perJob := findSeries(t, e, "GE")
+	for i := range perJob.Y {
+		if perJob.Y[i] <= 0 {
+			t.Fatalf("per-request energy degenerate at 2^%v cores", perJob.X[i])
+		}
+	}
+}
+
+func TestExtBigLittle(t *testing.T) {
+	q, e, err := ExtBigLittle(quickSettings(130))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hq := yOf(t, findSeries(t, q, "big.LITTLE"), 130)
+	if hq < 0.85 {
+		t.Fatalf("big.LITTLE quality = %v", hq)
+	}
+	he := yOf(t, findSeries(t, e, "big.LITTLE"), 130)
+	ho := yOf(t, findSeries(t, e, "Homogeneous"), 130)
+	if he >= ho {
+		t.Fatalf("efficient little cores should cut energy: %v vs %v", he, ho)
+	}
+}

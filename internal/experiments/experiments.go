@@ -1,0 +1,409 @@
+// Package experiments reproduces every figure in the paper's evaluation
+// (§IV). Each FigN function sweeps the arrival rate (or the figure's own
+// axis) for the relevant schedulers and returns plot.Figure series shaped
+// like the corresponding paper panel:
+//
+//	Fig. 1   AES-mode time fraction vs arrival rate
+//	Fig. 2   LF job-cutting worked example (four jobs)
+//	Fig. 3   quality & energy: GE, OQ, BE, FCFS, LJF, SJF (fixed windows)
+//	Fig. 4   quality & energy incl. FDFS (random 150–500 ms windows)
+//	Fig. 5   compensation vs no-compensation
+//	Fig. 6   average core speed & speed variance: WF vs ES
+//	Fig. 7   quality & energy: WF vs ES
+//	Fig. 8   quality & energy: GE vs BE-P vs BE-S (calibrated)
+//	Fig. 9   quality-function concavity sweep
+//	Fig. 10  power-budget sweep (80/160/320/480 W)
+//	Fig. 11  core-count sweep (2^0 … 2^6)
+//	Fig. 12  continuous vs discrete speed scaling
+//
+// Sweep points are independent simulations, so they execute on a worker
+// pool sized to GOMAXPROCS.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"goodenough/internal/core"
+	"goodenough/internal/cut"
+	"goodenough/internal/dist"
+	"goodenough/internal/job"
+	"goodenough/internal/plot"
+	"goodenough/internal/quality"
+	"goodenough/internal/sched"
+	"goodenough/internal/workload"
+)
+
+// Settings scope an experiment run.
+type Settings struct {
+	// Base is the machine/scheduler configuration every point starts from
+	// (figures override individual fields).
+	Base sched.Config
+	// Duration is the simulated seconds per point. The paper uses 600 s;
+	// tests and benches use less.
+	Duration float64
+	// Seed fixes the workload streams.
+	Seed uint64
+	// Rates is the arrival-rate axis (req/s).
+	Rates []float64
+	// Workers bounds sweep parallelism; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// DefaultSettings mirrors the paper: §IV-B configuration, 600 s runs,
+// arrival rates 100–250 req/s.
+func DefaultSettings() Settings {
+	return Settings{
+		Base:     sched.Defaults(),
+		Duration: 600,
+		Seed:     2017,
+		Rates:    DefaultRates(),
+	}
+}
+
+// DefaultRates is the x axis used by most paper figures.
+func DefaultRates() []float64 {
+	rates := make([]float64, 0, 16)
+	for r := 100.0; r <= 250; r += 10 {
+		rates = append(rates, r)
+	}
+	return rates
+}
+
+// Validate reports whether the settings are runnable.
+func (s Settings) Validate() error {
+	if err := s.Base.Validate(); err != nil {
+		return err
+	}
+	if s.Duration <= 0 {
+		return fmt.Errorf("experiments: duration must be positive, got %v", s.Duration)
+	}
+	if len(s.Rates) == 0 {
+		return fmt.Errorf("experiments: no arrival rates given")
+	}
+	for _, r := range s.Rates {
+		if r <= 0 {
+			return fmt.Errorf("experiments: invalid arrival rate %v", r)
+		}
+	}
+	return nil
+}
+
+func (s Settings) workers() int {
+	if s.Workers > 0 {
+		return s.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// spec builds the workload for one sweep point. The same seed across rates
+// keeps the demand distribution comparable; the rate itself perturbs the
+// arrival stream (as it must).
+func (s Settings) spec(rate float64, randomWindow bool) workload.Spec {
+	spec := workload.DefaultSpec(rate, s.Seed)
+	spec.Duration = s.Duration
+	spec.RandomWindow = randomWindow
+	return spec
+}
+
+// point is one simulation in a sweep.
+type point struct {
+	series string
+	x      float64
+	cfg    sched.Config
+	mk     func() sched.Policy
+	spec   workload.Spec
+}
+
+// runAll executes points on a worker pool and indexes results by
+// (series, x).
+func runAll(points []point, workers int) (map[string]map[float64]sched.Result, error) {
+	type outcome struct {
+		series string
+		x      float64
+		res    sched.Result
+		err    error
+	}
+	jobs := make(chan point)
+	results := make(chan outcome)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for p := range jobs {
+				r, err := sched.NewRunner(p.cfg, p.mk(), p.spec)
+				if err != nil {
+					results <- outcome{p.series, p.x, sched.Result{}, err}
+					continue
+				}
+				res, err := r.Run()
+				results <- outcome{p.series, p.x, res, err}
+			}
+		}()
+	}
+	go func() {
+		for _, p := range points {
+			jobs <- p
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+
+	out := make(map[string]map[float64]sched.Result)
+	var firstErr error
+	for o := range results {
+		if o.err != nil {
+			if firstErr == nil {
+				firstErr = o.err
+			}
+			continue
+		}
+		if out[o.series] == nil {
+			out[o.series] = make(map[float64]sched.Result)
+		}
+		out[o.series][o.x] = o.res
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// series converts indexed results into a plot.Series via the extractor.
+func series(label string, byX map[float64]sched.Result, f func(sched.Result) float64) plot.Series {
+	xs := make([]float64, 0, len(byX))
+	for x := range byX {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = f(byX[x])
+	}
+	return plot.Series{Label: label, X: xs, Y: ys}
+}
+
+func qualityOf(r sched.Result) float64 { return r.Quality }
+func energyOf(r sched.Result) float64  { return r.Energy }
+
+// Fig1 reproduces Figure 1: the fraction of time GE spends in AES mode as
+// the arrival rate grows.
+func Fig1(s Settings) (plot.Figure, error) {
+	if err := s.Validate(); err != nil {
+		return plot.Figure{}, err
+	}
+	var points []point
+	for _, rate := range s.Rates {
+		points = append(points, point{
+			series: "GE", x: rate, cfg: s.Base,
+			mk:   func() sched.Policy { return core.NewGE(s.Base.QGE) },
+			spec: s.spec(rate, false),
+		})
+	}
+	res, err := runAll(points, s.workers())
+	if err != nil {
+		return plot.Figure{}, err
+	}
+	return plot.Figure{
+		Title:  "Fig 1: execution-time percentage of the AES mode",
+		XLabel: "arrival rate (req/s)",
+		YLabel: "fraction of time in AES mode",
+		Series: []plot.Series{series("GE", res["GE"], func(r sched.Result) float64 {
+			return r.AESFraction
+		})},
+	}, nil
+}
+
+// Fig2 reproduces the Figure 2 illustration: LF cutting of four jobs
+// (longest to shortest) at the given target quality. It returns the cut
+// levels as a bar-like figure (x = job index, y = demand and target).
+func Fig2(qge float64) (plot.Figure, cut.Result) {
+	f := quality.NewExponential(0.003, 1000)
+	demands := []float64{1000, 700, 400, 200}
+	jobs := make([]*job.Job, len(demands))
+	for i, d := range demands {
+		jobs[i] = job.New(i, 0, 0.150, d)
+	}
+	res := cut.LongestFirst(jobs, f, qge)
+	idx := []float64{1, 2, 3, 4}
+	demandY := make([]float64, len(jobs))
+	targetY := make([]float64, len(jobs))
+	for i, j := range jobs {
+		demandY[i] = j.Demand
+		targetY[i] = j.Target
+	}
+	return plot.Figure{
+		Title:  fmt.Sprintf("Fig 2: LF job cutting of four jobs at QGE=%.2f", qge),
+		XLabel: "job (longest to shortest)",
+		YLabel: "processing units",
+		Series: []plot.Series{
+			{Label: "demand", X: idx, Y: demandY},
+			{Label: "cut target", X: idx, Y: targetY},
+		},
+	}, res
+}
+
+// schedulerSet returns the Fig. 3 policy roster (Fig. 4 adds FDFS).
+func schedulerSet(qge float64, withFDFS bool) map[string]func() sched.Policy {
+	set := map[string]func() sched.Policy{
+		"GE":   func() sched.Policy { return core.NewGE(qge) },
+		"OQ":   func() sched.Policy { return core.NewOQ(qge) },
+		"BE":   func() sched.Policy { return core.NewBE() },
+		"FCFS": func() sched.Policy { return sched.NewFCFS() },
+		"LJF":  func() sched.Policy { return sched.NewLJF() },
+		"SJF":  func() sched.Policy { return sched.NewSJF() },
+	}
+	if withFDFS {
+		set["FDFS"] = func() sched.Policy { return sched.NewFDFS() }
+	}
+	return set
+}
+
+// schedulerOrder fixes the legend order for reproducible output.
+func schedulerOrder(withFDFS bool) []string {
+	if withFDFS {
+		return []string{"GE", "OQ", "BE", "FCFS", "FDFS", "LJF", "SJF"}
+	}
+	return []string{"GE", "OQ", "BE", "FCFS", "LJF", "SJF"}
+}
+
+// comparison runs a roster sweep and splits it into quality and energy
+// panels (the (a)/(b) structure of Figs. 3, 4).
+func (s Settings) comparison(title string, randomWindow, withFDFS bool) (qualityFig, energyFig plot.Figure, err error) {
+	if err := s.Validate(); err != nil {
+		return plot.Figure{}, plot.Figure{}, err
+	}
+	set := schedulerSet(s.Base.QGE, withFDFS)
+	var points []point
+	for name, mk := range set {
+		for _, rate := range s.Rates {
+			points = append(points, point{
+				series: name, x: rate, cfg: s.Base, mk: mk,
+				spec: s.spec(rate, randomWindow),
+			})
+		}
+	}
+	res, err := runAll(points, s.workers())
+	if err != nil {
+		return plot.Figure{}, plot.Figure{}, err
+	}
+	var qs, es []plot.Series
+	for _, name := range schedulerOrder(withFDFS) {
+		qs = append(qs, series(name, res[name], qualityOf))
+		es = append(es, series(name, res[name], energyOf))
+	}
+	qualityFig = plot.Figure{Title: title + " (a) service quality",
+		XLabel: "arrival rate (req/s)", YLabel: "service quality", Series: qs}
+	energyFig = plot.Figure{Title: title + " (b) energy consumption",
+		XLabel: "arrival rate (req/s)", YLabel: "energy (J)", Series: es}
+	return qualityFig, energyFig, nil
+}
+
+// Fig3 reproduces Figure 3: scheduler comparison with fixed 150 ms windows.
+func Fig3(s Settings) (qualityFig, energyFig plot.Figure, err error) {
+	return s.comparison("Fig 3: scheduler comparison", false, false)
+}
+
+// Fig4 reproduces Figure 4: scheduler comparison with random 150–500 ms
+// deadline windows, adding FDFS.
+func Fig4(s Settings) (qualityFig, energyFig plot.Figure, err error) {
+	return s.comparison("Fig 4: random deadline intervals", true, true)
+}
+
+// Fig5 reproduces Figure 5: GE with and without the compensation policy.
+func Fig5(s Settings) (qualityFig, energyFig plot.Figure, err error) {
+	if err := s.Validate(); err != nil {
+		return plot.Figure{}, plot.Figure{}, err
+	}
+	set := map[string]func() sched.Policy{
+		"Compensation":    func() sched.Policy { return core.NewGE(s.Base.QGE) },
+		"No-Compensation": func() sched.Policy { return core.NewNoComp(s.Base.QGE) },
+	}
+	var points []point
+	for name, mk := range set {
+		for _, rate := range s.Rates {
+			points = append(points, point{series: name, x: rate, cfg: s.Base, mk: mk,
+				spec: s.spec(rate, false)})
+		}
+	}
+	res, err := runAll(points, s.workers())
+	if err != nil {
+		return plot.Figure{}, plot.Figure{}, err
+	}
+	order := []string{"Compensation", "No-Compensation"}
+	var qs, es []plot.Series
+	for _, name := range order {
+		qs = append(qs, series(name, res[name], qualityOf))
+		es = append(es, series(name, res[name], energyOf))
+	}
+	qualityFig = plot.Figure{Title: "Fig 5: compensation policy (a) quality",
+		XLabel: "arrival rate (req/s)", YLabel: "service quality", Series: qs}
+	energyFig = plot.Figure{Title: "Fig 5: compensation policy (b) energy",
+		XLabel: "arrival rate (req/s)", YLabel: "energy (J)", Series: es}
+	return qualityFig, energyFig, nil
+}
+
+// fixedDistSweep powers Figs. 6 and 7: GE pinned to WF or ES.
+func (s Settings) fixedDistSweep() (map[string]map[float64]sched.Result, error) {
+	set := map[string]func() sched.Policy{
+		"Water-Filling": func() sched.Policy { return core.NewFixedDist(s.Base.QGE, dist.PolicyWF) },
+		"Equal-Sharing": func() sched.Policy { return core.NewFixedDist(s.Base.QGE, dist.PolicyES) },
+	}
+	var points []point
+	for name, mk := range set {
+		for _, rate := range s.Rates {
+			points = append(points, point{series: name, x: rate, cfg: s.Base, mk: mk,
+				spec: s.spec(rate, false)})
+		}
+	}
+	return runAll(points, s.workers())
+}
+
+// Fig6 reproduces Figure 6: average core speed and speed variance under WF
+// vs ES.
+func Fig6(s Settings) (avgFig, varFig plot.Figure, err error) {
+	if err := s.Validate(); err != nil {
+		return plot.Figure{}, plot.Figure{}, err
+	}
+	res, err := s.fixedDistSweep()
+	if err != nil {
+		return plot.Figure{}, plot.Figure{}, err
+	}
+	order := []string{"Water-Filling", "Equal-Sharing"}
+	var av, vv []plot.Series
+	for _, name := range order {
+		av = append(av, series(name, res[name], func(r sched.Result) float64 { return r.AvgSpeed }))
+		vv = append(vv, series(name, res[name], func(r sched.Result) float64 { return r.SpeedVariance }))
+	}
+	avgFig = plot.Figure{Title: "Fig 6: power distribution (a) average speed",
+		XLabel: "arrival rate (req/s)", YLabel: "average speed (GHz)", Series: av}
+	varFig = plot.Figure{Title: "Fig 6: power distribution (b) speed variance",
+		XLabel: "arrival rate (req/s)", YLabel: "speed variance", Series: vv}
+	return avgFig, varFig, nil
+}
+
+// Fig7 reproduces Figure 7: quality and energy under WF vs ES.
+func Fig7(s Settings) (qualityFig, energyFig plot.Figure, err error) {
+	if err := s.Validate(); err != nil {
+		return plot.Figure{}, plot.Figure{}, err
+	}
+	res, err := s.fixedDistSweep()
+	if err != nil {
+		return plot.Figure{}, plot.Figure{}, err
+	}
+	order := []string{"Water-Filling", "Equal-Sharing"}
+	var qs, es []plot.Series
+	for _, name := range order {
+		qs = append(qs, series(name, res[name], qualityOf))
+		es = append(es, series(name, res[name], energyOf))
+	}
+	qualityFig = plot.Figure{Title: "Fig 7: power distribution (a) quality",
+		XLabel: "arrival rate (req/s)", YLabel: "service quality", Series: qs}
+	energyFig = plot.Figure{Title: "Fig 7: power distribution (b) energy",
+		XLabel: "arrival rate (req/s)", YLabel: "energy (J)", Series: es}
+	return qualityFig, energyFig, nil
+}

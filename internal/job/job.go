@@ -1,0 +1,285 @@
+// Package job defines the service-request model shared by every scheduler.
+//
+// A job J_j has a release (start) time s_j, a deadline d_j, and a processing
+// demand p_j in processing units. Jobs may be partially processed; the
+// volume processed by the deadline determines the perceived quality. Once a
+// job is assigned to a core it never migrates (paper §II-B).
+package job
+
+import (
+	"fmt"
+	"sort"
+)
+
+// State tracks a job's position in its lifecycle.
+type State int
+
+const (
+	// StateWaiting means the job has arrived but is not yet assigned to a
+	// core.
+	StateWaiting State = iota
+	// StateAssigned means the job sits in a core's local queue or is
+	// executing.
+	StateAssigned
+	// StateFinalized means the job's outcome is decided: it either
+	// completed its (possibly cut) target or hit its deadline.
+	StateFinalized
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case StateWaiting:
+		return "waiting"
+	case StateAssigned:
+		return "assigned"
+	case StateFinalized:
+		return "finalized"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Job is a single service request. Fields are exported for the scheduler
+// packages; treat Processed/Target/State as owned by the simulation.
+type Job struct {
+	// ID is a unique, monotonically increasing identifier (arrival order).
+	ID int
+	// Release is the arrival time s_j in seconds.
+	Release float64
+	// Deadline is d_j in seconds; work after the deadline is worthless.
+	Deadline float64
+	// Demand is the full processing demand p_j in processing units.
+	Demand float64
+
+	// Target is the volume the scheduler currently intends to process
+	// (c_j after cutting). It starts equal to Demand and only ever moves
+	// within [Processed, Demand].
+	Target float64
+	// Processed is the volume completed so far.
+	Processed float64
+	// Core is the index of the core the job is bound to, or -1 while
+	// waiting.
+	Core int
+	// State is the lifecycle state.
+	State State
+	// CutCount records how many times a cutting pass reduced this job's
+	// target (diagnostics).
+	CutCount int
+	// Finish is the simulation time at which the job was finalized
+	// (completed or expired); meaningful only once State is
+	// StateFinalized. The response time is Finish − Release.
+	Finish float64
+}
+
+// New constructs a waiting job with the given identity and shape. The
+// target starts at the full demand (no cut).
+func New(id int, release, deadline, demand float64) *Job {
+	return &Job{
+		ID:       id,
+		Release:  release,
+		Deadline: deadline,
+		Demand:   demand,
+		Target:   demand,
+		Core:     -1,
+		State:    StateWaiting,
+	}
+}
+
+// Validate reports whether the job is well-formed.
+func (j *Job) Validate() error {
+	if j.Demand < 0 {
+		return fmt.Errorf("job %d: negative demand %v", j.ID, j.Demand)
+	}
+	if j.Deadline < j.Release {
+		return fmt.Errorf("job %d: deadline %v before release %v", j.ID, j.Deadline, j.Release)
+	}
+	return nil
+}
+
+// Remaining returns the work still needed to reach the current target.
+// It is never negative.
+func (j *Job) Remaining() float64 {
+	r := j.Target - j.Processed
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// RemainingFull returns the work still needed to process the entire
+// original demand (used when BQ mode removes the cut).
+func (j *Job) RemainingFull() float64 {
+	r := j.Demand - j.Processed
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// SetTarget moves the cutting target, clamped to [Processed, Demand].
+// It records a cut when the target decreases.
+func (j *Job) SetTarget(t float64) {
+	if t > j.Demand {
+		t = j.Demand
+	}
+	if t < j.Processed {
+		t = j.Processed
+	}
+	if t < j.Target {
+		j.CutCount++
+	}
+	j.Target = t
+}
+
+// RestoreTarget resets the target to the full demand (BQ mode).
+func (j *Job) RestoreTarget() { j.Target = j.Demand }
+
+// Advance records dw units of completed work, clamped so Processed never
+// exceeds Demand. It returns the amount actually applied.
+func (j *Job) Advance(dw float64) float64 {
+	if dw <= 0 {
+		return 0
+	}
+	room := j.Demand - j.Processed
+	if dw > room {
+		dw = room
+	}
+	j.Processed += dw
+	return dw
+}
+
+// Done reports whether the job has reached its current target.
+func (j *Job) Done() bool { return j.Processed >= j.Target-1e-9 }
+
+// Expired reports whether the job's deadline has passed at time t.
+func (j *Job) Expired(t float64) bool { return t >= j.Deadline }
+
+// Window returns the time remaining until the deadline at time t (>= 0).
+func (j *Job) Window(t float64) float64 {
+	w := j.Deadline - t
+	if w < 0 {
+		return 0
+	}
+	return w
+}
+
+// String implements fmt.Stringer for debugging.
+func (j *Job) String() string {
+	return fmt.Sprintf("J%d[r=%.3f d=%.3f p=%.0f tgt=%.0f done=%.0f %s]",
+		j.ID, j.Release, j.Deadline, j.Demand, j.Target, j.Processed, j.State)
+}
+
+// SortEDF orders jobs by deadline, breaking ties by release then ID. This
+// is the execution order on every core (paper: EDF, non-preemptive).
+func SortEDF(jobs []*Job) {
+	sort.SliceStable(jobs, func(a, b int) bool {
+		if jobs[a].Deadline != jobs[b].Deadline {
+			return jobs[a].Deadline < jobs[b].Deadline
+		}
+		if jobs[a].Release != jobs[b].Release {
+			return jobs[a].Release < jobs[b].Release
+		}
+		return jobs[a].ID < jobs[b].ID
+	})
+}
+
+// SortByRelease orders jobs by arrival (FCFS order).
+func SortByRelease(jobs []*Job) {
+	sort.SliceStable(jobs, func(a, b int) bool {
+		if jobs[a].Release != jobs[b].Release {
+			return jobs[a].Release < jobs[b].Release
+		}
+		return jobs[a].ID < jobs[b].ID
+	})
+}
+
+// SortByDemandDesc orders jobs longest-first (LJF order and the LF cutting
+// order).
+func SortByDemandDesc(jobs []*Job) {
+	sort.SliceStable(jobs, func(a, b int) bool {
+		if jobs[a].Demand != jobs[b].Demand {
+			return jobs[a].Demand > jobs[b].Demand
+		}
+		return jobs[a].ID < jobs[b].ID
+	})
+}
+
+// SortByDemandAsc orders jobs shortest-first (SJF order).
+func SortByDemandAsc(jobs []*Job) {
+	sort.SliceStable(jobs, func(a, b int) bool {
+		if jobs[a].Demand != jobs[b].Demand {
+			return jobs[a].Demand < jobs[b].Demand
+		}
+		return jobs[a].ID < jobs[b].ID
+	})
+}
+
+// TotalRemaining sums Remaining over the jobs.
+func TotalRemaining(jobs []*Job) float64 {
+	sum := 0.0
+	for _, j := range jobs {
+		sum += j.Remaining()
+	}
+	return sum
+}
+
+// TotalRemainingFull sums RemainingFull over the jobs.
+func TotalRemainingFull(jobs []*Job) float64 {
+	sum := 0.0
+	for _, j := range jobs {
+		sum += j.RemainingFull()
+	}
+	return sum
+}
+
+// FIFO is a simple waiting queue preserving arrival order.
+type FIFO struct {
+	jobs []*Job
+}
+
+// Push appends a job to the queue.
+func (q *FIFO) Push(j *Job) { q.jobs = append(q.jobs, j) }
+
+// Len returns the number of queued jobs.
+func (q *FIFO) Len() int { return len(q.jobs) }
+
+// Drain removes and returns all queued jobs in arrival order.
+func (q *FIFO) Drain() []*Job {
+	out := q.jobs
+	q.jobs = nil
+	return out
+}
+
+// Peek returns the queued jobs without removing them. The caller must not
+// mutate the returned slice.
+func (q *FIFO) Peek() []*Job { return q.jobs }
+
+// PopWhere removes and returns the first job satisfying pred, or nil.
+func (q *FIFO) PopWhere(pred func(*Job) bool) *Job {
+	for i, j := range q.jobs {
+		if pred(j) {
+			q.jobs = append(q.jobs[:i], q.jobs[i+1:]...)
+			return j
+		}
+	}
+	return nil
+}
+
+// PopBest removes and returns the job minimizing key, or nil if empty.
+// Ties resolve to the earliest-queued job.
+func (q *FIFO) PopBest(key func(*Job) float64) *Job {
+	if len(q.jobs) == 0 {
+		return nil
+	}
+	best := 0
+	bestKey := key(q.jobs[0])
+	for i := 1; i < len(q.jobs); i++ {
+		if k := key(q.jobs[i]); k < bestKey {
+			best, bestKey = i, k
+		}
+	}
+	j := q.jobs[best]
+	q.jobs = append(q.jobs[:best], q.jobs[best+1:]...)
+	return j
+}

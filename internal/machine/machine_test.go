@@ -1,0 +1,477 @@
+package machine
+
+import (
+	"math"
+	"testing"
+
+	"goodenough/internal/job"
+	"goodenough/internal/power"
+)
+
+func model() power.Model { return power.Default() }
+
+func bind(j *job.Job, core int) *job.Job {
+	j.Core = core
+	j.State = job.StateAssigned
+	return j
+}
+
+func TestNewServerValidation(t *testing.T) {
+	if _, err := NewServer(0, model()); err == nil {
+		t.Error("zero cores accepted")
+	}
+	if _, err := NewServer(4, power.Model{A: -1, Beta: 2}); err == nil {
+		t.Error("invalid model accepted")
+	}
+	s, err := NewServer(16, model())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.M() != 16 {
+		t.Fatalf("M = %d", s.M())
+	}
+}
+
+func TestSingleJobRunsToCompletion(t *testing.T) {
+	c := NewCore(0)
+	j := bind(job.New(1, 0, 0.150, 300), 0)
+	// 300 units at 2 GHz (2000 u/s) takes 0.15 s exactly.
+	if err := c.SetPlan([]Entry{{Job: j, Speed: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	var finals []Reason
+	c.Advance(model(), 0.2, func(_ *job.Job, r Reason) { finals = append(finals, r) })
+	if len(finals) != 1 || finals[0] != ReasonCompleted {
+		t.Fatalf("finalizations = %v", finals)
+	}
+	if math.Abs(j.Processed-300) > 1e-6 {
+		t.Fatalf("processed = %v", j.Processed)
+	}
+	if j.State != job.StateFinalized {
+		t.Fatalf("state = %v", j.State)
+	}
+	// Energy: 20 W for 0.15 s = 3 J.
+	if math.Abs(c.Energy()-3) > 1e-9 {
+		t.Fatalf("energy = %v, want 3", c.Energy())
+	}
+	if c.Completed() != 1 || c.Expired() != 0 {
+		t.Fatalf("counters = %d/%d", c.Completed(), c.Expired())
+	}
+}
+
+func TestDeadlineTruncation(t *testing.T) {
+	c := NewCore(0)
+	j := bind(job.New(1, 0, 0.1, 1000), 0)
+	// 1 GHz can process only 100 units before the 0.1 s deadline.
+	c.SetPlan([]Entry{{Job: j, Speed: 1}})
+	var reason Reason
+	c.Advance(model(), 0.5, func(_ *job.Job, r Reason) { reason = r })
+	if reason != ReasonExpired {
+		t.Fatalf("reason = %v, want expired", reason)
+	}
+	if math.Abs(j.Processed-100) > 1e-6 {
+		t.Fatalf("processed = %v, want 100 (truncated at deadline)", j.Processed)
+	}
+	// The core must not burn energy past the deadline: 5 W · 0.1 s.
+	if math.Abs(c.Energy()-0.5) > 1e-9 {
+		t.Fatalf("energy = %v, want 0.5", c.Energy())
+	}
+}
+
+func TestSequentialEDFExecution(t *testing.T) {
+	c := NewCore(0)
+	j1 := bind(job.New(1, 0, 0.1, 100), 0)
+	j2 := bind(job.New(2, 0, 0.4, 300), 0)
+	c.SetPlan([]Entry{{Job: j1, Speed: 1}, {Job: j2, Speed: 1}})
+	order := []int{}
+	c.Advance(model(), 1.0, func(j *job.Job, r Reason) {
+		order = append(order, j.ID)
+		if r != ReasonCompleted {
+			t.Fatalf("job %d reason %v", j.ID, r)
+		}
+	})
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("completion order = %v", order)
+	}
+	// j1 runs [0, 0.1], j2 runs [0.1, 0.4]; both at 1 GHz → 5 W · 0.4 s.
+	if math.Abs(c.Energy()-2) > 1e-9 {
+		t.Fatalf("energy = %v, want 2", c.Energy())
+	}
+}
+
+func TestCutTargetCompletesEarly(t *testing.T) {
+	c := NewCore(0)
+	j := bind(job.New(1, 0, 0.15, 1000), 0)
+	j.SetTarget(200) // AES cut
+	c.SetPlan([]Entry{{Job: j, Speed: 2}})
+	var reason Reason
+	c.Advance(model(), 0.15, func(_ *job.Job, r Reason) { reason = r })
+	if reason != ReasonCompleted {
+		t.Fatalf("cut job reason = %v, want completed", reason)
+	}
+	if math.Abs(j.Processed-200) > 1e-6 {
+		t.Fatalf("processed = %v, want the 200-unit target", j.Processed)
+	}
+	// Runs 0.1 s at 2 GHz then idles: energy = 20·0.1 = 2 J.
+	if math.Abs(c.Energy()-2) > 1e-9 {
+		t.Fatalf("energy = %v, want 2", c.Energy())
+	}
+}
+
+func TestPartialAdvanceResumes(t *testing.T) {
+	c := NewCore(0)
+	j := bind(job.New(1, 0, 0.5, 400), 0)
+	c.SetPlan([]Entry{{Job: j, Speed: 1}})
+	c.Advance(model(), 0.1, nil)
+	if math.Abs(j.Processed-100) > 1e-6 {
+		t.Fatalf("processed after 0.1 s = %v", j.Processed)
+	}
+	if c.Now() != 0.1 {
+		t.Fatalf("clock = %v", c.Now())
+	}
+	done := false
+	c.Advance(model(), 0.5, func(_ *job.Job, r Reason) { done = r == ReasonCompleted })
+	if !done {
+		t.Fatal("job did not complete on resume")
+	}
+	if math.Abs(j.Processed-400) > 1e-6 {
+		t.Fatalf("processed = %v", j.Processed)
+	}
+}
+
+func TestReplanMidFlight(t *testing.T) {
+	// The scheduler may change speed mid-job (e.g. compensation).
+	c := NewCore(0)
+	j := bind(job.New(1, 0, 1.0, 1000), 0)
+	c.SetPlan([]Entry{{Job: j, Speed: 1}})
+	c.Advance(model(), 0.2, nil) // 200 units done
+	c.SetPlan([]Entry{{Job: j, Speed: 2}})
+	c.Advance(model(), 0.6, nil) // 0.4 s at 2 GHz = 800 units → done
+	if !j.Done() {
+		t.Fatalf("job not done after replan: %v", j.Processed)
+	}
+	// Energy = 5·0.2 + 20·0.4 = 9 J.
+	if math.Abs(c.Energy()-9) > 1e-9 {
+		t.Fatalf("energy = %v, want 9", c.Energy())
+	}
+}
+
+func TestZeroSpeedJobExpiresQuietly(t *testing.T) {
+	c := NewCore(0)
+	j := bind(job.New(1, 0, 0.1, 100), 0)
+	c.SetPlan([]Entry{{Job: j, Speed: 0}})
+	var reason Reason
+	fired := false
+	c.Advance(model(), 0.5, func(_ *job.Job, r Reason) { reason, fired = r, true })
+	if !fired || reason != ReasonExpired {
+		t.Fatalf("zero-speed job should expire: fired=%v reason=%v", fired, reason)
+	}
+	if c.Energy() != 0 {
+		t.Fatalf("idle core consumed energy %v", c.Energy())
+	}
+	if j.Processed != 0 {
+		t.Fatalf("zero-speed job processed %v", j.Processed)
+	}
+}
+
+func TestIdleProfileAccounting(t *testing.T) {
+	c := NewCore(0)
+	j := bind(job.New(1, 0, 0.5, 200), 0)
+	c.SetPlan([]Entry{{Job: j, Speed: 2}}) // busy 0.1 s
+	c.Advance(model(), 1.0, nil)
+	busy := c.BusyProfile()
+	total := c.TotalProfile()
+	if math.Abs(busy.Duration()-0.1) > 1e-9 {
+		t.Fatalf("busy duration = %v, want 0.1", busy.Duration())
+	}
+	if math.Abs(busy.Mean()-2) > 1e-9 {
+		t.Fatalf("busy mean speed = %v, want 2", busy.Mean())
+	}
+	if math.Abs(total.Duration()-1.0) > 1e-9 {
+		t.Fatalf("total duration = %v, want 1.0", total.Duration())
+	}
+	if math.Abs(total.Mean()-0.2) > 1e-9 {
+		t.Fatalf("total mean speed = %v, want 0.2", total.Mean())
+	}
+}
+
+func TestSetPlanRejectsForeignJobs(t *testing.T) {
+	c := NewCore(0)
+	j := bind(job.New(1, 0, 0.1, 100), 3)
+	if err := c.SetPlan([]Entry{{Job: j, Speed: 1}}); err == nil {
+		t.Fatal("foreign job accepted")
+	}
+	j2 := bind(job.New(2, 0, 0.1, 100), 0)
+	if err := c.SetPlan([]Entry{{Job: j2, Speed: -1}}); err == nil {
+		t.Fatal("negative speed accepted")
+	}
+}
+
+func TestProjectedIdle(t *testing.T) {
+	c := NewCore(0)
+	j1 := bind(job.New(1, 0, 0.1, 100), 0)  // 1 GHz → finishes at 0.1
+	j2 := bind(job.New(2, 0, 0.4, 300), 0)  // 1 GHz → finishes at 0.4
+	j3 := bind(job.New(3, 0, 0.45, 900), 0) // 1 GHz → truncated at 0.45
+	c.SetPlan([]Entry{{Job: j1, Speed: 1}, {Job: j2, Speed: 1}, {Job: j3, Speed: 1}})
+	if got := c.ProjectedIdle(0); math.Abs(got-0.45) > 1e-9 {
+		t.Fatalf("projected idle = %v, want 0.45", got)
+	}
+	empty := NewCore(1)
+	if got := empty.ProjectedIdle(2.5); got != 2.5 {
+		t.Fatalf("empty projected idle = %v, want now", got)
+	}
+}
+
+func TestEarliestDeadline(t *testing.T) {
+	c := NewCore(0)
+	if _, ok := c.EarliestDeadline(); ok {
+		t.Fatal("empty core should have no deadline")
+	}
+	j1 := bind(job.New(1, 0, 0.4, 100), 0)
+	j2 := bind(job.New(2, 0, 0.2, 100), 0)
+	c.SetPlan([]Entry{{Job: j1, Speed: 1}, {Job: j2, Speed: 1}})
+	if d, ok := c.EarliestDeadline(); !ok || d != 0.2 {
+		t.Fatalf("earliest deadline = %v/%v", d, ok)
+	}
+}
+
+func TestServerAdvanceAggregates(t *testing.T) {
+	s, _ := NewServer(2, model())
+	j1 := bind(job.New(1, 0, 0.2, 200), 0)
+	j2 := bind(job.New(2, 0, 0.2, 400), 1)
+	s.Cores[0].SetPlan([]Entry{{Job: j1, Speed: 1}})
+	s.Cores[1].SetPlan([]Entry{{Job: j2, Speed: 2}})
+	count := 0
+	s.Advance(0.2, func(*job.Job, Reason) { count++ })
+	if count != 2 {
+		t.Fatalf("finalized %d, want 2", count)
+	}
+	// Energy: 5·0.2 + 20·0.2 = 5 J.
+	if math.Abs(s.Energy()-5) > 1e-9 {
+		t.Fatalf("server energy = %v, want 5", s.Energy())
+	}
+	if s.Completed() != 2 || s.Expired() != 0 {
+		t.Fatalf("counters = %d/%d", s.Completed(), s.Expired())
+	}
+	if s.Now() != 0.2 {
+		t.Fatalf("server clock = %v", s.Now())
+	}
+}
+
+func TestServerAdvanceBackwardsPanics(t *testing.T) {
+	s, _ := NewServer(1, model())
+	s.Advance(1, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("backwards advance did not panic")
+		}
+	}()
+	s.Advance(0.5, nil)
+}
+
+func TestLoads(t *testing.T) {
+	s, _ := NewServer(2, model())
+	j1 := bind(job.New(1, 0, 1, 300), 0)
+	j1.SetTarget(200)
+	j2 := bind(job.New(2, 0, 1, 500), 1)
+	s.Cores[0].SetPlan([]Entry{{Job: j1, Speed: 1}})
+	s.Cores[1].SetPlan([]Entry{{Job: j2, Speed: 1}})
+	loads := s.Loads()
+	if math.Abs(loads[0]-200) > 1e-9 || math.Abs(loads[1]-500) > 1e-9 {
+		t.Fatalf("loads = %v", loads)
+	}
+	if math.Abs(s.TotalLoad()-700) > 1e-9 {
+		t.Fatalf("total load = %v", s.TotalLoad())
+	}
+}
+
+func TestWorkEnergyConservation(t *testing.T) {
+	// Total processed work must equal Σ rate·busytime, and energy must
+	// equal Σ P(s)·dt — cross-check via profiles on a multi-job plan.
+	c := NewCore(0)
+	jobs := []*job.Job{
+		bind(job.New(1, 0, 0.10, 150), 0),
+		bind(job.New(2, 0, 0.25, 250), 0),
+		bind(job.New(3, 0, 0.30, 900), 0), // will truncate
+	}
+	entries := []Entry{
+		{Job: jobs[0], Speed: 1.5},
+		{Job: jobs[1], Speed: 1.0},
+		{Job: jobs[2], Speed: 2.0},
+	}
+	c.SetPlan(entries)
+	c.Advance(model(), 0.5, nil)
+	processed := 0.0
+	for _, j := range jobs {
+		processed += j.Processed
+	}
+	busy := c.BusyProfile()
+	workFromProfile := busy.Mean() * busy.Duration() * power.UnitsPerGHz
+	if math.Abs(processed-workFromProfile) > 1e-6 {
+		t.Fatalf("work conservation broken: processed=%v profile=%v", processed, workFromProfile)
+	}
+	if c.Energy() <= 0 {
+		t.Fatal("no energy recorded")
+	}
+}
+
+func TestAdvanceZeroWidthWindow(t *testing.T) {
+	c := NewCore(0)
+	j := bind(job.New(1, 0, 0.5, 100), 0)
+	c.SetPlan([]Entry{{Job: j, Speed: 1}})
+	c.Advance(model(), 0, nil) // no time passes
+	if j.Processed != 0 || c.Now() != 0 {
+		t.Fatalf("zero-width advance did work: %v", j.Processed)
+	}
+}
+
+func TestReasonString(t *testing.T) {
+	if ReasonCompleted.String() != "completed" || ReasonExpired.String() != "expired" {
+		t.Fatal("reason strings wrong")
+	}
+}
+
+func BenchmarkCoreAdvance(b *testing.B) {
+	m := model()
+	for i := 0; i < b.N; i++ {
+		c := NewCore(0)
+		entries := make([]Entry, 16)
+		for k := range entries {
+			j := bind(job.New(k, 0, 0.15+float64(k)*0.01, 200), 0)
+			entries[k] = Entry{Job: j, Speed: 2}
+		}
+		c.SetPlan(entries)
+		c.Advance(m, 1.0, nil)
+	}
+}
+
+func TestDropExpired(t *testing.T) {
+	c := NewCore(0)
+	j1 := bind(job.New(1, 0, 0.1, 100), 0)
+	j2 := bind(job.New(2, 0, 0.5, 100), 0)
+	j3 := bind(job.New(3, 0, 0.2, 100), 0)
+	c.SetPlan([]Entry{{Job: j1, Speed: 1}, {Job: j3, Speed: 1}, {Job: j2, Speed: 1}})
+	var dropped []int
+	n := c.DropExpired(0.3, func(j *job.Job, r Reason) {
+		if r != ReasonExpired {
+			t.Fatalf("drop reason = %v", r)
+		}
+		dropped = append(dropped, j.ID)
+	})
+	if n != 2 || len(dropped) != 2 {
+		t.Fatalf("dropped %d jobs (%v), want 2", n, dropped)
+	}
+	if c.QueueLen() != 1 || c.Queue()[0].ID != 2 {
+		t.Fatalf("queue after drop = %v", c.Queue())
+	}
+	if c.Expired() != 2 {
+		t.Fatalf("expired counter = %d", c.Expired())
+	}
+	if j1.State != job.StateFinalized || j3.State != job.StateFinalized {
+		t.Fatal("dropped jobs not finalized")
+	}
+}
+
+func TestDropExpiredKeepsDoneJobs(t *testing.T) {
+	// A job that reached its cut target before its (passed) deadline is a
+	// completion, not an expiry: DropExpired must leave it for Advance to
+	// finalize as completed.
+	c := NewCore(0)
+	j := bind(job.New(1, 0, 0.1, 100), 0)
+	j.SetTarget(50)
+	j.Advance(50)
+	c.SetPlan([]Entry{{Job: j, Speed: 1}})
+	if n := c.DropExpired(0.3, nil); n != 0 {
+		t.Fatalf("done job dropped as expired")
+	}
+	var reason Reason
+	c.Advance(power.Default(), 0.4, func(_ *job.Job, r Reason) { reason = r })
+	if reason != ReasonCompleted {
+		t.Fatalf("done job finalized as %v", reason)
+	}
+}
+
+func TestDropExpiredNilCallback(t *testing.T) {
+	c := NewCore(0)
+	j := bind(job.New(1, 0, 0.1, 100), 0)
+	c.SetPlan([]Entry{{Job: j, Speed: 1}})
+	if n := c.DropExpired(1.0, nil); n != 1 {
+		t.Fatalf("dropped %d, want 1", n)
+	}
+}
+
+func TestCurrentSpeed(t *testing.T) {
+	c := NewCore(0)
+	if c.CurrentSpeed() != 0 {
+		t.Fatal("idle core should report speed 0")
+	}
+	j := bind(job.New(1, 0, 0.5, 100), 0)
+	c.SetPlan([]Entry{{Job: j, Speed: 1.7}})
+	if c.CurrentSpeed() != 1.7 {
+		t.Fatalf("current speed = %v", c.CurrentSpeed())
+	}
+	c.Advance(model(), 0.5, nil)
+	if c.CurrentSpeed() != 0 {
+		t.Fatal("drained core should report speed 0")
+	}
+}
+
+func TestProjectedIdleZeroSpeedEntry(t *testing.T) {
+	// Zero-speed entries idle until their deadline.
+	c := NewCore(0)
+	j := bind(job.New(1, 0, 0.4, 100), 0)
+	c.SetPlan([]Entry{{Job: j, Speed: 0}})
+	if got := c.ProjectedIdle(0.1); got != 0.4 {
+		t.Fatalf("projected idle = %v, want the doomed job's deadline", got)
+	}
+}
+
+func TestProjectedIdleSkipsDoneAndExpired(t *testing.T) {
+	c := NewCore(0)
+	done := bind(job.New(1, 0, 0.5, 100), 0)
+	done.Advance(100)
+	late := bind(job.New(2, 0, 0.05, 100), 0)
+	live := bind(job.New(3, 0, 0.6, 100), 0)
+	c.SetPlan([]Entry{{Job: done, Speed: 1}, {Job: late, Speed: 1}, {Job: live, Speed: 1}})
+	// At t=0.1 the done job takes no time, the late job drops instantly,
+	// the live one needs 0.1 s.
+	if got := c.ProjectedIdle(0.1); math.Abs(got-0.2) > 1e-9 {
+		t.Fatalf("projected idle = %v, want 0.2", got)
+	}
+}
+
+func TestHeterogeneousServer(t *testing.T) {
+	models := []power.Model{
+		{A: 5, Beta: 2},
+		{A: 2, Beta: 2, MaxSpeed: 1.6},
+	}
+	s, err := NewHeterogeneousServer(models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.M() != 2 {
+		t.Fatalf("M = %d", s.M())
+	}
+	if s.ModelFor(1).A != 2 {
+		t.Fatalf("core 1 model = %+v", s.ModelFor(1))
+	}
+	// Same speed, different clusters → different energy.
+	j0 := bind(job.New(1, 0, 1, 1000), 0)
+	j1 := bind(job.New(2, 0, 1, 1000), 1)
+	s.Cores[0].SetPlan([]Entry{{Job: j0, Speed: 1}})
+	s.Cores[1].SetPlan([]Entry{{Job: j1, Speed: 1}})
+	s.Advance(1, nil)
+	e0, e1 := s.Cores[0].Energy(), s.Cores[1].Energy()
+	if math.Abs(e0-5) > 1e-9 || math.Abs(e1-2) > 1e-9 {
+		t.Fatalf("cluster energies = %v, %v; want 5 and 2 J", e0, e1)
+	}
+}
+
+func TestHeterogeneousServerValidation(t *testing.T) {
+	if _, err := NewHeterogeneousServer(nil); err == nil {
+		t.Error("empty model list accepted")
+	}
+	if _, err := NewHeterogeneousServer([]power.Model{{A: -1, Beta: 2}}); err == nil {
+		t.Error("invalid model accepted")
+	}
+}

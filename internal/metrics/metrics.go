@@ -1,0 +1,116 @@
+// Package metrics records per-run time series: the online quality, the
+// instantaneous power draw, the execution mode, and queueing state sampled
+// at scheduling events. The timeline is what turns a single Result number
+// into an explainable trajectory — e.g. watching the compensation policy
+// pull quality back up to Q_GE after a burst.
+package metrics
+
+import (
+	"fmt"
+	"io"
+
+	"goodenough/internal/plot"
+)
+
+// Sample is one observation of the running system.
+type Sample struct {
+	// Time is the simulation time in seconds.
+	Time float64
+	// Quality is the cumulative achieved quality at that instant.
+	Quality float64
+	// Power is the instantaneous total dynamic power draw in watts.
+	Power float64
+	// Load is the total remaining target work queued on the cores.
+	Load float64
+	// Waiting is the number of unassigned jobs.
+	Waiting int
+	// AES reports the execution mode (true = Aggressive Energy Saving).
+	AES bool
+}
+
+// Timeline collects samples, thinning to at most one per `interval`
+// simulated seconds (0 keeps every sample).
+type Timeline struct {
+	interval float64
+	samples  []Sample
+	hasLast  bool
+	lastTime float64
+}
+
+// NewTimeline builds a recorder with the given thinning interval.
+func NewTimeline(interval float64) *Timeline {
+	if interval < 0 {
+		interval = 0
+	}
+	return &Timeline{interval: interval}
+}
+
+// Record appends a sample, unless it falls within the thinning interval of
+// the previous one (the final sample of a run is always worth keeping; use
+// Force for that).
+func (t *Timeline) Record(s Sample) {
+	if t.hasLast && t.interval > 0 && s.Time < t.lastTime+t.interval {
+		return
+	}
+	t.append(s)
+}
+
+// Force appends a sample regardless of thinning.
+func (t *Timeline) Force(s Sample) { t.append(s) }
+
+func (t *Timeline) append(s Sample) {
+	t.samples = append(t.samples, s)
+	t.hasLast = true
+	t.lastTime = s.Time
+}
+
+// Samples returns the recorded series (not a copy; treat as read-only).
+func (t *Timeline) Samples() []Sample { return t.samples }
+
+// Len returns the number of recorded samples.
+func (t *Timeline) Len() int { return len(t.samples) }
+
+// Series extracts one named metric as a plot.Series.
+// Valid names: "quality", "power", "load", "waiting", "aes".
+func (t *Timeline) Series(name string) (plot.Series, error) {
+	xs := make([]float64, len(t.samples))
+	ys := make([]float64, len(t.samples))
+	for i, s := range t.samples {
+		xs[i] = s.Time
+		switch name {
+		case "quality":
+			ys[i] = s.Quality
+		case "power":
+			ys[i] = s.Power
+		case "load":
+			ys[i] = s.Load
+		case "waiting":
+			ys[i] = float64(s.Waiting)
+		case "aes":
+			if s.AES {
+				ys[i] = 1
+			}
+		default:
+			return plot.Series{}, fmt.Errorf("metrics: unknown series %q", name)
+		}
+	}
+	return plot.Series{Label: name, X: xs, Y: ys}, nil
+}
+
+// WriteCSV emits the full timeline: time,quality,power,load,waiting,aes.
+func (t *Timeline) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "time_s,quality,power_w,load_units,waiting,aes"); err != nil {
+		return err
+	}
+	for _, s := range t.samples {
+		aes := 0
+		if s.AES {
+			aes = 1
+		}
+		if _, err := fmt.Fprintf(w, "%.6f,%.6f,%.3f,%.1f,%d,%d\n",
+			s.Time, s.Quality, s.Power, s.Load, s.Waiting, aes); err != nil {
+			return err
+		}
+	}
+	return nil
+}

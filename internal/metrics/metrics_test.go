@@ -1,0 +1,98 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTimelineThinning(t *testing.T) {
+	tl := NewTimeline(1.0)
+	for i := 0; i < 100; i++ {
+		tl.Record(Sample{Time: float64(i) * 0.1, Quality: 0.9})
+	}
+	// 10 s of samples at 0.1 s spacing thinned to >= 1 s apart → ~10.
+	if tl.Len() > 11 || tl.Len() < 9 {
+		t.Fatalf("thinned to %d samples, want ~10", tl.Len())
+	}
+	prev := -10.0
+	for _, s := range tl.Samples() {
+		if s.Time-prev < 1.0-1e-9 {
+			t.Fatalf("samples closer than the interval: %v after %v", s.Time, prev)
+		}
+		prev = s.Time
+	}
+}
+
+func TestTimelineNoThinning(t *testing.T) {
+	tl := NewTimeline(0)
+	for i := 0; i < 50; i++ {
+		tl.Record(Sample{Time: float64(i) * 0.001})
+	}
+	if tl.Len() != 50 {
+		t.Fatalf("unthinned timeline dropped samples: %d", tl.Len())
+	}
+}
+
+func TestTimelineForce(t *testing.T) {
+	tl := NewTimeline(10)
+	tl.Record(Sample{Time: 0})
+	tl.Record(Sample{Time: 1}) // thinned away
+	tl.Force(Sample{Time: 1})  // forced in
+	if tl.Len() != 2 {
+		t.Fatalf("force failed: %d samples", tl.Len())
+	}
+}
+
+func TestTimelineNegativeIntervalClamped(t *testing.T) {
+	tl := NewTimeline(-5)
+	tl.Record(Sample{Time: 0})
+	tl.Record(Sample{Time: 0})
+	if tl.Len() != 2 {
+		t.Fatal("negative interval should behave like 0")
+	}
+}
+
+func TestSeriesExtraction(t *testing.T) {
+	tl := NewTimeline(0)
+	tl.Record(Sample{Time: 1, Quality: 0.9, Power: 100, Load: 500, Waiting: 3, AES: true})
+	tl.Record(Sample{Time: 2, Quality: 0.8, Power: 200, Load: 700, Waiting: 5, AES: false})
+	cases := map[string][]float64{
+		"quality": {0.9, 0.8},
+		"power":   {100, 200},
+		"load":    {500, 700},
+		"waiting": {3, 5},
+		"aes":     {1, 0},
+	}
+	for name, want := range cases {
+		s, err := tl.Series(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if s.Y[0] != want[0] || s.Y[1] != want[1] {
+			t.Fatalf("%s series = %v, want %v", name, s.Y, want)
+		}
+		if s.X[0] != 1 || s.X[1] != 2 {
+			t.Fatalf("%s x axis = %v", name, s.X)
+		}
+	}
+	if _, err := tl.Series("nope"); err == nil {
+		t.Fatal("unknown series accepted")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tl := NewTimeline(0)
+	tl.Record(Sample{Time: 0.5, Quality: 0.95, Power: 120.5, Load: 800, Waiting: 2, AES: true})
+	var buf bytes.Buffer
+	if err := tl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "time_s,quality,power_w,load_units,waiting,aes\n") {
+		t.Fatalf("header wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "0.500000,0.950000,120.500,800.0,2,1") {
+		t.Fatalf("row wrong:\n%s", out)
+	}
+}

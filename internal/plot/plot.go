@@ -1,0 +1,228 @@
+// Package plot renders experiment results as aligned text tables, CSV, and
+// ASCII line charts — the reproduction's stand-in for the paper's MATLAB
+// figures. Numbers, not pictures, are the artifact: every figure runner
+// emits a Series set that can be compared row-by-row with the paper.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one labeled curve: y = f(x) over a shared x axis.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Validate reports whether the series is well-formed.
+func (s Series) Validate() error {
+	if len(s.X) != len(s.Y) {
+		return fmt.Errorf("plot: series %q has %d x values and %d y values",
+			s.Label, len(s.X), len(s.Y))
+	}
+	return nil
+}
+
+// Figure is a set of curves with axis labels, mirroring one paper figure.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// WriteCSV emits the figure in tidy CSV: x,label,y — one row per point.
+func (f Figure) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s\n%s,series,%s\n", f.Title, csvSafe(f.XLabel), csvSafe(f.YLabel)); err != nil {
+		return err
+	}
+	for _, s := range f.Series {
+		if err := s.Validate(); err != nil {
+			return err
+		}
+		for i := range s.X {
+			if _, err := fmt.Fprintf(w, "%g,%s,%g\n", s.X[i], csvSafe(s.Label), s.Y[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func csvSafe(s string) string {
+	s = strings.ReplaceAll(s, ",", ";")
+	s = strings.ReplaceAll(s, "\n", " ")
+	if s == "" {
+		return "value"
+	}
+	return s
+}
+
+// WriteTable emits the figure as an aligned text table with one column per
+// series, one row per distinct x.
+func (f Figure) WriteTable(w io.Writer) error {
+	for _, s := range f.Series {
+		if err := s.Validate(); err != nil {
+			return err
+		}
+	}
+	// Collect the x axis (union, sorted).
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	sort.Float64s(xs)
+
+	headers := make([]string, 0, len(f.Series)+1)
+	headers = append(headers, f.XLabel)
+	for _, s := range f.Series {
+		headers = append(headers, s.Label)
+	}
+	rows := make([][]string, 0, len(xs))
+	for _, x := range xs {
+		row := make([]string, 0, len(headers))
+		row = append(row, trimFloat(x))
+		for _, s := range f.Series {
+			cell := ""
+			for i := range s.X {
+				if s.X[i] == x {
+					cell = trimFloat(s.Y[i])
+					break
+				}
+			}
+			row = append(row, cell)
+		}
+		rows = append(rows, row)
+	}
+
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "== %s ==\n", f.Title); err != nil {
+		return err
+	}
+	printRow := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%*s", widths[i], c)
+		}
+		_, err := fmt.Fprintln(w, strings.Join(parts, "  "))
+		return err
+	}
+	if err := printRow(headers); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if err := printRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// trimFloat renders a float compactly (up to 5 significant decimals).
+func trimFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e9 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	s := fmt.Sprintf("%.5g", v)
+	return s
+}
+
+// WriteASCII renders the figure as a fixed-size character plot. Distinct
+// series use distinct glyphs; overlapping points show the later series.
+func (f Figure) WriteASCII(w io.Writer, width, height int) error {
+	if width < 16 {
+		width = 16
+	}
+	if height < 6 {
+		height = 6
+	}
+	glyphs := []byte{'*', 'o', '+', 'x', '#', '@', '%', '&', '~', '^'}
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	empty := true
+	for _, s := range f.Series {
+		if err := s.Validate(); err != nil {
+			return err
+		}
+		for i := range s.X {
+			empty = false
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if empty {
+		_, err := fmt.Fprintf(w, "== %s == (no data)\n", f.Title)
+		return err
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range f.Series {
+		g := glyphs[si%len(glyphs)]
+		for i := range s.X {
+			col := int(math.Round((s.X[i] - xmin) / (xmax - xmin) * float64(width-1)))
+			row := int(math.Round((s.Y[i] - ymin) / (ymax - ymin) * float64(height-1)))
+			grid[height-1-row][col] = g
+		}
+	}
+
+	if _, err := fmt.Fprintf(w, "== %s ==\n", f.Title); err != nil {
+		return err
+	}
+	for r, line := range grid {
+		label := strings.Repeat(" ", 12)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%12s", trimFloat(ymax))
+		case height - 1:
+			label = fmt.Sprintf("%12s", trimFloat(ymin))
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s|\n", label, string(line)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%12s  %-*s%s\n", trimFloat(xmin), width-len(trimFloat(xmax)), "", trimFloat(xmax)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%12s  x: %s   y: %s\n", "", f.XLabel, f.YLabel); err != nil {
+		return err
+	}
+	for si, s := range f.Series {
+		if _, err := fmt.Fprintf(w, "%12s  %c %s\n", "", glyphs[si%len(glyphs)], s.Label); err != nil {
+			return err
+		}
+	}
+	return nil
+}

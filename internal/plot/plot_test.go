@@ -1,0 +1,168 @@
+package plot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sample() Figure {
+	return Figure{
+		Title:  "Fig test",
+		XLabel: "arrival rate",
+		YLabel: "quality",
+		Series: []Series{
+			{Label: "GE", X: []float64{100, 150, 200}, Y: []float64{0.9, 0.9, 0.87}},
+			{Label: "BE", X: []float64{100, 150, 200}, Y: []float64{1.0, 0.97, 0.87}},
+		},
+	}
+}
+
+func TestSeriesValidate(t *testing.T) {
+	bad := Series{Label: "x", X: []float64{1}, Y: []float64{1, 2}}
+	if bad.Validate() == nil {
+		t.Fatal("mismatched series accepted")
+	}
+	if (Series{}).Validate() != nil {
+		t.Fatal("empty series rejected")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# Fig test") {
+		t.Fatalf("missing title comment:\n%s", out)
+	}
+	if !strings.Contains(out, "arrival rate,series,quality") {
+		t.Fatalf("missing header:\n%s", out)
+	}
+	if !strings.Contains(out, "100,GE,0.9") || !strings.Contains(out, "200,BE,0.87") {
+		t.Fatalf("missing rows:\n%s", out)
+	}
+	lines := strings.Count(out, "\n")
+	if lines != 2+6 {
+		t.Fatalf("expected 8 lines, got %d:\n%s", lines, out)
+	}
+}
+
+func TestWriteCSVRejectsBadSeries(t *testing.T) {
+	f := Figure{Series: []Series{{Label: "x", X: []float64{1}, Y: nil}}}
+	if err := f.WriteCSV(&bytes.Buffer{}); err == nil {
+		t.Fatal("bad series accepted")
+	}
+}
+
+func TestCSVEscapesCommas(t *testing.T) {
+	f := Figure{Title: "t", XLabel: "a,b", YLabel: "",
+		Series: []Series{{Label: "s,1", X: []float64{1}, Y: []float64{2}}}}
+	var buf bytes.Buffer
+	if err := f.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "a,b") || strings.Contains(out, "s,1") {
+		t.Fatalf("commas not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, "a;b,series,value") {
+		t.Fatalf("header wrong:\n%s", out)
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"GE", "BE", "arrival rate", "0.9", "150", "== Fig test =="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+	// Three data rows + header + title.
+	if got := strings.Count(out, "\n"); got != 5 {
+		t.Fatalf("expected 5 lines, got %d:\n%s", got, out)
+	}
+}
+
+func TestWriteTableDisjointX(t *testing.T) {
+	f := Figure{Title: "t", XLabel: "x", YLabel: "y", Series: []Series{
+		{Label: "a", X: []float64{1}, Y: []float64{10}},
+		{Label: "b", X: []float64{2}, Y: []float64{20}},
+	}}
+	var buf bytes.Buffer
+	if err := f.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Union of x values → two rows with blanks.
+	if strings.Count(buf.String(), "\n") != 4 {
+		t.Fatalf("unexpected table:\n%s", buf.String())
+	}
+}
+
+func TestWriteASCII(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteASCII(&buf, 40, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("plot glyphs missing:\n%s", out)
+	}
+	if !strings.Contains(out, "* GE") || !strings.Contains(out, "o BE") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "x: arrival rate") {
+		t.Fatalf("axis label missing:\n%s", out)
+	}
+}
+
+func TestWriteASCIIEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (Figure{Title: "empty"}).WriteASCII(&buf, 40, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "(no data)") {
+		t.Fatalf("empty figure output wrong: %s", buf.String())
+	}
+}
+
+func TestWriteASCIIDegenerateRanges(t *testing.T) {
+	f := Figure{Title: "flat", Series: []Series{
+		{Label: "a", X: []float64{5, 5}, Y: []float64{1, 1}},
+	}}
+	var buf bytes.Buffer
+	if err := f.WriteASCII(&buf, 20, 6); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("no output for flat series")
+	}
+}
+
+func TestWriteASCIIClampsTinySizes(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteASCII(&buf, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("no output at tiny size")
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{
+		100:    "100",
+		0.9:    "0.9",
+		0.8765: "0.8765",
+	}
+	for v, want := range cases {
+		if got := trimFloat(v); got != want {
+			t.Errorf("trimFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+// Package qopt implements the Quality-OPT algorithm (He, Elnikety, Sun —
+// "Tians scheduling", ICDCS'11) as used by the paper: when the power
+// assigned to a core cannot finish the core's (possibly already cut)
+// workload, choose how much of each job to process so the achieved quality
+// is the maximum possible within the core's processing capacity.
+//
+// Formally, for jobs J_1..J_n in EDF order on one core at time `now`, with
+// processing-rate cap R (units/second), choose targets c_j ∈
+// [processed_j, p_j] maximizing Σ f(c_j) subject to the EDF feasibility
+// (prefix-capacity) constraints
+//
+//	Σ_{i ≤ k} (c_i − processed_i)  ≤  R · (d_k − now)   for every k.
+//
+// Because every job shares the same concave quality function, the optimum
+// is a *level water-fill*: bring all jobs up to a common volume level,
+// except where individual demands cap out or a prefix constraint binds.
+// Binding prefixes split the problem — exactly dual to the YDS critical
+// group: the first segment of the optimum is the prefix that can afford
+// only the LOWEST fill level; it is allocated at that level, and the rest
+// recurses with the leftover budgets. Levels are therefore non-decreasing
+// along the EDF order.
+package qopt
+
+import (
+	"math"
+
+	"goodenough/internal/job"
+	"goodenough/internal/quality"
+)
+
+// Allocate maximizes batch quality under the rate cap, setting each job's
+// Target in place (never below Processed, never above Demand). It returns
+// the total remaining work scheduled (Σ Target−Processed).
+//
+// rate is the core's processing capacity in units/second (speed·1000);
+// rate <= 0 pins every target at the processed volume (nothing more can
+// run). Jobs past their deadline receive no additional work.
+func Allocate(now float64, jobs []*job.Job, rate float64, f quality.Function) float64 {
+	if len(jobs) == 0 {
+		return 0
+	}
+	sorted := append([]*job.Job(nil), jobs...)
+	job.SortEDF(sorted)
+
+	if rate <= 0 {
+		for _, j := range sorted {
+			j.SetTarget(j.Processed)
+		}
+		return 0
+	}
+
+	// Prefix budgets in units of *additional* work.
+	budgets := make([]float64, len(sorted))
+	for k, j := range sorted {
+		w := j.Deadline - now
+		if w < 0 {
+			w = 0
+		}
+		budgets[k] = rate * w
+	}
+	// Budgets are non-decreasing by EDF order; enforce against float noise.
+	for k := 1; k < len(budgets); k++ {
+		if budgets[k] < budgets[k-1] {
+			budgets[k] = budgets[k-1]
+		}
+	}
+
+	total := 0.0
+	allocateSegment(sorted, budgets, f, &total)
+	return total
+}
+
+// allocateSegment solves the nested-constraint water-fill recursively:
+// find the prefix achieving the minimum fill level, fix it, recurse on the
+// suffix with the spent budget removed.
+func allocateSegment(jobs []*job.Job, budgets []float64, f quality.Function, total *float64) {
+	for len(jobs) > 0 {
+		bestK := -1
+		bestLevel := math.Inf(1)
+		for k := range jobs {
+			level := fillLevel(jobs[:k+1], budgets[k])
+			// Prefer the longest prefix among equal levels so segments are
+			// maximal (mirrors YDS taking the whole critical group).
+			if level < bestLevel-1e-12 || (level <= bestLevel+1e-12 && k > bestK && level != math.Inf(1)) {
+				bestLevel = level
+				bestK = k
+			}
+		}
+		if bestK < 0 || math.IsInf(bestLevel, 1) {
+			// Every prefix can afford full demands: no constraint binds.
+			for _, j := range jobs {
+				*total += j.Demand - math.Min(j.Demand, j.Processed)
+				j.SetTarget(j.Demand)
+			}
+			return
+		}
+		// Fix the first segment at its level.
+		used := 0.0
+		for _, j := range jobs[:bestK+1] {
+			c := clampLevel(j, bestLevel)
+			used += c - math.Min(c, j.Processed)
+			j.SetTarget(c)
+		}
+		*total += used
+		// Recurse on the suffix with the used budget deducted.
+		jobs = jobs[bestK+1:]
+		budgets = budgets[bestK+1:]
+		for i := range budgets {
+			budgets[i] -= used
+			if budgets[i] < 0 {
+				budgets[i] = 0
+			}
+		}
+	}
+}
+
+// clampLevel returns the target for job j at fill level L.
+func clampLevel(j *job.Job, level float64) float64 {
+	c := level
+	if c < j.Processed {
+		c = j.Processed
+	}
+	if c > j.Demand {
+		c = j.Demand
+	}
+	return c
+}
+
+// fillLevel finds the common level L such that raising every job to
+// clampLevel(L) consumes exactly `budget` additional work. If the full
+// demands fit within the budget it returns +Inf (no level binds).
+func fillLevel(jobs []*job.Job, budget float64) float64 {
+	need := 0.0
+	maxDemand := 0.0
+	for _, j := range jobs {
+		if j.Demand > j.Processed {
+			need += j.Demand - j.Processed
+		}
+		if j.Demand > maxDemand {
+			maxDemand = j.Demand
+		}
+	}
+	if need <= budget+1e-12 {
+		return math.Inf(1)
+	}
+	lo, hi := 0.0, maxDemand
+	for i := 0; i < 64 && hi-lo > 1e-12*math.Max(maxDemand, 1); i++ {
+		mid := (lo + hi) / 2
+		if workAtLevel(jobs, mid) > budget {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return lo
+}
+
+// workAtLevel is the additional work required to raise every job to the
+// given level (respecting floors and caps).
+func workAtLevel(jobs []*job.Job, level float64) float64 {
+	w := 0.0
+	for _, j := range jobs {
+		c := clampLevel(j, level)
+		if c > j.Processed {
+			w += c - j.Processed
+		}
+	}
+	return w
+}
+
+// BestQuality returns the batch quality Σf(Target)/Σf(Demand) that the
+// current targets would achieve — a convenience mirror of cut.BatchQuality
+// to keep this package self-contained for its tests.
+func BestQuality(jobs []*job.Job, f quality.Function) float64 {
+	num, den := 0.0, 0.0
+	for _, j := range jobs {
+		if j.Demand <= 0 {
+			continue
+		}
+		num += f.Value(j.Target)
+		den += f.Value(j.Demand)
+	}
+	if den == 0 {
+		return 1
+	}
+	return num / den
+}

@@ -1,0 +1,23 @@
+package quality_test
+
+import (
+	"fmt"
+
+	"goodenough/internal/quality"
+)
+
+// ExampleExponential shows the paper's diminishing-returns curve: half the
+// work already yields ~82% of the quality, which is what makes cutting
+// job tails nearly free.
+func ExampleExponential() {
+	f := quality.NewExponential(0.003, 1000)
+	fmt.Printf("f(250)  = %.3f\n", f.Value(250))
+	fmt.Printf("f(500)  = %.3f\n", f.Value(500))
+	fmt.Printf("f(1000) = %.3f\n", f.Value(1000))
+	fmt.Printf("volume for 0.9 quality: %.0f units\n", f.Inverse(0.9))
+	// Output:
+	// f(250)  = 0.555
+	// f(500)  = 0.818
+	// f(1000) = 1.000
+	// volume for 0.9 quality: 644 units
+}

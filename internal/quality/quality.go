@@ -1,0 +1,342 @@
+// Package quality implements the service-quality model of the paper.
+//
+// A "good enough" service returns partial results: processing c of a job's
+// total demand p yields perceived quality f(c), where f is a concave,
+// increasing function capturing diminishing returns. The paper's reference
+// family (Eq. 1) is
+//
+//	f(x) = (1 - e^{-c·x}) / (1 - e^{-c·xmax})
+//
+// normalized so that f(xmax) = 1. The batch quality of a job set is
+// Q = Σ f(c_j) / Σ f(p_j).
+//
+// Besides the exponential family the package provides logarithmic,
+// power-law, and linear families used by the sensitivity study, and a
+// numeric inverse used by the LF job-cutting algorithm.
+package quality
+
+import (
+	"fmt"
+	"math"
+)
+
+// Function maps a processed volume (in processing units) to a perceived
+// quality value. Implementations must be non-decreasing and concave on
+// [0, Xmax], with Value(0) == 0.
+type Function interface {
+	// Value returns the quality of processing x units. Inputs below zero
+	// clamp to zero; inputs above Xmax clamp to Value(Xmax).
+	Value(x float64) float64
+	// Inverse returns the smallest volume x with Value(x) >= q. q above
+	// the maximum attainable quality returns Xmax; q <= 0 returns 0.
+	Inverse(q float64) float64
+	// Xmax is the volume at which quality saturates (the largest possible
+	// job demand).
+	Xmax() float64
+	// Name identifies the family for reports.
+	Name() string
+}
+
+// Exponential is the paper's Eq. 1 quality function.
+type Exponential struct {
+	// C is the concavity multiplier (paper default 0.003). Larger C makes
+	// early units of work more valuable.
+	C float64
+	// XMax is the saturation volume (paper default 1000).
+	XMax float64
+	// norm caches 1 - e^{-C·XMax}.
+	norm float64
+}
+
+// NewExponential builds the paper's concave quality function with
+// concavity c and saturation volume xmax. It panics on non-positive
+// parameters.
+func NewExponential(c, xmax float64) *Exponential {
+	if c <= 0 || xmax <= 0 {
+		panic(fmt.Sprintf("quality: invalid exponential parameters c=%v xmax=%v", c, xmax))
+	}
+	return &Exponential{C: c, XMax: xmax, norm: 1 - math.Exp(-c*xmax)}
+}
+
+// Value implements Function.
+func (e *Exponential) Value(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= e.XMax {
+		return 1
+	}
+	return (1 - math.Exp(-e.C*x)) / e.norm
+}
+
+// Inverse implements Function with the closed-form inverse of Eq. 1.
+func (e *Exponential) Inverse(q float64) float64 {
+	if q <= 0 {
+		return 0
+	}
+	if q >= 1 {
+		return e.XMax
+	}
+	x := -math.Log(1-q*e.norm) / e.C
+	if x > e.XMax {
+		return e.XMax
+	}
+	if x < 0 {
+		return 0
+	}
+	return x
+}
+
+// Xmax implements Function.
+func (e *Exponential) Xmax() float64 { return e.XMax }
+
+// Name implements Function.
+func (e *Exponential) Name() string { return fmt.Sprintf("exp(c=%g)", e.C) }
+
+// Marginal returns f'(x), the marginal quality of the next unit of work at
+// volume x. Used by Quality-OPT's equal-marginal allocation.
+func (e *Exponential) Marginal(x float64) float64 {
+	if x < 0 {
+		x = 0
+	}
+	if x > e.XMax {
+		return 0
+	}
+	return e.C * math.Exp(-e.C*x) / e.norm
+}
+
+// Logarithmic is f(x) = ln(1+k·x)/ln(1+k·xmax), an alternative concave
+// family for sensitivity studies.
+type Logarithmic struct {
+	K    float64
+	XMax float64
+	norm float64
+}
+
+// NewLogarithmic builds a logarithmic quality function.
+func NewLogarithmic(k, xmax float64) *Logarithmic {
+	if k <= 0 || xmax <= 0 {
+		panic(fmt.Sprintf("quality: invalid logarithmic parameters k=%v xmax=%v", k, xmax))
+	}
+	return &Logarithmic{K: k, XMax: xmax, norm: math.Log1p(k * xmax)}
+}
+
+// Value implements Function.
+func (l *Logarithmic) Value(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= l.XMax {
+		return 1
+	}
+	return math.Log1p(l.K*x) / l.norm
+}
+
+// Inverse implements Function.
+func (l *Logarithmic) Inverse(q float64) float64 {
+	if q <= 0 {
+		return 0
+	}
+	if q >= 1 {
+		return l.XMax
+	}
+	return math.Expm1(q*l.norm) / l.K
+}
+
+// Xmax implements Function.
+func (l *Logarithmic) Xmax() float64 { return l.XMax }
+
+// Name implements Function.
+func (l *Logarithmic) Name() string { return fmt.Sprintf("log(k=%g)", l.K) }
+
+// PowerLaw is f(x) = (x/xmax)^gamma with 0 < gamma <= 1 (concave).
+type PowerLaw struct {
+	Gamma float64
+	XMax  float64
+}
+
+// NewPowerLaw builds a power-law quality function; gamma must lie in (0, 1]
+// for concavity.
+func NewPowerLaw(gamma, xmax float64) *PowerLaw {
+	if gamma <= 0 || gamma > 1 || xmax <= 0 {
+		panic(fmt.Sprintf("quality: invalid power-law parameters gamma=%v xmax=%v", gamma, xmax))
+	}
+	return &PowerLaw{Gamma: gamma, XMax: xmax}
+}
+
+// Value implements Function.
+func (p *PowerLaw) Value(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= p.XMax {
+		return 1
+	}
+	return math.Pow(x/p.XMax, p.Gamma)
+}
+
+// Inverse implements Function.
+func (p *PowerLaw) Inverse(q float64) float64 {
+	if q <= 0 {
+		return 0
+	}
+	if q >= 1 {
+		return p.XMax
+	}
+	return p.XMax * math.Pow(q, 1/p.Gamma)
+}
+
+// Xmax implements Function.
+func (p *PowerLaw) Xmax() float64 { return p.XMax }
+
+// Name implements Function.
+func (p *PowerLaw) Name() string { return fmt.Sprintf("pow(g=%g)", p.Gamma) }
+
+// Linear is f(x) = x/xmax — the degenerate "no diminishing returns" case.
+// With a linear function LF cutting has no quality-efficient head to keep,
+// so GE degenerates toward proportional cutting; it is included to show the
+// concavity requirement matters.
+type Linear struct {
+	XMax float64
+}
+
+// NewLinear builds a linear quality function.
+func NewLinear(xmax float64) *Linear {
+	if xmax <= 0 {
+		panic("quality: invalid linear xmax")
+	}
+	return &Linear{XMax: xmax}
+}
+
+// Value implements Function.
+func (l *Linear) Value(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= l.XMax {
+		return 1
+	}
+	return x / l.XMax
+}
+
+// Inverse implements Function.
+func (l *Linear) Inverse(q float64) float64 {
+	if q <= 0 {
+		return 0
+	}
+	if q >= 1 {
+		return l.XMax
+	}
+	return q * l.XMax
+}
+
+// Xmax implements Function.
+func (l *Linear) Xmax() float64 { return l.XMax }
+
+// Name implements Function.
+func (l *Linear) Name() string { return "linear" }
+
+// InverseNumeric computes Function.Inverse by bisection for families
+// without a closed form. It is exported so external quality functions can
+// reuse it, and it backs the paper's "binary search on the concave quality
+// function" step of LF cutting.
+func InverseNumeric(f Function, q float64) float64 {
+	if q <= 0 {
+		return 0
+	}
+	xmax := f.Xmax()
+	if q >= f.Value(xmax) {
+		return xmax
+	}
+	lo, hi := 0.0, xmax
+	for i := 0; i < 64 && hi-lo > 1e-9*xmax; i++ {
+		mid := (lo + hi) / 2
+		if f.Value(mid) < q {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}
+
+// Batch computes the paper's average quality Q = Σ f(c_j) / Σ f(p_j) over
+// parallel slices of processed volumes and total demands. Jobs with zero
+// demand contribute nothing. An empty or all-zero-demand batch has quality
+// 1 by convention (there is nothing to miss).
+func Batch(f Function, processed, demand []float64) float64 {
+	if len(processed) != len(demand) {
+		panic("quality: Batch slice length mismatch")
+	}
+	num, den := 0.0, 0.0
+	for i := range demand {
+		if demand[i] <= 0 {
+			continue
+		}
+		c := processed[i]
+		if c > demand[i] {
+			c = demand[i]
+		}
+		num += f.Value(c)
+		den += f.Value(demand[i])
+	}
+	if den == 0 {
+		return 1
+	}
+	return num / den
+}
+
+// Accumulator tracks batch quality incrementally as jobs finalize, which is
+// how the GE scheduler's online quality monitor observes the achieved
+// service quality.
+type Accumulator struct {
+	f        Function
+	achieved float64 // Σ f(c_j)
+	possible float64 // Σ f(p_j)
+	jobs     int
+}
+
+// NewAccumulator returns an empty accumulator over quality function f.
+func NewAccumulator(f Function) *Accumulator {
+	return &Accumulator{f: f}
+}
+
+// Add records a finalized job with demand p of which c units were processed.
+func (a *Accumulator) Add(c, p float64) {
+	if p <= 0 {
+		return
+	}
+	if c > p {
+		c = p
+	}
+	if c < 0 {
+		c = 0
+	}
+	a.achieved += a.f.Value(c)
+	a.possible += a.f.Value(p)
+	a.jobs++
+}
+
+// Quality returns the cumulative quality. An empty accumulator reports 1.
+func (a *Accumulator) Quality() float64 {
+	if a.possible == 0 {
+		return 1
+	}
+	return a.achieved / a.possible
+}
+
+// Jobs returns how many jobs have been finalized.
+func (a *Accumulator) Jobs() int { return a.jobs }
+
+// Achieved returns Σ f(c_j) so far.
+func (a *Accumulator) Achieved() float64 { return a.achieved }
+
+// Possible returns Σ f(p_j) so far.
+func (a *Accumulator) Possible() float64 { return a.possible }
+
+// Clone returns an independent copy, used to evaluate hypothetical
+// scheduling decisions without disturbing the live monitor.
+func (a *Accumulator) Clone() *Accumulator {
+	cp := *a
+	return &cp
+}

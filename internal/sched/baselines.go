@@ -1,0 +1,134 @@
+package sched
+
+import (
+	"fmt"
+
+	"goodenough/internal/job"
+	"goodenough/internal/machine"
+	"goodenough/internal/power"
+)
+
+// Order selects which waiting job a single-job baseline hands to an idle
+// core (§IV-A1).
+type Order int
+
+const (
+	// OrderFCFS picks the earliest release time.
+	OrderFCFS Order = iota
+	// OrderFDFS picks the earliest deadline (First-Deadline First-Served).
+	OrderFDFS
+	// OrderLJF picks the largest service demand.
+	OrderLJF
+	// OrderSJF picks the smallest service demand.
+	OrderSJF
+)
+
+// String implements fmt.Stringer.
+func (o Order) String() string {
+	switch o {
+	case OrderFCFS:
+		return "FCFS"
+	case OrderFDFS:
+		return "FDFS"
+	case OrderLJF:
+		return "LJF"
+	case OrderSJF:
+		return "SJF"
+	default:
+		return fmt.Sprintf("order(%d)", int(o))
+	}
+}
+
+// SingleJob is the family of classic baselines: whenever a core is idle,
+// hand it one job from the waiting queue (chosen by Order), power it from
+// an equal share of the budget, and run it at the slowest speed that
+// finishes by the deadline — or at the share's maximum speed if that is
+// not enough (the job is then truncated at its deadline).
+type SingleJob struct {
+	order Order
+}
+
+// NewSingleJob builds a baseline with the given queue order.
+func NewSingleJob(order Order) *SingleJob { return &SingleJob{order: order} }
+
+// NewFCFS is First-Come First-Served.
+func NewFCFS() *SingleJob { return NewSingleJob(OrderFCFS) }
+
+// NewFDFS is First-Deadline First-Served.
+func NewFDFS() *SingleJob { return NewSingleJob(OrderFDFS) }
+
+// NewLJF is Longest-Job First.
+func NewLJF() *SingleJob { return NewSingleJob(OrderLJF) }
+
+// NewSJF is Shortest-Job First.
+func NewSJF() *SingleJob { return NewSingleJob(OrderSJF) }
+
+// Name implements Policy.
+func (s *SingleJob) Name() string { return s.order.String() }
+
+// Reset implements Policy.
+func (s *SingleJob) Reset() {}
+
+// Schedule implements Policy.
+func (s *SingleJob) Schedule(ctx *Context) {
+	cfg := ctx.Cfg
+	share := cfg.PowerBudget / float64(cfg.Cores) // Equal-Sharing
+	ctx.SetMode(false)                            // these baselines never approximate
+
+	for _, c := range ctx.Server.Cores {
+		c.DropExpired(ctx.Now, ctx.Finalize)
+		if !c.Idle() {
+			continue
+		}
+		j := s.pop(ctx.Waiting)
+		if j == nil {
+			return // queue empty; later cores have nothing to take either
+		}
+		j.Core = c.Index
+		j.State = job.StateAssigned
+		maxSpeed := cfg.ModelFor(c.Index).Speed(share)
+		speed := s.speedFor(ctx, j, maxSpeed)
+		c.SetPlan([]machine.Entry{{Job: j, Speed: speed}})
+	}
+}
+
+// speedFor picks the slowest speed finishing j by its deadline, clamped to
+// the core's power share; with a ladder, the discrete level just above the
+// needed speed (or the highest affordable level below it).
+func (s *SingleJob) speedFor(ctx *Context, j *job.Job, maxSpeed float64) float64 {
+	window := j.Deadline - ctx.Now
+	if window <= 0 {
+		return maxSpeed // hopeless; truncates immediately
+	}
+	needed := power.SpeedForRate(j.Remaining() / window)
+	speed := needed
+	if speed > maxSpeed {
+		speed = maxSpeed
+	}
+	if ctx.Cfg.Ladder != nil {
+		if up, ok := ctx.Cfg.Ladder.Up(needed); ok && up <= maxSpeed {
+			return up
+		}
+		if down, ok := ctx.Cfg.Ladder.Down(maxSpeed); ok {
+			return down
+		}
+		return 0
+	}
+	return speed
+}
+
+// pop removes the queue's best job under the configured order.
+func (s *SingleJob) pop(q *job.FIFO) *job.Job {
+	switch s.order {
+	case OrderFCFS:
+		return q.PopBest(func(j *job.Job) float64 { return j.Release })
+	case OrderFDFS:
+		return q.PopBest(func(j *job.Job) float64 { return j.Deadline })
+	case OrderLJF:
+		return q.PopBest(func(j *job.Job) float64 { return -j.Demand })
+	case OrderSJF:
+		return q.PopBest(func(j *job.Job) float64 { return j.Demand })
+	default:
+		return q.PopBest(func(j *job.Job) float64 { return j.Release })
+	}
+}

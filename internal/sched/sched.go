@@ -1,0 +1,606 @@
+// Package sched wires the simulation together: it owns the event loop, the
+// waiting queue, the quality monitor, and the machine, and delegates every
+// scheduling decision to a pluggable Policy.
+//
+// The paper's three triggering events (§III-E) drive the loop:
+//
+//   - quantum triggering: a periodic tick (default 500 ms);
+//   - idle-core triggering: a core drains its plan (we also treat an
+//     arrival into a machine with idle cores as an idle-core trigger, since
+//     the core *is* idle when the job arrives — without this, a lightly
+//     loaded system would sit on fresh jobs until the next quantum, long
+//     past their 150 ms deadlines);
+//   - counter triggering: the waiting queue reaches a threshold (default 8).
+//
+// On every trigger the runner advances the machine to the current time
+// (finalizing completed and expired jobs into the quality monitor), drops
+// expired jobs from the waiting queue, and invokes the policy.
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"goodenough/internal/job"
+	"goodenough/internal/machine"
+	"goodenough/internal/metrics"
+	"goodenough/internal/power"
+	"goodenough/internal/quality"
+	"goodenough/internal/sim"
+	"goodenough/internal/stats"
+	"goodenough/internal/workload"
+)
+
+// Config carries every knob of a simulation run. Zero values are filled by
+// Defaults.
+type Config struct {
+	// Cores is the number of DVFS cores (paper default 16).
+	Cores int
+	// PowerBudget is H, the total dynamic power budget in watts (320).
+	PowerBudget float64
+	// Model is the per-core power curve (P = 5·s²).
+	Model power.Model
+	// Quality is the concave quality function (Eq. 1, c = 0.003).
+	Quality quality.Function
+	// QGE is the user-specified good-enough quality (0.9).
+	QGE float64
+	// CriticalLoad is the arrival rate (req/s) separating light from heavy
+	// load for the hybrid power distribution (paper: 154).
+	CriticalLoad float64
+	// QuantumSec is the quantum trigger period (0.5 s).
+	QuantumSec float64
+	// CounterTrigger is the waiting-queue length trigger (8).
+	CounterTrigger int
+	// RateWindow is the sliding window (seconds) for the online arrival-
+	// rate estimate used by the hybrid policy (2 s).
+	RateWindow float64
+	// Ladder, when non-nil, enables discrete speed scaling.
+	Ladder *power.Ladder
+	// PerCoreModels, when non-empty, makes the machine heterogeneous: one
+	// power model per core (big.LITTLE platforms). Length must equal
+	// Cores; Model is then ignored except as a fallback. Discrete ladders
+	// are not supported together with heterogeneity.
+	PerCoreModels []power.Model
+}
+
+// ModelFor returns the power model governing core i.
+func (c *Config) ModelFor(i int) power.Model {
+	if len(c.PerCoreModels) == c.Cores && i >= 0 && i < len(c.PerCoreModels) {
+		return c.PerCoreModels[i]
+	}
+	return c.Model
+}
+
+// Heterogeneous reports whether per-core models are in effect.
+func (c *Config) Heterogeneous() bool { return len(c.PerCoreModels) == c.Cores && c.Cores > 0 }
+
+// Defaults returns the paper's simulation setup (§IV-B).
+func Defaults() Config {
+	return Config{
+		Cores:          16,
+		PowerBudget:    320,
+		Model:          power.Default(),
+		Quality:        quality.NewExponential(0.003, 1000),
+		QGE:            0.9,
+		CriticalLoad:   154,
+		QuantumSec:     0.5,
+		CounterTrigger: 8,
+		RateWindow:     2,
+	}
+}
+
+// Validate reports whether the configuration is runnable.
+func (c Config) Validate() error {
+	if c.Cores <= 0 {
+		return fmt.Errorf("sched: cores must be positive, got %d", c.Cores)
+	}
+	if c.PowerBudget <= 0 {
+		return fmt.Errorf("sched: power budget must be positive, got %v", c.PowerBudget)
+	}
+	if err := c.Model.Validate(); err != nil {
+		return err
+	}
+	if c.Quality == nil {
+		return fmt.Errorf("sched: quality function required")
+	}
+	if c.QGE < 0 || c.QGE > 1 {
+		return fmt.Errorf("sched: QGE must lie in [0,1], got %v", c.QGE)
+	}
+	if c.QuantumSec <= 0 {
+		return fmt.Errorf("sched: quantum must be positive, got %v", c.QuantumSec)
+	}
+	if c.CounterTrigger <= 0 {
+		return fmt.Errorf("sched: counter trigger must be positive, got %d", c.CounterTrigger)
+	}
+	if c.RateWindow <= 0 {
+		return fmt.Errorf("sched: rate window must be positive, got %v", c.RateWindow)
+	}
+	if len(c.PerCoreModels) > 0 {
+		if len(c.PerCoreModels) != c.Cores {
+			return fmt.Errorf("sched: %d per-core models for %d cores",
+				len(c.PerCoreModels), c.Cores)
+		}
+		for i, m := range c.PerCoreModels {
+			if err := m.Validate(); err != nil {
+				return fmt.Errorf("sched: core %d model: %w", i, err)
+			}
+		}
+		if c.Ladder != nil {
+			return fmt.Errorf("sched: discrete ladders are not supported with heterogeneous cores")
+		}
+	}
+	return nil
+}
+
+// Trigger tells the policy why it is being invoked.
+type Trigger int
+
+const (
+	// TriggerQuantum is the periodic tick.
+	TriggerQuantum Trigger = iota
+	// TriggerIdleCore fires when a core drains (or a job arrives while a
+	// core is idle).
+	TriggerIdleCore
+	// TriggerCounter fires when the waiting queue reaches the threshold.
+	TriggerCounter
+)
+
+// String implements fmt.Stringer.
+func (t Trigger) String() string {
+	switch t {
+	case TriggerQuantum:
+		return "quantum"
+	case TriggerIdleCore:
+		return "idle-core"
+	case TriggerCounter:
+		return "counter"
+	default:
+		return fmt.Sprintf("trigger(%d)", int(t))
+	}
+}
+
+// Context is the view a policy gets at each trigger.
+type Context struct {
+	// Now is the simulation time in seconds.
+	Now float64
+	// Trigger says why the policy is running.
+	Trigger Trigger
+	// Cfg is the run configuration.
+	Cfg *Config
+	// Server is the machine; the policy replans core queues through it.
+	Server *machine.Server
+	// Waiting is the queue of arrived, unassigned jobs. The policy pops
+	// the jobs it wants to place; whatever remains waits for the next
+	// trigger (and is finalized with zero quality if it expires).
+	Waiting *job.FIFO
+	// Monitor is the cumulative achieved-quality accumulator over all
+	// finalized jobs — the paper's online quality monitoring.
+	Monitor *quality.Accumulator
+	// ArrivalRate is the sliding-window estimate of the current request
+	// rate in req/s, used by the hybrid power distribution.
+	ArrivalRate float64
+	// Finalize records a job the policy drops (e.g. sweeping expired jobs
+	// out of core queues) into the quality monitor.
+	Finalize machine.FinalizeFunc
+
+	runner *Runner
+}
+
+// SetMode lets mode-switching policies (GE) report whether they are in AES
+// mode so the runner can account the AES-time fraction (Fig. 1) and count
+// mode switches.
+func (c *Context) SetMode(aes bool) { c.runner.setMode(c.Now, aes) }
+
+// Policy makes all scheduling decisions.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Schedule reacts to a trigger: assign waiting jobs, set core plans.
+	Schedule(ctx *Context)
+	// Reset clears cross-run state (assignment cursors, mode latches).
+	Reset()
+}
+
+// Result summarizes one simulation run.
+type Result struct {
+	Scheduler   string
+	ArrivalRate float64
+	// Quality is Σf(processed)/Σf(demand) over every generated job.
+	Quality float64
+	// Energy is the total dynamic energy in joules.
+	Energy float64
+	// AESFraction is the fraction of simulated time spent in AES mode
+	// (meaningful for GE-family policies; 0 for always-BQ policies).
+	AESFraction float64
+	// AvgSpeed and SpeedVariance are busy-time-weighted core-speed moments
+	// (Fig. 6).
+	AvgSpeed      float64
+	SpeedVariance float64
+	// Jobs is the number of requests generated; Completed reached their
+	// targets, Expired were dropped at deadlines (on core or in queue).
+	Jobs      int
+	Completed int64
+	Expired   int64
+	// CutJobs counts jobs finalized with a target below their demand.
+	CutJobs int64
+	// ModeSwitches counts AES↔BQ transitions.
+	ModeSwitches int64
+	// SimTime is the span actually simulated.
+	SimTime float64
+	// MeanResponse and P95Response summarize the response times (finish −
+	// release, seconds) of completed jobs — an extension metric; the paper
+	// fixes the window at 150 ms and reports only quality/energy.
+	MeanResponse float64
+	P95Response  float64
+	// AESEnergy and BQEnergy split the total energy by the execution mode
+	// active while it was consumed — the cost of the compensation policy
+	// made visible. They sum to Energy (for policies that report a mode).
+	AESEnergy float64
+	BQEnergy  float64
+}
+
+// Runner executes one workload against one policy.
+type Runner struct {
+	cfg    Config
+	policy Policy
+	gen    workload.Source
+	engine *sim.Engine
+	server *machine.Server
+	wait   job.FIFO
+	acc    *quality.Accumulator
+
+	arrivalTimes []float64 // ring of recent arrivals for rate estimation
+	genDone      bool
+	jobs         int
+	cutJobs      int64
+	queueExpired int64
+	responses    []float64 // completed jobs' response times
+
+	// Mode accounting.
+	modeAES      bool
+	modeSet      bool
+	modeSince    float64
+	aesTime      float64
+	modeSwitches int64
+	lastEnergy   float64
+	aesEnergy    float64
+	bqEnergy     float64
+
+	// Per-core pending idle events (cancel-on-replan).
+	idleEvents []*sim.Event
+
+	lastEventTime float64
+
+	timeline *metrics.Timeline
+}
+
+// SetTimeline attaches a recorder that samples quality, power, load, and
+// mode at every delivered event (thinned by the timeline's own interval).
+// Call before Run.
+func (r *Runner) SetTimeline(t *metrics.Timeline) { r.timeline = t }
+
+// recordSample feeds the attached timeline, if any.
+func (r *Runner) recordSample(now float64) {
+	if r.timeline == nil {
+		return
+	}
+	power := 0.0
+	for _, c := range r.server.Cores {
+		power += r.cfg.ModelFor(c.Index).Power(c.CurrentSpeed())
+	}
+	r.timeline.Record(metrics.Sample{
+		Time:    now,
+		Quality: r.acc.Quality(),
+		Power:   power,
+		Load:    r.server.TotalLoad(),
+		Waiting: r.wait.Len(),
+		AES:     r.modeAES,
+	})
+}
+
+// NewRunner builds a runner; cfg and the policy are validated eagerly.
+func NewRunner(cfg Config, policy Policy, spec workload.Spec) (*Runner, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if policy == nil {
+		return nil, fmt.Errorf("sched: policy required")
+	}
+	return newRunner(cfg, policy, workload.NewGenerator(spec))
+}
+
+// NewRunnerFromSource builds a runner over an arbitrary job source — e.g. a
+// workload.Replayer over a recorded or imported trace.
+func NewRunnerFromSource(cfg Config, policy Policy, src workload.Source) (*Runner, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if policy == nil {
+		return nil, fmt.Errorf("sched: policy required")
+	}
+	if src == nil {
+		return nil, fmt.Errorf("sched: job source required")
+	}
+	return newRunner(cfg, policy, src)
+}
+
+func newRunner(cfg Config, policy Policy, src workload.Source) (*Runner, error) {
+	var server *machine.Server
+	var err error
+	if cfg.Heterogeneous() {
+		server, err = machine.NewHeterogeneousServer(cfg.PerCoreModels)
+	} else {
+		server, err = machine.NewServer(cfg.Cores, cfg.Model)
+	}
+	if err != nil {
+		return nil, err
+	}
+	r := &Runner{
+		cfg:        cfg,
+		policy:     policy,
+		gen:        src,
+		server:     server,
+		acc:        quality.NewAccumulator(cfg.Quality),
+		idleEvents: make([]*sim.Event, cfg.Cores),
+	}
+	r.engine = sim.NewEngine(r.handle)
+	return r, nil
+}
+
+// Run executes the simulation to completion and returns the result.
+func (r *Runner) Run() (Result, error) {
+	r.policy.Reset()
+	// Prime the pump: first arrival and first quantum tick.
+	r.scheduleNextArrival()
+	if _, err := r.engine.Schedule(r.cfg.QuantumSec, sim.KindQuantum, nil); err != nil {
+		return Result{}, err
+	}
+	if err := r.engine.Run(); err != nil {
+		return Result{}, err
+	}
+	// Close out mode accounting.
+	r.setMode(r.engine.Now(), r.modeAES) // flush the open interval
+	busy := r.server.BusySpeedProfile()
+	simTime := r.engine.Now()
+	res := Result{
+		Scheduler:     r.policy.Name(),
+		Quality:       r.acc.Quality(),
+		Energy:        r.server.Energy(),
+		AvgSpeed:      busy.Mean(),
+		SpeedVariance: busy.Variance(),
+		Jobs:          r.jobs,
+		Completed:     r.server.Completed(),
+		Expired:       r.server.Expired() + r.queueExpired,
+		CutJobs:       r.cutJobs,
+		ModeSwitches:  r.modeSwitches,
+		SimTime:       simTime,
+	}
+	if simTime > 0 && r.modeSet {
+		res.AESFraction = r.aesTime / simTime
+	}
+	res.MeanResponse = stats.Mean(r.responses)
+	res.P95Response = stats.Quantile(r.responses, 0.95)
+	res.AESEnergy = r.aesEnergy
+	res.BQEnergy = r.bqEnergy
+	return res, nil
+}
+
+// handle is the event dispatcher.
+func (r *Runner) handle(e *sim.Event) error {
+	now := e.Time
+	r.lastEventTime = now
+	// Bring the machine to the present; completions/expiries feed the
+	// quality monitor. Energy consumed over the advanced interval belongs
+	// to the mode that was active while it ran.
+	r.server.Advance(now, r.finalize)
+	if delta := r.server.Energy() - r.lastEnergy; delta > 0 {
+		if r.modeAES {
+			r.aesEnergy += delta
+		} else {
+			r.bqEnergy += delta
+		}
+		r.lastEnergy = r.server.Energy()
+	}
+	// Expire waiting jobs whose deadlines have passed unserved.
+	r.expireWaiting(now)
+
+	switch e.Kind {
+	case sim.KindArrival:
+		j := e.Payload.(*job.Job)
+		r.wait.Push(j)
+		r.jobs++
+		r.noteArrival(now)
+		// Every job gets a deadline event so expiry is observed promptly.
+		if _, err := r.engine.Schedule(j.Deadline, sim.KindDeadline, j); err != nil {
+			return err
+		}
+		r.scheduleNextArrival()
+		if r.wait.Len() >= r.cfg.CounterTrigger {
+			r.invoke(now, TriggerCounter)
+		} else if r.anyIdleCore() {
+			r.invoke(now, TriggerIdleCore)
+		}
+
+	case sim.KindQuantum:
+		r.invoke(now, TriggerQuantum)
+		if !r.finished() {
+			if _, err := r.engine.Schedule(now+r.cfg.QuantumSec, sim.KindQuantum, nil); err != nil {
+				return err
+			}
+		}
+
+	case sim.KindCoreIdle:
+		core := e.Payload.(int)
+		r.idleEvents[core] = nil
+		if r.server.Cores[core].Idle() {
+			r.invoke(now, TriggerIdleCore)
+		}
+
+	case sim.KindDeadline:
+		// Machine advance + expireWaiting already finalized whatever was
+		// due; nothing further. The event exists to make expiry timely.
+	}
+	r.recordSample(now)
+	return nil
+}
+
+// invoke runs the policy and refreshes per-core idle events.
+func (r *Runner) invoke(now float64, trig Trigger) {
+	ctx := &Context{
+		Now:         now,
+		Trigger:     trig,
+		Cfg:         &r.cfg,
+		Server:      r.server,
+		Waiting:     &r.wait,
+		Monitor:     r.acc,
+		ArrivalRate: r.estimateRate(now),
+		Finalize:    r.finalize,
+		runner:      r,
+	}
+	r.policy.Schedule(ctx)
+	r.refreshIdleEvents(now)
+}
+
+// finalize records a finished or dropped job into the quality monitor.
+// CutJobs counts only deliberate cuts (target below demand, set by LF
+// cutting or Quality-OPT), not deadline truncation.
+func (r *Runner) finalize(j *job.Job, reason machine.Reason) {
+	r.acc.Add(j.Processed, j.Demand)
+	if j.Target < j.Demand-1e-9 {
+		r.cutJobs++
+	}
+	if reason == machine.ReasonCompleted {
+		r.responses = append(r.responses, j.Finish-j.Release)
+	}
+}
+
+// expireWaiting finalizes queued jobs whose deadline has passed without
+// ever being assigned — pure quality loss.
+func (r *Runner) expireWaiting(now float64) {
+	for {
+		j := r.wait.PopWhere(func(j *job.Job) bool { return j.Expired(now) })
+		if j == nil {
+			return
+		}
+		j.State = job.StateFinalized
+		j.Finish = j.Deadline
+		r.queueExpired++
+		r.acc.Add(j.Processed, j.Demand)
+	}
+}
+
+func (r *Runner) scheduleNextArrival() {
+	if r.genDone {
+		return
+	}
+	j := r.gen.Next()
+	if j == nil {
+		r.genDone = true
+		return
+	}
+	if _, err := r.engine.Schedule(j.Release, sim.KindArrival, j); err != nil {
+		// Arrivals are generated in order; this cannot happen.
+		panic(err)
+	}
+}
+
+// finished reports whether the run can stop scheduling quantum ticks: no
+// future arrivals, nothing waiting, every core idle.
+func (r *Runner) finished() bool {
+	if !r.genDone || r.wait.Len() > 0 {
+		return false
+	}
+	for _, c := range r.server.Cores {
+		if !c.Idle() {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Runner) anyIdleCore() bool {
+	for _, c := range r.server.Cores {
+		if c.Idle() {
+			return true
+		}
+	}
+	return false
+}
+
+// refreshIdleEvents re-arms a KindCoreIdle event per busy core at its
+// projected drain time.
+func (r *Runner) refreshIdleEvents(now float64) {
+	for i, c := range r.server.Cores {
+		if ev := r.idleEvents[i]; ev != nil {
+			r.engine.Cancel(ev)
+			r.idleEvents[i] = nil
+		}
+		if c.Idle() {
+			continue
+		}
+		at := c.ProjectedIdle(now)
+		if at < now {
+			at = now
+		}
+		// Tiny epsilon so the advance at the event time crosses the
+		// completion boundary.
+		ev, err := r.engine.Schedule(at+1e-9, sim.KindCoreIdle, i)
+		if err == nil {
+			r.idleEvents[i] = ev
+		}
+	}
+}
+
+// noteArrival and estimateRate implement the sliding-window arrival-rate
+// estimator for the hybrid distribution's light/heavy decision.
+func (r *Runner) noteArrival(now float64) {
+	r.arrivalTimes = append(r.arrivalTimes, now)
+	r.trimWindow(now)
+}
+
+func (r *Runner) trimWindow(now float64) {
+	cutoff := now - r.cfg.RateWindow
+	i := 0
+	for i < len(r.arrivalTimes) && r.arrivalTimes[i] < cutoff {
+		i++
+	}
+	if i > 0 {
+		r.arrivalTimes = append(r.arrivalTimes[:0], r.arrivalTimes[i:]...)
+	}
+}
+
+func (r *Runner) estimateRate(now float64) float64 {
+	r.trimWindow(now)
+	window := math.Min(r.cfg.RateWindow, math.Max(now, 1e-3))
+	return float64(len(r.arrivalTimes)) / window
+}
+
+// setMode accumulates AES time and counts switches.
+func (r *Runner) setMode(now float64, aes bool) {
+	if r.modeSet {
+		if r.modeAES {
+			r.aesTime += now - r.modeSince
+		}
+		if aes != r.modeAES {
+			r.modeSwitches++
+		}
+	}
+	r.modeAES = aes
+	r.modeSet = true
+	r.modeSince = now
+}
+
+// Monitor exposes the quality accumulator for tests.
+func (r *Runner) Monitor() *quality.Accumulator { return r.acc }
+
+// Server exposes the machine for tests.
+func (r *Runner) Server() *machine.Server { return r.server }
+
+// SpeedVarianceOverall returns the total (incl. idle) speed variance —
+// used by the Fig. 6 ablation alongside the busy-only variance.
+func (r *Runner) SpeedVarianceOverall() stats.TimeWeighted {
+	return r.server.TotalSpeedProfile()
+}

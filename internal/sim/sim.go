@@ -1,0 +1,213 @@
+// Package sim provides the discrete-event simulation kernel: a time-ordered
+// event queue, a monotonic clock, and a run loop.
+//
+// The kernel is deliberately minimal — events carry a kind, a timestamp, and
+// an opaque payload; the scheduler under test registers a handler and drives
+// the machine model from it. Determinism is guaranteed by a total order on
+// events: (time, priority, sequence).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Kind labels an event for dispatch.
+type Kind int
+
+const (
+	// KindArrival fires when a new job arrives.
+	KindArrival Kind = iota
+	// KindQuantum fires on the periodic scheduling quantum.
+	KindQuantum
+	// KindCoreIdle fires when a core drains its local plan.
+	KindCoreIdle
+	// KindDeadline fires at a job's deadline so it can be finalized.
+	KindDeadline
+	// KindEnd terminates the simulation.
+	KindEnd
+	// KindUser is available for scheduler-specific events.
+	KindUser
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindArrival:
+		return "arrival"
+	case KindQuantum:
+		return "quantum"
+	case KindCoreIdle:
+		return "core-idle"
+	case KindDeadline:
+		return "deadline"
+	case KindEnd:
+		return "end"
+	case KindUser:
+		return "user"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is a scheduled occurrence. Payload is interpreted by the handler.
+type Event struct {
+	Time    float64
+	Kind    Kind
+	Payload any
+
+	// priority breaks simultaneous-event ties deterministically: lower
+	// runs first. Defaults to the Kind's ordinal so that, at equal times,
+	// arrivals are observed before quantum ticks, and KindEnd runs last.
+	priority int
+	seq      uint64
+	index    int // heap index, -1 once popped or removed
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(a, b int) bool {
+	if h[a].Time != h[b].Time {
+		return h[a].Time < h[b].Time
+	}
+	if h[a].priority != h[b].priority {
+		return h[a].priority < h[b].priority
+	}
+	return h[a].seq < h[b].seq
+}
+
+func (h eventHeap) Swap(a, b int) {
+	h[a], h[b] = h[b], h[a]
+	h[a].index = a
+	h[b].index = b
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Handler processes one event. It may schedule further events on the
+// engine. Returning an error aborts the run.
+type Handler func(e *Event) error
+
+// Engine owns the clock and the pending-event heap.
+type Engine struct {
+	now     float64
+	queue   eventHeap
+	seq     uint64
+	handler Handler
+	// Processed counts delivered events (diagnostics).
+	Processed int64
+	// Horizon, when positive, hard-stops the run at that time even if
+	// events remain (safety net against runaway schedules).
+	Horizon float64
+}
+
+// NewEngine returns an engine at time zero with the given handler.
+func NewEngine(handler Handler) *Engine {
+	return &Engine{handler: handler}
+}
+
+// Now returns the current simulation time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Pending returns the number of events not yet delivered.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule enqueues an event at time t with the default priority (the
+// Kind's ordinal). It panics on NaN times and rejects events scheduled in
+// the past, which would silently corrupt causality.
+func (e *Engine) Schedule(t float64, kind Kind, payload any) (*Event, error) {
+	return e.ScheduleWithPriority(t, kind, payload, int(kind))
+}
+
+// ScheduleWithPriority is Schedule with an explicit tie-break priority.
+func (e *Engine) ScheduleWithPriority(t float64, kind Kind, payload any, priority int) (*Event, error) {
+	if math.IsNaN(t) {
+		panic("sim: scheduling event at NaN time")
+	}
+	if t < e.now {
+		return nil, fmt.Errorf("sim: event %v scheduled at %v, before now %v", kind, t, e.now)
+	}
+	ev := &Event{Time: t, Kind: kind, Payload: payload, priority: priority, seq: e.seq}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev, nil
+}
+
+// Cancel removes a pending event. Cancelling an already-delivered or
+// already-cancelled event is a harmless no-op (returns false).
+func (e *Engine) Cancel(ev *Event) bool {
+	if ev == nil || ev.index < 0 || ev.index >= len(e.queue) || e.queue[ev.index] != ev {
+		return false
+	}
+	heap.Remove(&e.queue, ev.index)
+	ev.index = -1
+	return true
+}
+
+// Run delivers events in order until the queue empties, a KindEnd event is
+// delivered, the optional horizon passes, or the handler errors.
+func (e *Engine) Run() error {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if e.Horizon > 0 && ev.Time > e.Horizon {
+			e.now = e.Horizon
+			return nil
+		}
+		if ev.Time < e.now {
+			return fmt.Errorf("sim: time went backwards: %v -> %v", e.now, ev.Time)
+		}
+		e.now = ev.Time
+		e.Processed++
+		if err := e.handler(ev); err != nil {
+			return err
+		}
+		if ev.Kind == KindEnd {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Step delivers exactly one event, returning false when the queue is empty.
+// Used by tests that need to observe intermediate state.
+func (e *Engine) Step() (bool, error) {
+	if len(e.queue) == 0 {
+		return false, nil
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	if ev.Time < e.now {
+		return false, fmt.Errorf("sim: time went backwards: %v -> %v", e.now, ev.Time)
+	}
+	e.now = ev.Time
+	e.Processed++
+	if err := e.handler(ev); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// PeekTime returns the timestamp of the next pending event, or +Inf when
+// the queue is empty.
+func (e *Engine) PeekTime() float64 {
+	if len(e.queue) == 0 {
+		return math.Inf(1)
+	}
+	return e.queue[0].Time
+}

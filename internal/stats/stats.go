@@ -1,0 +1,169 @@
+// Package stats provides the summary statistics used by the metrics and
+// experiment layers: streaming (Welford) moments, time-weighted moments for
+// speed profiles, and simple quantiles.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Running accumulates count/mean/variance in one pass (Welford's method).
+type Running struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds one observation in.
+func (r *Running) Add(x float64) {
+	r.n++
+	if r.n == 1 {
+		r.min, r.max = x, x
+	} else {
+		if x < r.min {
+			r.min = x
+		}
+		if x > r.max {
+			r.max = x
+		}
+	}
+	delta := x - r.mean
+	r.mean += delta / float64(r.n)
+	r.m2 += delta * (x - r.mean)
+}
+
+// N returns the observation count.
+func (r *Running) N() int64 { return r.n }
+
+// Mean returns the sample mean (0 when empty).
+func (r *Running) Mean() float64 { return r.mean }
+
+// Variance returns the population variance (0 when n < 2).
+func (r *Running) Variance() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n)
+}
+
+// Std returns the population standard deviation.
+func (r *Running) Std() float64 { return math.Sqrt(r.Variance()) }
+
+// Min returns the smallest observation (0 when empty).
+func (r *Running) Min() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return r.min
+}
+
+// Max returns the largest observation (0 when empty).
+func (r *Running) Max() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return r.max
+}
+
+// TimeWeighted accumulates the time-weighted mean and variance of a
+// piecewise-constant signal, e.g. a core's speed over the run. Samples are
+// (value, duration) pairs.
+type TimeWeighted struct {
+	total float64 // Σ dt
+	sum   float64 // Σ v·dt
+	sum2  float64 // Σ v²·dt
+}
+
+// Add folds in the signal holding value v for dt seconds. Non-positive
+// durations are ignored.
+func (w *TimeWeighted) Add(v, dt float64) {
+	if dt <= 0 {
+		return
+	}
+	w.total += dt
+	w.sum += v * dt
+	w.sum2 += v * v * dt
+}
+
+// Duration returns the accumulated time.
+func (w *TimeWeighted) Duration() float64 { return w.total }
+
+// Mean returns the time-weighted mean (0 when no time accumulated).
+func (w *TimeWeighted) Mean() float64 {
+	if w.total == 0 {
+		return 0
+	}
+	return w.sum / w.total
+}
+
+// Variance returns the time-weighted variance.
+func (w *TimeWeighted) Variance() float64 {
+	if w.total == 0 {
+		return 0
+	}
+	m := w.Mean()
+	v := w.sum2/w.total - m*m
+	if v < 0 {
+		return 0 // float noise
+	}
+	return v
+}
+
+// Merge folds another accumulator in (e.g. combining per-core profiles).
+func (w *TimeWeighted) Merge(other TimeWeighted) {
+	w.total += other.total
+	w.sum += other.sum
+	w.sum2 += other.sum2
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of xs using linear
+// interpolation. It sorts a copy; xs is untouched. Empty input returns 0.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	if q <= 0 {
+		return cp[0]
+	}
+	if q >= 1 {
+		return cp[len(cp)-1]
+	}
+	pos := q * float64(len(cp)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return cp[lo]
+	}
+	frac := pos - float64(lo)
+	return cp[lo]*(1-frac) + cp[hi]*frac
+}
+
+// Mean returns the arithmetic mean of xs (0 when empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		s += (x - m) * (x - m)
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,148 @@
+// Package verify provides a runtime invariant checker for scheduling
+// policies: a Policy decorator that, after every scheduling decision,
+// asserts the structural properties the model guarantees on paper —
+//
+//   - no migration: a job bound to a core never moves (paper §II-B);
+//   - EDF order: every core's plan is sorted by deadline;
+//   - power budget: the instantaneous dynamic power implied by the
+//     cores' current speeds never exceeds the total budget H;
+//   - target sanity: Processed ≤ Target ≤ Demand for every planned job;
+//   - speed sanity: no negative speeds, and no speed above what burning
+//     the entire budget on one core could sustain;
+//   - monotone time: scheduling triggers arrive in time order.
+//
+// Integration tests wrap each policy in a Checker and run full
+// simulations; any violation is recorded with a description. The checker
+// is also useful when developing new policies against the sched.Policy
+// interface.
+package verify
+
+import (
+	"fmt"
+
+	"goodenough/internal/sched"
+)
+
+// Violation is one observed invariant breach.
+type Violation struct {
+	// Time is the simulation time of the offending trigger.
+	Time float64
+	// Rule names the violated invariant.
+	Rule string
+	// Detail describes the breach.
+	Detail string
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string {
+	return fmt.Sprintf("t=%.6f %s: %s", v.Time, v.Rule, v.Detail)
+}
+
+// Checker wraps a sched.Policy and audits every scheduling decision.
+type Checker struct {
+	inner sched.Policy
+
+	violations []Violation
+	// jobCore remembers each job's first core binding.
+	jobCore  map[int]int
+	lastTime float64
+	timeSet  bool
+	// Limit caps the number of recorded violations (0 = default 100) so a
+	// systematic breach does not balloon memory.
+	Limit int
+}
+
+// Wrap decorates a policy with invariant checking.
+func Wrap(p sched.Policy) *Checker {
+	return &Checker{inner: p, jobCore: make(map[int]int)}
+}
+
+// Name implements sched.Policy.
+func (c *Checker) Name() string { return c.inner.Name() }
+
+// Reset implements sched.Policy.
+func (c *Checker) Reset() {
+	c.inner.Reset()
+	c.violations = nil
+	c.jobCore = make(map[int]int)
+	c.timeSet = false
+}
+
+// Violations returns everything observed so far.
+func (c *Checker) Violations() []Violation { return c.violations }
+
+// Ok reports whether no invariant was breached.
+func (c *Checker) Ok() bool { return len(c.violations) == 0 }
+
+func (c *Checker) report(t float64, rule, format string, args ...any) {
+	limit := c.Limit
+	if limit == 0 {
+		limit = 100
+	}
+	if len(c.violations) >= limit {
+		return
+	}
+	c.violations = append(c.violations, Violation{
+		Time: t, Rule: rule, Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+// Schedule implements sched.Policy: delegate, then audit.
+func (c *Checker) Schedule(ctx *sched.Context) {
+	if c.timeSet && ctx.Now < c.lastTime-1e-12 {
+		c.report(ctx.Now, "monotone-time", "trigger at %v after %v", ctx.Now, c.lastTime)
+	}
+	c.lastTime = ctx.Now
+	c.timeSet = true
+
+	c.inner.Schedule(ctx)
+
+	cfg := ctx.Cfg
+	instPower := 0.0
+	for _, core := range ctx.Server.Cores {
+		maxSpeed := cfg.ModelFor(core.Index).Speed(cfg.PowerBudget)
+		queue := core.Queue()
+		prevDeadline := -1.0
+		for _, j := range queue {
+			// No migration.
+			if first, seen := c.jobCore[j.ID]; seen {
+				if first != j.Core {
+					c.report(ctx.Now, "no-migration",
+						"job %d moved from core %d to core %d", j.ID, first, j.Core)
+				}
+			} else {
+				c.jobCore[j.ID] = j.Core
+			}
+			if j.Core != core.Index {
+				c.report(ctx.Now, "binding",
+					"job %d bound to core %d but planned on core %d", j.ID, j.Core, core.Index)
+			}
+			// EDF order within the plan.
+			if j.Deadline < prevDeadline-1e-12 {
+				c.report(ctx.Now, "edf-order",
+					"core %d plans deadline %v after %v", core.Index, j.Deadline, prevDeadline)
+			}
+			prevDeadline = j.Deadline
+			// Target sanity.
+			if j.Target < j.Processed-1e-9 || j.Target > j.Demand+1e-9 {
+				c.report(ctx.Now, "target-range",
+					"job %d target %v outside [processed %v, demand %v]",
+					j.ID, j.Target, j.Processed, j.Demand)
+			}
+		}
+		// Speed sanity and instantaneous power.
+		s := core.CurrentSpeed()
+		if s < 0 {
+			c.report(ctx.Now, "speed-negative", "core %d speed %v", core.Index, s)
+		}
+		if s > maxSpeed*(1+1e-9) {
+			c.report(ctx.Now, "speed-cap",
+				"core %d speed %v exceeds whole-budget speed %v", core.Index, s, maxSpeed)
+		}
+		instPower += cfg.ModelFor(core.Index).Power(s)
+	}
+	if instPower > cfg.PowerBudget*(1+1e-6) {
+		c.report(ctx.Now, "power-budget",
+			"instantaneous power %v W exceeds budget %v W", instPower, cfg.PowerBudget)
+	}
+}

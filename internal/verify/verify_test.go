@@ -1,0 +1,263 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"goodenough/internal/core"
+	"goodenough/internal/dist"
+	"goodenough/internal/machine"
+	"goodenough/internal/power"
+	"goodenough/internal/sched"
+	"goodenough/internal/workload"
+)
+
+func shortSpec(rate float64, seed uint64) workload.Spec {
+	s := workload.DefaultSpec(rate, seed)
+	s.Duration = 15
+	return s
+}
+
+// runChecked executes a full simulation under the invariant checker.
+func runChecked(t *testing.T, cfg sched.Config, p sched.Policy, spec workload.Spec) *Checker {
+	t.Helper()
+	ck := Wrap(p)
+	r, err := sched.NewRunner(cfg, ck, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return ck
+}
+
+func TestGEUpholdsAllInvariants(t *testing.T) {
+	for _, rate := range []float64{100, 154, 210} {
+		ck := runChecked(t, sched.Defaults(), core.NewGE(0.9), shortSpec(rate, 1))
+		if !ck.Ok() {
+			t.Fatalf("rate %v: GE violated invariants:\n%v", rate, ck.Violations()[0])
+		}
+	}
+}
+
+func TestEveryPolicyUpholdsInvariants(t *testing.T) {
+	policies := []func() sched.Policy{
+		func() sched.Policy { return core.NewBE() },
+		func() sched.Policy { return core.NewOQ(0.9) },
+		func() sched.Policy { return core.NewNoComp(0.9) },
+		func() sched.Policy { return core.NewFixedDist(0.9, dist.PolicyES) },
+		func() sched.Policy { return core.NewFixedDist(0.9, dist.PolicyWF) },
+		func() sched.Policy { return core.NewBEP(200) },
+		func() sched.Policy { return core.NewBES(1.8) },
+		func() sched.Policy { return sched.NewFCFS() },
+		func() sched.Policy { return sched.NewFDFS() },
+		func() sched.Policy { return sched.NewLJF() },
+		func() sched.Policy { return sched.NewSJF() },
+	}
+	for _, mk := range policies {
+		p := mk()
+		ck := runChecked(t, sched.Defaults(), p, shortSpec(180, 2))
+		if !ck.Ok() {
+			t.Fatalf("%s violated invariants:\n%v", p.Name(), ck.Violations()[0])
+		}
+	}
+}
+
+func TestDiscreteModeUpholdsInvariants(t *testing.T) {
+	cfg := sched.Defaults()
+	ladder, err := power.UniformLadder(3.2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Ladder = ladder
+	ck := runChecked(t, cfg, core.NewGE(0.9), shortSpec(170, 3))
+	if !ck.Ok() {
+		t.Fatalf("discrete GE violated invariants:\n%v", ck.Violations()[0])
+	}
+}
+
+func TestTinyBudgetUpholdsInvariants(t *testing.T) {
+	cfg := sched.Defaults()
+	cfg.PowerBudget = 40 // starved machine
+	ck := runChecked(t, cfg, core.NewGE(0.9), shortSpec(150, 4))
+	if !ck.Ok() {
+		t.Fatalf("starved GE violated invariants:\n%v", ck.Violations()[0])
+	}
+}
+
+// rogueMigrator deliberately re-binds a queued job to another core to prove
+// the checker catches migration.
+type rogueMigrator struct {
+	inner sched.Policy
+	done  bool
+}
+
+func (r *rogueMigrator) Name() string { return "rogue" }
+func (r *rogueMigrator) Reset()       { r.inner.Reset() }
+func (r *rogueMigrator) Schedule(ctx *sched.Context) {
+	r.inner.Schedule(ctx)
+	if r.done {
+		return
+	}
+	// Move the first planned job we find onto the next core.
+	for _, c := range ctx.Server.Cores {
+		q := c.Queue()
+		if len(q) == 0 {
+			continue
+		}
+		j := q[0]
+		next := (c.Index + 1) % len(ctx.Server.Cores)
+		j.Core = next
+		ctx.Server.Cores[next].SetPlan([]machine.Entry{{Job: j, Speed: 1}})
+		r.done = true
+		return
+	}
+}
+
+func TestCheckerCatchesMigration(t *testing.T) {
+	ck := Wrap(&rogueMigrator{inner: core.NewGE(0.9)})
+	r, err := sched.NewRunner(sched.Defaults(), ck, shortSpec(150, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ck.Ok() {
+		t.Fatal("checker missed a deliberate migration")
+	}
+	found := false
+	for _, v := range ck.Violations() {
+		if v.Rule == "no-migration" || v.Rule == "binding" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("violations lack migration rule: %v", ck.Violations())
+	}
+}
+
+// rogueSpeeder plans a speed beyond the whole-budget cap.
+type rogueSpeeder struct{ inner sched.Policy }
+
+func (r *rogueSpeeder) Name() string { return "speeder" }
+func (r *rogueSpeeder) Reset()       { r.inner.Reset() }
+func (r *rogueSpeeder) Schedule(ctx *sched.Context) {
+	r.inner.Schedule(ctx)
+	for _, c := range ctx.Server.Cores {
+		q := c.Queue()
+		if len(q) > 0 {
+			entries := make([]machine.Entry, len(q))
+			for i, j := range q {
+				entries[i] = machine.Entry{Job: j, Speed: 100} // absurd
+			}
+			c.SetPlan(entries)
+			return
+		}
+	}
+}
+
+func TestCheckerCatchesOverspeed(t *testing.T) {
+	ck := Wrap(&rogueSpeeder{inner: core.NewBE()})
+	r, _ := sched.NewRunner(sched.Defaults(), ck, shortSpec(120, 6))
+	if _, err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rules := map[string]bool{}
+	for _, v := range ck.Violations() {
+		rules[v.Rule] = true
+	}
+	if !rules["speed-cap"] && !rules["power-budget"] {
+		t.Fatalf("checker missed overspeed: %v", ck.Violations())
+	}
+}
+
+func TestViolationLimit(t *testing.T) {
+	ck := Wrap(&rogueSpeeder{inner: core.NewBE()})
+	ck.Limit = 5
+	r, _ := sched.NewRunner(sched.Defaults(), ck, shortSpec(200, 7))
+	if _, err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ck.Violations()) > 5 {
+		t.Fatalf("limit ignored: %d violations recorded", len(ck.Violations()))
+	}
+}
+
+func TestCheckerResetClearsState(t *testing.T) {
+	ck := Wrap(&rogueSpeeder{inner: core.NewBE()})
+	r, _ := sched.NewRunner(sched.Defaults(), ck, shortSpec(120, 8))
+	r.Run()
+	if ck.Ok() {
+		t.Fatal("expected violations before reset")
+	}
+	ck.Reset()
+	if !ck.Ok() {
+		t.Fatal("reset did not clear violations")
+	}
+}
+
+func TestCheckerNamePassthrough(t *testing.T) {
+	ck := Wrap(core.NewGE(0.9))
+	if ck.Name() != "GE" {
+		t.Fatalf("name = %q", ck.Name())
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Time: 1.5, Rule: "edf-order", Detail: "x"}
+	s := v.String()
+	if !strings.Contains(s, "edf-order") || !strings.Contains(s, "1.5") {
+		t.Fatalf("violation string = %q", s)
+	}
+}
+
+// targetTamperer sets an out-of-range target to prove target-range fires.
+type targetTamperer struct{ inner sched.Policy }
+
+func (r *targetTamperer) Name() string { return "tamper" }
+func (r *targetTamperer) Reset()       { r.inner.Reset() }
+func (r *targetTamperer) Schedule(ctx *sched.Context) {
+	r.inner.Schedule(ctx)
+	for _, c := range ctx.Server.Cores {
+		for _, j := range c.Queue() {
+			j.Target = j.Demand + 500 // bypass SetTarget clamps
+			return
+		}
+	}
+}
+
+func TestCheckerCatchesBadTargets(t *testing.T) {
+	ck := Wrap(&targetTamperer{inner: core.NewGE(0.9)})
+	r, _ := sched.NewRunner(sched.Defaults(), ck, shortSpec(150, 9))
+	if _, err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, v := range ck.Violations() {
+		if v.Rule == "target-range" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("checker missed the tampered target: %v", ck.Violations())
+	}
+}
+
+func TestHeterogeneousMachineUpholdsInvariants(t *testing.T) {
+	cfg := sched.Defaults()
+	models := make([]power.Model, cfg.Cores)
+	for i := range models {
+		if i < cfg.Cores/2 {
+			models[i] = power.Model{A: 5, Beta: 2} // big
+		} else {
+			models[i] = power.Model{A: 2, Beta: 2, MaxSpeed: 1.6} // little
+		}
+	}
+	cfg.PerCoreModels = models
+	ck := runChecked(t, cfg, core.NewGE(0.9), shortSpec(160, 10))
+	if !ck.Ok() {
+		t.Fatalf("heterogeneous GE violated invariants:\n%v", ck.Violations()[0])
+	}
+}
