@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench sweep sweep-fast fuzz cover clean
+.PHONY: all build test race vet bench sweep sweep-fast fuzz cover clean
 
 all: build vet test
 
@@ -14,6 +14,10 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Full test suite under the race detector (what CI runs).
+race:
+	$(GO) test -race ./...
 
 # One benchmark iteration per paper figure + ablations (fast, shape-level).
 bench:
@@ -32,6 +36,7 @@ fuzz:
 	$(GO) test -fuzz FuzzLongestFirst -fuzztime 30s ./internal/cut/
 	$(GO) test -fuzz FuzzWaterFill -fuzztime 30s ./internal/dist/
 	$(GO) test -fuzz FuzzReadTrace -fuzztime 30s ./internal/workload/
+	$(GO) test -fuzz FuzzGenerate -fuzztime 30s ./internal/faults/
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...

@@ -7,12 +7,20 @@
 //	gesim -scheduler be-p -rate 150 -bep-budget 240
 //	gesim -scheduler ge -rate 150 -discrete
 //	gesim -list
+//
+// Fault injection (graceful-degradation experiments):
+//
+//	gesim -scheduler ge -rate 180 -kill-cores 1,4,9,14 -kill-at 5 -kill-for 10
+//	gesim -scheduler ge -rate 180 -cap-watts 160 -cap-at 10 -cap-for 20
+//	gesim -scheduler ge -rate 180 -stuck-core 3 -stuck-speed 1.2 -stuck-at 5
+//	gesim -scheduler ge -rate 150 -fault-mtbf 60 -fault-mttr 10
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"goodenough"
@@ -39,22 +47,35 @@ func compareAll(cfg goodenough.Config) {
 
 func main() {
 	var (
-		list      = flag.Bool("list", false, "list available schedulers and exit")
-		scheduler = flag.String("scheduler", "ge", "scheduling policy")
-		rate      = flag.Float64("rate", 154, "Poisson arrival rate (req/s)")
-		duration  = flag.Float64("duration", 60, "simulated seconds of arrivals")
-		cores     = flag.Int("cores", 16, "number of DVFS cores")
-		budget    = flag.Float64("budget", 320, "total dynamic power budget (W)")
-		qge       = flag.Float64("qge", 0.9, "good-enough quality target")
-		qualityC  = flag.Float64("quality-c", 0.003, "quality-function concavity c")
-		seed      = flag.Uint64("seed", 2017, "workload RNG seed")
-		randomWin = flag.Bool("random-window", false, "uniform 150-500 ms response windows")
-		discrete  = flag.Bool("discrete", false, "discrete DVFS (0.2 GHz steps to 3.2 GHz)")
-		bepBudget = flag.Float64("bep-budget", 0, "reduced budget for scheduler be-p (W)")
-		besCap    = flag.Float64("bes-cap", 0, "speed cap for scheduler be-s (GHz)")
-		csv       = flag.Bool("csv", false, "emit a single CSV row instead of text")
-		timeline  = flag.String("timeline", "", "write a quality/power/mode time series CSV to this file")
-		compare   = flag.Bool("compare", false, "run every scheduler on this workload and print a comparison table")
+		list       = flag.Bool("list", false, "list available schedulers and exit")
+		scheduler  = flag.String("scheduler", "ge", "scheduling policy")
+		rate       = flag.Float64("rate", 154, "Poisson arrival rate (req/s)")
+		duration   = flag.Float64("duration", 60, "simulated seconds of arrivals")
+		cores      = flag.Int("cores", 16, "number of DVFS cores")
+		budget     = flag.Float64("budget", 320, "total dynamic power budget (W)")
+		qge        = flag.Float64("qge", 0.9, "good-enough quality target")
+		qualityC   = flag.Float64("quality-c", 0.003, "quality-function concavity c")
+		seed       = flag.Uint64("seed", 2017, "workload RNG seed")
+		randomWin  = flag.Bool("random-window", false, "uniform 150-500 ms response windows")
+		discrete   = flag.Bool("discrete", false, "discrete DVFS (0.2 GHz steps to 3.2 GHz)")
+		bepBudget  = flag.Float64("bep-budget", 0, "reduced budget for scheduler be-p (W)")
+		besCap     = flag.Float64("bes-cap", 0, "speed cap for scheduler be-s (GHz)")
+		killCores  = flag.String("kill-cores", "", "comma-separated core indices to fail")
+		killAt     = flag.Float64("kill-at", 5, "failure onset time for -kill-cores (s)")
+		killFor    = flag.Float64("kill-for", 0, "failure duration for -kill-cores (s, 0 = permanent)")
+		capWatts   = flag.Float64("cap-watts", 0, "facility power cap to inject (W, 0 = none)")
+		capAt      = flag.Float64("cap-at", 5, "cap onset time (s)")
+		capFor     = flag.Float64("cap-for", 0, "cap duration (s, 0 = permanent)")
+		stuckCore  = flag.Int("stuck-core", -1, "core whose DVFS wedges (-1 = none)")
+		stuckSpeed = flag.Float64("stuck-speed", 0, "wedged speed for -stuck-core (GHz)")
+		stuckAt    = flag.Float64("stuck-at", 5, "stuck-DVFS onset time (s)")
+		stuckFor   = flag.Float64("stuck-for", 0, "stuck-DVFS duration (s, 0 = permanent)")
+		faultMTBF  = flag.Float64("fault-mtbf", 0, "mean time between core failures (s, 0 = off)")
+		faultMTTR  = flag.Float64("fault-mttr", 0, "mean time to repair for -fault-mtbf (s)")
+
+		csv      = flag.Bool("csv", false, "emit a single CSV row instead of text")
+		timeline = flag.String("timeline", "", "write a quality/power/mode time series CSV to this file")
+		compare  = flag.Bool("compare", false, "run every scheduler on this workload and print a comparison table")
 	)
 	flag.Parse()
 
@@ -87,6 +108,36 @@ func main() {
 		}
 	}
 
+	if *killCores != "" {
+		for _, tok := range strings.Split(*killCores, ",") {
+			idx, cerr := strconv.Atoi(strings.TrimSpace(tok))
+			if cerr != nil {
+				fmt.Fprintf(os.Stderr, "gesim: bad -kill-cores entry %q: %v\n", tok, cerr)
+				os.Exit(1)
+			}
+			cfg.Faults = append(cfg.Faults, goodenough.FaultSpec{
+				AtSec: *killAt, Kind: "core-fail", Core: idx, DurationSec: *killFor,
+			})
+		}
+	}
+	if *capWatts < 0 {
+		fmt.Fprintf(os.Stderr, "gesim: -cap-watts must be positive, got %v\n", *capWatts)
+		os.Exit(1)
+	}
+	if *capWatts > 0 {
+		cfg.Faults = append(cfg.Faults, goodenough.FaultSpec{
+			AtSec: *capAt, Kind: "budget-cap", Watts: *capWatts, DurationSec: *capFor,
+		})
+	}
+	if *stuckCore >= 0 {
+		cfg.Faults = append(cfg.Faults, goodenough.FaultSpec{
+			AtSec: *stuckAt, Kind: "speed-stuck", Core: *stuckCore,
+			SpeedGHz: *stuckSpeed, DurationSec: *stuckFor,
+		})
+	}
+	cfg.FaultMTBFSec = *faultMTBF
+	cfg.FaultMTTRSec = *faultMTTR
+
 	if *compare {
 		compareAll(cfg)
 		return
@@ -111,11 +162,12 @@ func main() {
 	}
 
 	if *csv {
-		fmt.Printf("scheduler,rate,quality,energy_j,aes_fraction,avg_speed_ghz,speed_variance,jobs,completed,expired,cut_jobs,mode_switches,sim_time_s\n")
-		fmt.Printf("%s,%g,%.6f,%.2f,%.4f,%.4f,%.4f,%d,%d,%d,%d,%d,%.2f\n",
+		fmt.Printf("scheduler,rate,quality,energy_j,aes_fraction,avg_speed_ghz,speed_variance,jobs,completed,expired,cut_jobs,mode_switches,sim_time_s,core_failures,requeued,dropped,surviving_capacity\n")
+		fmt.Printf("%s,%g,%.6f,%.2f,%.4f,%.4f,%.4f,%d,%d,%d,%d,%d,%.2f,%d,%d,%d,%.6f\n",
 			res.Scheduler, *rate, res.Quality, res.Energy, res.AESFraction,
 			res.AvgSpeed, res.SpeedVariance, res.Jobs, res.Completed,
-			res.Expired, res.CutJobs, res.ModeSwitches, res.SimTime)
+			res.Expired, res.CutJobs, res.ModeSwitches, res.SimTime,
+			res.CoreFailures, res.RequeuedJobs, res.DroppedJobs, res.SurvivingCapacity)
 		return
 	}
 
@@ -132,4 +184,11 @@ func main() {
 	fmt.Printf("expired          %d\n", res.Expired)
 	fmt.Printf("cut jobs         %d\n", res.CutJobs)
 	fmt.Printf("mode switches    %d\n", res.ModeSwitches)
+	if res.CoreFailures > 0 || res.RequeuedJobs > 0 || res.DroppedJobs > 0 ||
+		res.SurvivingCapacity < 1 {
+		fmt.Printf("core failures    %d\n", res.CoreFailures)
+		fmt.Printf("requeued jobs    %d\n", res.RequeuedJobs)
+		fmt.Printf("dropped jobs     %d\n", res.DroppedJobs)
+		fmt.Printf("surviving cap.   %.4f\n", res.SurvivingCapacity)
+	}
 }

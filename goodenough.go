@@ -25,6 +25,13 @@
 //	be-s      Best Effort under a per-core speed cap (set BESCap)
 //	fcfs fdfs ljf sjf   classic single-job baselines
 //
+// Beyond the paper's fault-free setting, the simulator injects machine
+// faults and degrades gracefully: Config.Faults lists deterministic fault
+// windows (core failures, facility power caps, stuck DVFS), and
+// Config.FaultMTBFSec/FaultMTTRSec draw a reproducible random failure
+// schedule instead. Result then reports CoreFailures, RequeuedJobs,
+// DroppedJobs, and the time-weighted SurvivingCapacity.
+//
 // The experiment harness reproducing every figure of the paper lives in
 // cmd/gesweep; the per-figure benchmarks live in bench_test.go.
 package goodenough
@@ -36,6 +43,7 @@ import (
 
 	"goodenough/internal/core"
 	"goodenough/internal/dist"
+	"goodenough/internal/faults"
 	"goodenough/internal/metrics"
 	"goodenough/internal/power"
 	"goodenough/internal/quality"
@@ -132,6 +140,37 @@ type Config struct {
 	BEPBudget float64
 	// BESCap is the per-core speed cap (GHz) used by "be-s".
 	BESCap float64
+
+	// --- Fault injection ---
+
+	// Faults lists deterministic fault windows to inject (core failures,
+	// facility-level power caps, stuck DVFS). See FaultSpec.
+	Faults []FaultSpec
+	// FaultMTBFSec and FaultMTTRSec, when both positive, generate a
+	// reproducible random failure schedule instead: each core fails and
+	// recovers as an independent renewal process with exponential
+	// up-times (mean FaultMTBFSec) and down-times (mean FaultMTTRSec),
+	// seeded from Seed over DurationSec. Ignored when Faults is set.
+	FaultMTBFSec float64
+	FaultMTTRSec float64
+}
+
+// FaultSpec describes one injected fault window (Config.Faults).
+type FaultSpec struct {
+	// AtSec is the onset time in seconds.
+	AtSec float64
+	// Kind selects the fault: "core-fail" (or "fail"), "budget-cap" (or
+	// "cap"), "speed-stuck" (or "stuck").
+	Kind string
+	// Core is the target core index for core-fail and speed-stuck.
+	Core int
+	// DurationSec, when positive, recovers the fault at AtSec+DurationSec;
+	// zero makes it permanent.
+	DurationSec float64
+	// Watts is the capped total budget for budget-cap.
+	Watts float64
+	// SpeedGHz is the wedged core speed for speed-stuck.
+	SpeedGHz float64
 }
 
 // CoreGroup describes one cluster of identical cores in a heterogeneous
@@ -224,6 +263,17 @@ type Result struct {
 	// in BQEnergy).
 	AESEnergy float64
 	BQEnergy  float64
+	// CoreFailures counts injected core-failure events that took effect.
+	CoreFailures int64
+	// RequeuedJobs counts jobs orphaned by a core failure and re-bound to
+	// a surviving core (the one audited no-migration exception).
+	RequeuedJobs int64
+	// DroppedJobs counts waiting jobs shed by the degradation admission
+	// control while the machine was below full capacity.
+	DroppedJobs int64
+	// SurvivingCapacity is the time-weighted fraction of core capacity
+	// that stayed healthy over the run (1 on a fault-free run).
+	SurvivingCapacity float64
 }
 
 // Schedulers lists the accepted Config.Scheduler names.
@@ -400,6 +450,11 @@ func finish(runner *sched.Runner) (Result, error) {
 		P95Response:   res.P95Response,
 		AESEnergy:     res.AESEnergy,
 		BQEnergy:      res.BQEnergy,
+
+		CoreFailures:      res.CoreFailures,
+		RequeuedJobs:      res.RequeuedJobs,
+		DroppedJobs:       res.DroppedJobs,
+		SurvivingCapacity: res.SurvivingCapacity,
 	}, nil
 }
 
@@ -522,6 +577,37 @@ func lowerMachineOnly(cfg Config) (sched.Config, workload.Spec, sched.Policy, er
 			return sched.Config{}, workload.Spec{}, nil, err
 		}
 		scfg.Ladder = ladder
+	}
+	switch {
+	case len(cfg.Faults) > 0:
+		specs := make([]faults.Spec, len(cfg.Faults))
+		for i, f := range cfg.Faults {
+			kind, err := faults.ParseKind(f.Kind)
+			if err != nil {
+				return sched.Config{}, workload.Spec{}, nil,
+					fmt.Errorf("goodenough: fault %d: %w", i, err)
+			}
+			specs[i] = faults.Spec{
+				At: f.AtSec, Kind: kind, Core: f.Core,
+				Duration: f.DurationSec, Watts: f.Watts, Speed: f.SpeedGHz,
+			}
+		}
+		fs, err := faults.New(specs, cores)
+		if err != nil {
+			return sched.Config{}, workload.Spec{}, nil, fmt.Errorf("goodenough: %w", err)
+		}
+		scfg.Faults = fs
+	case cfg.FaultMTBFSec > 0 || cfg.FaultMTTRSec > 0:
+		if cfg.DurationSec <= 0 {
+			return sched.Config{}, workload.Spec{}, nil,
+				fmt.Errorf("goodenough: the MTBF/MTTR fault generator needs DurationSec > 0")
+		}
+		fs, err := faults.Generate(cfg.Seed, cores, cfg.DurationSec,
+			cfg.FaultMTBFSec, cfg.FaultMTTRSec)
+		if err != nil {
+			return sched.Config{}, workload.Spec{}, nil, fmt.Errorf("goodenough: %w", err)
+		}
+		scfg.Faults = fs
 	}
 	if err := scfg.Validate(); err != nil {
 		return sched.Config{}, workload.Spec{}, nil, err

@@ -5,6 +5,10 @@
 // the next batch continues from where the previous batch stopped. Over the
 // long run this spreads jobs more evenly than restarting at core 0 every
 // cycle. Plain RR and a least-loaded policy are provided for ablations.
+//
+// Assignment is expressed over an eligible-core list rather than a bare
+// core count so the scheduler can route new work around failed cores: on a
+// fault-free machine the list is simply [0, 1, …, m−1].
 package assign
 
 import (
@@ -17,25 +21,35 @@ import (
 // each job's Core field and State; they must never move an already
 // assigned job (no migration, paper §II-B).
 type Assigner interface {
-	// Assign binds each job to a core index in [0, cores). loads gives the
-	// current remaining work per core for load-aware policies.
-	Assign(jobs []*job.Job, cores int, loads []float64)
+	// Assign binds each job to one of the eligible core indices. loads
+	// gives the current remaining work per core (indexed by core index,
+	// spanning the whole machine) for load-aware policies.
+	Assign(jobs []*job.Job, eligible []int, loads []float64)
 	// Name identifies the policy.
 	Name() string
 	// Reset clears any cross-cycle state (new simulation run).
 	Reset()
 }
 
-// RoundRobin restarts at core 0 on every batch.
+// AllCores returns the eligible list for a fault-free m-core machine.
+func AllCores(m int) []int {
+	out := make([]int, m)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// RoundRobin restarts at the first eligible core on every batch.
 type RoundRobin struct{}
 
 // Assign implements Assigner.
-func (RoundRobin) Assign(jobs []*job.Job, cores int, _ []float64) {
-	if cores <= 0 {
-		panic("assign: no cores")
+func (RoundRobin) Assign(jobs []*job.Job, eligible []int, _ []float64) {
+	if len(eligible) == 0 {
+		panic("assign: no eligible cores")
 	}
 	for i, j := range jobs {
-		bind(j, i%cores)
+		bind(j, eligible[i%len(eligible)])
 	}
 }
 
@@ -46,23 +60,24 @@ func (RoundRobin) Name() string { return "rr" }
 func (RoundRobin) Reset() {}
 
 // CumulativeRR is the paper's C-RR policy: the cursor persists across
-// batches.
+// batches. The cursor walks the eligible list by position, so when a core
+// fails mid-run the rotation simply continues over the survivors.
 type CumulativeRR struct {
 	cursor int
 }
 
 // Assign implements Assigner.
-func (c *CumulativeRR) Assign(jobs []*job.Job, cores int, _ []float64) {
-	if cores <= 0 {
-		panic("assign: no cores")
+func (c *CumulativeRR) Assign(jobs []*job.Job, eligible []int, _ []float64) {
+	if len(eligible) == 0 {
+		panic("assign: no eligible cores")
 	}
-	if c.cursor >= cores {
-		// The core count shrank between runs; wrap.
-		c.cursor %= cores
+	if c.cursor >= len(eligible) {
+		// The eligible set shrank (core failure or fewer cores); wrap.
+		c.cursor %= len(eligible)
 	}
 	for _, j := range jobs {
-		bind(j, c.cursor)
-		c.cursor = (c.cursor + 1) % cores
+		bind(j, eligible[c.cursor])
+		c.cursor = (c.cursor + 1) % len(eligible)
 	}
 }
 
@@ -72,22 +87,26 @@ func (c *CumulativeRR) Name() string { return "c-rr" }
 // Reset implements Assigner.
 func (c *CumulativeRR) Reset() { c.cursor = 0 }
 
-// LeastLoaded binds each job to the core with the least remaining work,
-// updating the load estimate as it assigns (ablation policy).
+// LeastLoaded binds each job to the eligible core with the least remaining
+// work, updating the load estimate as it assigns (ablation policy).
 type LeastLoaded struct{}
 
 // Assign implements Assigner.
-func (LeastLoaded) Assign(jobs []*job.Job, cores int, loads []float64) {
-	if cores <= 0 {
-		panic("assign: no cores")
+func (LeastLoaded) Assign(jobs []*job.Job, eligible []int, loads []float64) {
+	if len(eligible) == 0 {
+		panic("assign: no eligible cores")
 	}
-	local := make([]float64, cores)
-	copy(local, loads)
+	local := make(map[int]float64, len(eligible))
+	for _, c := range eligible {
+		if c >= 0 && c < len(loads) {
+			local[c] = loads[c]
+		}
+	}
 	for _, j := range jobs {
-		best := 0
-		for i := 1; i < cores; i++ {
-			if local[i] < local[best] {
-				best = i
+		best := eligible[0]
+		for _, c := range eligible[1:] {
+			if local[c] < local[best] {
+				best = c
 			}
 		}
 		bind(j, best)

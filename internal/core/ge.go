@@ -147,7 +147,8 @@ func (g *GE) Reset() {
 	g.opts.Assigner.Reset()
 }
 
-// Schedule implements sched.Policy — the full GE pipeline.
+// Schedule implements sched.Policy — the full GE pipeline, degraded
+// gracefully to whatever subset of the machine is currently healthy.
 func (g *GE) Schedule(ctx *sched.Context) {
 	cfg := ctx.Cfg
 	now := ctx.Now
@@ -158,10 +159,25 @@ func (g *GE) Schedule(ctx *sched.Context) {
 		c.DropExpired(now, ctx.Finalize)
 	}
 
-	// 2. Batch-assign everything that is waiting.
+	// 2. Batch-assign everything that is waiting, over the surviving
+	// cores only. With no healthy core the batch stays queued (it will be
+	// shed or expire).
+	eligible := make([]int, 0, cfg.Cores)
+	for _, c := range ctx.Server.Cores {
+		if c.Healthy() {
+			eligible = append(eligible, c.Index)
+		}
+	}
 	batch := ctx.Waiting.Drain()
 	if len(batch) > 0 {
-		g.opts.Assigner.Assign(batch, cfg.Cores, ctx.Server.Loads())
+		if len(eligible) == 0 {
+			for _, j := range batch {
+				ctx.Waiting.Push(j)
+			}
+			batch = nil
+		} else {
+			g.opts.Assigner.Assign(batch, eligible, ctx.Server.Loads())
+		}
 	}
 	perCore := make([][]*job.Job, cfg.Cores)
 	for _, c := range ctx.Server.Cores {
@@ -200,15 +216,34 @@ func (g *GE) Schedule(ctx *sched.Context) {
 		}
 	}
 
-	// 5. Power distribution over per-core demands.
-	budget := cfg.PowerBudget
+	// 5. Power distribution over per-core demands — the *current* budget
+	// (which a facility-level cap may have shrunk) split across the
+	// surviving cores. Stuck-DVFS cores run at their wedged speed no
+	// matter what the scheduler wants, so their draw is reserved off the
+	// top and the remainder is distributed over the free healthy cores.
+	budget := ctx.Budget
+	if budget <= 0 {
+		budget = cfg.PowerBudget
+	}
 	if g.opts.BudgetOverride > 0 && g.opts.BudgetOverride < budget {
 		budget = g.opts.BudgetOverride
 	}
 	demands := make([]float64, cfg.Cores)
 	peaks := make([]float64, cfg.Cores)
+	stuckDraw := 0.0
 	for i := range perCore {
 		coreModel := cfg.ModelFor(i)
+		core := ctx.Server.Cores[i]
+		if !core.Healthy() {
+			continue // dead cores demand nothing
+		}
+		if s := core.StuckSpeed(); s > 0 {
+			if len(perCore[i]) > 0 {
+				stuckDraw += coreModel.Power(s)
+			}
+			peaks[i] = s
+			continue
+		}
 		maxSpeed := coreModel.Speed(budget) // a core can use at most everything
 		if g.opts.SpeedCap > 0 && g.opts.SpeedCap < maxSpeed {
 			maxSpeed = g.opts.SpeedCap
@@ -220,8 +255,26 @@ func (g *GE) Schedule(ctx *sched.Context) {
 		peaks[i] = peak
 		demands[i] = coreModel.Power(peak)
 	}
+	free := make([]int, 0, len(eligible))
+	for _, i := range eligible {
+		if ctx.Server.Cores[i].StuckSpeed() <= 0 {
+			free = append(free, i)
+		}
+	}
+	distributable := budget - stuckDraw
+	if distributable < 0 {
+		distributable = 0
+	}
 	heavy := ctx.ArrivalRate >= cfg.CriticalLoad
-	alloc := dist.Distribute(g.opts.Dist, budget, demands, heavy)
+	compact := make([]float64, len(free))
+	for k, i := range free {
+		compact[k] = demands[i]
+	}
+	compactAlloc := dist.Distribute(g.opts.Dist, distributable, compact, heavy)
+	alloc := make([]float64, cfg.Cores)
+	for k, i := range free {
+		alloc[i] = compactAlloc[k]
+	}
 
 	// Discrete speed scaling: rectify each core's chosen speed against the
 	// ladder (paper §IV-A5), lowest allocation first.
@@ -238,10 +291,12 @@ func (g *GE) Schedule(ctx *sched.Context) {
 		discSpeeds, _ = dist.RectifyDiscrete(model, cfg.Ladder, budget, chosen)
 	}
 
-	// 6. Per-core second cut + Energy-OPT plan.
+	// 6. Per-core second cut + Energy-OPT plan. Dead cores keep an empty
+	// plan; stuck cores plan at their wedged speed (the hardware ignores
+	// any other request).
 	for i, c := range ctx.Server.Cores {
 		jobs := perCore[i]
-		if len(jobs) == 0 {
+		if !c.Healthy() || len(jobs) == 0 {
 			c.SetPlan(nil)
 			continue
 		}
@@ -251,6 +306,9 @@ func (g *GE) Schedule(ctx *sched.Context) {
 		}
 		if cfg.Ladder != nil {
 			speedCap = discSpeeds[i]
+		}
+		if s := c.StuckSpeed(); s > 0 {
+			speedCap = s
 		}
 		if speedCap <= 0 {
 			// No power granted: park the jobs; they expire at deadlines.

@@ -1,0 +1,128 @@
+// Degradation: behaviour beyond the paper — quality, energy, and miss rate
+// as the machine crumbles under injected core failures.
+package experiments
+
+import (
+	"fmt"
+
+	"goodenough/internal/core"
+	"goodenough/internal/faults"
+	"goodenough/internal/plot"
+	"goodenough/internal/sched"
+)
+
+// DegradationSettings scope the fault-injection sweep.
+type DegradationSettings struct {
+	// Settings provide the base machine, duration, seed, and worker pool.
+	// Rates is ignored: the x axis here is the failure rate.
+	Settings
+	// Rate is the fixed arrival rate for every point (req/s).
+	Rate float64
+	// FailureRates is the x axis: per-core failure rates in failures per
+	// second (the generator's 1/MTBF). Zero entries mean a fault-free
+	// reference point.
+	FailureRates []float64
+	// MTTRSec is the mean repair time for every point.
+	MTTRSec float64
+}
+
+// DefaultDegradationSettings sweeps per-core failure rates from fault-free
+// to one failure every 20 seconds, repairing in 5 s on average, at the
+// paper's critical arrival rate.
+func DefaultDegradationSettings() DegradationSettings {
+	return DegradationSettings{
+		Settings:     DefaultSettings(),
+		Rate:         154,
+		FailureRates: []float64{0, 0.002, 0.005, 0.01, 0.02, 0.05},
+		MTTRSec:      5,
+	}
+}
+
+// Validate reports whether the degradation settings are runnable.
+func (d DegradationSettings) Validate() error {
+	if err := d.Base.Validate(); err != nil {
+		return err
+	}
+	if d.Duration <= 0 {
+		return fmt.Errorf("experiments: duration must be positive, got %v", d.Duration)
+	}
+	if d.Rate <= 0 {
+		return fmt.Errorf("experiments: invalid arrival rate %v", d.Rate)
+	}
+	if len(d.FailureRates) == 0 {
+		return fmt.Errorf("experiments: no failure rates given")
+	}
+	for _, fr := range d.FailureRates {
+		if fr < 0 {
+			return fmt.Errorf("experiments: invalid failure rate %v", fr)
+		}
+	}
+	if d.MTTRSec <= 0 {
+		return fmt.Errorf("experiments: MTTR must be positive, got %v", d.MTTRSec)
+	}
+	return nil
+}
+
+// missRateOf is the fraction of jobs that produced no result at all:
+// expired at a deadline or shed by the degradation admission control.
+func missRateOf(r sched.Result) float64 {
+	if r.Jobs == 0 {
+		return 0
+	}
+	return float64(r.Expired+r.DroppedJobs) / float64(r.Jobs)
+}
+
+// Degradation sweeps the per-core failure rate and reports quality, energy,
+// and miss rate for GE against the BE baseline. Each point draws its fault
+// schedule from faults.Generate with the sweep seed, so the whole figure is
+// reproducible.
+func Degradation(d DegradationSettings) (qualityFig, energyFig, missFig plot.Figure, err error) {
+	if err = d.Validate(); err != nil {
+		return
+	}
+	makers := map[string]func() sched.Policy{
+		"GE": func() sched.Policy { return core.NewGE(d.Base.QGE) },
+		"BE": func() sched.Policy { return core.NewBE() },
+	}
+	var points []point
+	for _, fr := range d.FailureRates {
+		cfg := d.Base
+		if fr > 0 {
+			var fs *faults.Schedule
+			fs, err = faults.Generate(d.Seed, cfg.Cores, d.Duration, 1/fr, d.MTTRSec)
+			if err != nil {
+				return
+			}
+			cfg.Faults = fs
+		}
+		for name, mk := range makers {
+			points = append(points, point{
+				series: name, x: fr, cfg: cfg, mk: mk,
+				spec: d.spec(d.Rate, false),
+			})
+		}
+	}
+	res, runErr := runAll(points, d.workers())
+	if runErr != nil {
+		err = runErr
+		return
+	}
+	mkFig := func(title, ylabel string, f func(sched.Result) float64) plot.Figure {
+		fig := plot.Figure{
+			Title:  title,
+			XLabel: "per-core failure rate (1/s)",
+			YLabel: ylabel,
+		}
+		for _, name := range []string{"GE", "BE"} {
+			fig.Series = append(fig.Series, series(name, res[name], f))
+		}
+		return fig
+	}
+	qualityFig = mkFig("Degradation: service quality vs failure rate",
+		"service quality", qualityOf)
+	energyFig = mkFig("Degradation: energy vs failure rate",
+		"energy (J)", energyOf)
+	missFig = mkFig("Degradation: miss rate vs failure rate",
+		"missed jobs fraction", missRateOf)
+	return
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import "testing"
+
+func quickDegradation() DegradationSettings {
+	d := DefaultDegradationSettings()
+	d.Duration = 10
+	d.Rate = 160
+	d.FailureRates = []float64{0, 0.05}
+	return d
+}
+
+func TestDegradationShape(t *testing.T) {
+	qf, ef, mf, err := Degradation(quickDegradation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"GE", "BE"} {
+		q := findSeries(t, qf, name)
+		if len(q.X) != 2 {
+			t.Fatalf("%s quality series has %d points, want 2", name, len(q.X))
+		}
+		findSeries(t, ef, name)
+		m := findSeries(t, mf, name)
+		// A heavy failure rate must not *improve* the miss rate.
+		if yOf(t, m, 0.05) < yOf(t, m, 0) {
+			t.Fatalf("%s miss rate improved under failures: %v < %v",
+				name, yOf(t, m, 0.05), yOf(t, m, 0))
+		}
+	}
+	// The fault-free point must match a plain run: quality in (0,1].
+	g := findSeries(t, qf, "GE")
+	if q0 := yOf(t, g, 0); q0 <= 0 || q0 > 1 {
+		t.Fatalf("fault-free GE quality = %v", q0)
+	}
+}
+
+func TestDegradationDeterministic(t *testing.T) {
+	q1, _, m1, err := Degradation(quickDegradation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, _, m2, err := Degradation(quickDegradation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range q1.Series {
+		for j := range q1.Series[i].Y {
+			if q1.Series[i].Y[j] != q2.Series[i].Y[j] || m1.Series[i].Y[j] != m2.Series[i].Y[j] {
+				t.Fatal("degradation sweep is not deterministic")
+			}
+		}
+	}
+}
+
+func TestDegradationValidation(t *testing.T) {
+	for _, mut := range []func(*DegradationSettings){
+		func(d *DegradationSettings) { d.Rate = 0 },
+		func(d *DegradationSettings) { d.FailureRates = nil },
+		func(d *DegradationSettings) { d.FailureRates = []float64{-1} },
+		func(d *DegradationSettings) { d.MTTRSec = 0 },
+		func(d *DegradationSettings) { d.Duration = 0 },
+	} {
+		d := quickDegradation()
+		mut(&d)
+		if _, _, _, err := Degradation(d); err == nil {
+			t.Errorf("invalid settings accepted: %+v", d)
+		}
+	}
+}

@@ -1,0 +1,293 @@
+// Package faults provides a deterministic fault-injection layer for the
+// simulator: a seeded, reproducible Schedule of timed fault events that the
+// scheduler runner delivers through the sim event queue.
+//
+// Four fault families are modeled, chosen because they are exactly where
+// energy-aware schedulers break (budget and topology changes):
+//
+//   - core failure / recovery: a core halts instantly, losing its planned
+//     queue (the runner requeues orphaned jobs — the one documented,
+//     audited exception to the paper's no-migration rule);
+//   - power-budget cap / restore: facility-level power capping shrinks the
+//     total budget H mid-run and later restores it;
+//   - stuck DVFS: a core's frequency governor wedges at a fixed speed — the
+//     degenerate form of DVFS transition latency, where the transition
+//     never completes — until it is freed.
+//
+// A Schedule is either written explicitly from Specs or drawn from an
+// MTBF/MTTR generator. Both paths are deterministic: the same specs or the
+// same (seed, cores, horizon, mtbf, mttr) tuple yield byte-identical event
+// streams on every run and platform (the generator uses the repo's stable
+// rng package, not math/rand).
+package faults
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"goodenough/internal/rng"
+)
+
+// Kind labels a fault event.
+type Kind int
+
+const (
+	// CoreFail halts core Core: its plan is lost and it executes nothing.
+	CoreFail Kind = iota
+	// CoreRecover returns core Core to service (empty, healthy).
+	CoreRecover
+	// BudgetCap lowers the total power budget to Watts.
+	BudgetCap
+	// BudgetRestore returns the budget to its nominal value.
+	BudgetRestore
+	// SpeedStuck wedges core Core's DVFS at Speed GHz: every plan on the
+	// core executes at that speed until SpeedFree.
+	SpeedStuck
+	// SpeedFree releases a stuck core's DVFS.
+	SpeedFree
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case CoreFail:
+		return "core-fail"
+	case CoreRecover:
+		return "core-recover"
+	case BudgetCap:
+		return "budget-cap"
+	case BudgetRestore:
+		return "budget-restore"
+	case SpeedStuck:
+		return "speed-stuck"
+	case SpeedFree:
+		return "speed-free"
+	default:
+		return fmt.Sprintf("fault(%d)", int(k))
+	}
+}
+
+// ParseKind maps the string names accepted in configs ("core-fail",
+// "budget-cap", "speed-stuck") to the onset Kind.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "core-fail", "fail":
+		return CoreFail, nil
+	case "budget-cap", "cap":
+		return BudgetCap, nil
+	case "speed-stuck", "stuck":
+		return SpeedStuck, nil
+	default:
+		return 0, fmt.Errorf("faults: unknown fault kind %q (core-fail|budget-cap|speed-stuck)", s)
+	}
+}
+
+// Event is one timed fault occurrence, ready for the sim queue.
+type Event struct {
+	// At is the simulation time in seconds.
+	At float64
+	// Kind says what happens.
+	Kind Kind
+	// Core is the target core for core and DVFS faults.
+	Core int
+	// Watts is the new total budget for BudgetCap.
+	Watts float64
+	// Speed is the wedged speed in GHz for SpeedStuck.
+	Speed float64
+}
+
+// Spec is the user-level description of one fault: an onset and an optional
+// duration after which the matching recovery event fires automatically.
+// Duration 0 means the fault is permanent.
+type Spec struct {
+	// At is the onset time in seconds.
+	At float64
+	// Kind must be an onset kind: CoreFail, BudgetCap, or SpeedStuck.
+	Kind Kind
+	// Core is the target core for CoreFail and SpeedStuck.
+	Core int
+	// Duration, when positive, schedules the paired recovery at
+	// At+Duration; zero makes the fault permanent.
+	Duration float64
+	// Watts is the capped budget for BudgetCap.
+	Watts float64
+	// Speed is the wedged speed for SpeedStuck.
+	Speed float64
+}
+
+// Validate reports whether the spec is well-formed for a machine with the
+// given core count.
+func (s Spec) Validate(cores int) error {
+	if math.IsNaN(s.At) || math.IsInf(s.At, 0) || s.At < 0 {
+		return fmt.Errorf("faults: onset time %v must be finite and non-negative", s.At)
+	}
+	if math.IsNaN(s.Duration) || math.IsInf(s.Duration, 0) || s.Duration < 0 {
+		return fmt.Errorf("faults: duration %v must be finite and non-negative", s.Duration)
+	}
+	switch s.Kind {
+	case CoreFail:
+		if s.Core < 0 || s.Core >= cores {
+			return fmt.Errorf("faults: core %d outside machine [0,%d)", s.Core, cores)
+		}
+	case BudgetCap:
+		if math.IsNaN(s.Watts) || math.IsInf(s.Watts, 0) || s.Watts <= 0 {
+			return fmt.Errorf("faults: budget cap %v W must be finite and positive", s.Watts)
+		}
+	case SpeedStuck:
+		if s.Core < 0 || s.Core >= cores {
+			return fmt.Errorf("faults: core %d outside machine [0,%d)", s.Core, cores)
+		}
+		if math.IsNaN(s.Speed) || math.IsInf(s.Speed, 0) || s.Speed <= 0 {
+			return fmt.Errorf("faults: stuck speed %v GHz must be finite and positive", s.Speed)
+		}
+	case CoreRecover, BudgetRestore, SpeedFree:
+		return fmt.Errorf("faults: %v is a recovery kind; specs carry the onset plus a Duration", s.Kind)
+	default:
+		return fmt.Errorf("faults: unknown fault kind %d", int(s.Kind))
+	}
+	return nil
+}
+
+// recovery returns the Kind that undoes an onset.
+func recovery(k Kind) Kind {
+	switch k {
+	case CoreFail:
+		return CoreRecover
+	case BudgetCap:
+		return BudgetRestore
+	default:
+		return SpeedFree
+	}
+}
+
+// Schedule is a validated, time-ordered fault event stream.
+type Schedule struct {
+	events []Event
+}
+
+// New expands specs into a time-ordered Schedule, pairing each bounded
+// fault with its recovery. Specs are validated against the core count.
+func New(specs []Spec, cores int) (*Schedule, error) {
+	if cores <= 0 {
+		return nil, fmt.Errorf("faults: schedule needs a positive core count, got %d", cores)
+	}
+	events := make([]Event, 0, 2*len(specs))
+	for i, s := range specs {
+		if err := s.Validate(cores); err != nil {
+			return nil, fmt.Errorf("faults: spec %d: %w", i, err)
+		}
+		events = append(events, Event{At: s.At, Kind: s.Kind, Core: s.Core, Watts: s.Watts, Speed: s.Speed})
+		if s.Duration > 0 {
+			events = append(events, Event{At: s.At + s.Duration, Kind: recovery(s.Kind), Core: s.Core})
+		}
+	}
+	sortEvents(events)
+	return &Schedule{events: events}, nil
+}
+
+// sortEvents orders by time, breaking ties by (kind, core) so equal-time
+// streams are deterministic regardless of spec order.
+func sortEvents(events []Event) {
+	sort.SliceStable(events, func(a, b int) bool {
+		if events[a].At != events[b].At {
+			return events[a].At < events[b].At
+		}
+		if events[a].Kind != events[b].Kind {
+			return events[a].Kind < events[b].Kind
+		}
+		return events[a].Core < events[b].Core
+	})
+}
+
+// Generate draws a per-core alternating failure/repair renewal process:
+// each core stays up for an Exp(1/mtbf) time, down for an Exp(1/mttr)
+// time, repeating until the horizon. The stream is deterministic for a
+// fixed (seed, cores, horizon, mtbf, mttr) tuple, and every failure inside
+// the horizon gets its paired recovery (possibly beyond the horizon, so a
+// fail is never left dangling).
+func Generate(seed uint64, cores int, horizon, mtbf, mttr float64) (*Schedule, error) {
+	if cores <= 0 {
+		return nil, fmt.Errorf("faults: generator needs a positive core count, got %d", cores)
+	}
+	if math.IsNaN(horizon) || math.IsInf(horizon, 0) || horizon <= 0 {
+		return nil, fmt.Errorf("faults: generator horizon %v must be finite and positive", horizon)
+	}
+	if math.IsNaN(mtbf) || mtbf <= 0 {
+		return nil, fmt.Errorf("faults: MTBF %v must be positive", mtbf)
+	}
+	if math.IsNaN(mttr) || mttr <= 0 {
+		return nil, fmt.Errorf("faults: MTTR %v must be positive", mttr)
+	}
+	var events []Event
+	root := rng.New(seed ^ 0xfa017faBAD5EED)
+	for core := 0; core < cores; core++ {
+		src := root.Split()
+		t := 0.0
+		for {
+			t += src.Exp(1 / mtbf)
+			if t >= horizon {
+				break
+			}
+			down := src.Exp(1 / mttr)
+			events = append(events, Event{At: t, Kind: CoreFail, Core: core})
+			events = append(events, Event{At: t + down, Kind: CoreRecover, Core: core})
+			t += down
+		}
+	}
+	sortEvents(events)
+	return &Schedule{events: events}, nil
+}
+
+// Events returns a copy of the ordered event stream.
+func (s *Schedule) Events() []Event {
+	if s == nil {
+		return nil
+	}
+	return append([]Event(nil), s.events...)
+}
+
+// Len returns the number of events.
+func (s *Schedule) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.events)
+}
+
+// Validate re-checks the event stream against a machine size. New and
+// Generate produce valid schedules; this guards hand-built ones and
+// core-count mismatches (a schedule generated for 16 cores applied to 8).
+func (s *Schedule) Validate(cores int) error {
+	if s == nil {
+		return nil
+	}
+	last := 0.0
+	for i, e := range s.events {
+		if math.IsNaN(e.At) || math.IsInf(e.At, 0) || e.At < 0 {
+			return fmt.Errorf("faults: event %d time %v must be finite and non-negative", i, e.At)
+		}
+		if e.At < last {
+			return fmt.Errorf("faults: event %d at %v before predecessor at %v", i, e.At, last)
+		}
+		last = e.At
+		switch e.Kind {
+		case CoreFail, CoreRecover, SpeedStuck, SpeedFree:
+			if e.Core < 0 || e.Core >= cores {
+				return fmt.Errorf("faults: event %d core %d outside machine [0,%d)", i, e.Core, cores)
+			}
+			if e.Kind == SpeedStuck && (math.IsNaN(e.Speed) || math.IsInf(e.Speed, 0) || e.Speed <= 0) {
+				return fmt.Errorf("faults: event %d stuck speed %v must be finite and positive", i, e.Speed)
+			}
+		case BudgetCap:
+			if math.IsNaN(e.Watts) || math.IsInf(e.Watts, 0) || e.Watts <= 0 {
+				return fmt.Errorf("faults: event %d budget cap %v W must be finite and positive", i, e.Watts)
+			}
+		case BudgetRestore:
+			// No payload.
+		default:
+			return fmt.Errorf("faults: event %d has unknown kind %d", i, int(e.Kind))
+		}
+	}
+	return nil
+}

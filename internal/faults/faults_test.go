@@ -1,0 +1,189 @@
+package faults
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestNewPairsAndOrders(t *testing.T) {
+	specs := []Spec{
+		{At: 20, Kind: BudgetCap, Watts: 160, Duration: 30},
+		{At: 10, Kind: CoreFail, Core: 3, Duration: 5},
+		{At: 10, Kind: CoreFail, Core: 1}, // permanent
+		{At: 40, Kind: SpeedStuck, Core: 0, Speed: 1.5, Duration: 2},
+	}
+	sch, err := New(specs, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := sch.Events()
+	want := []Event{
+		{At: 10, Kind: CoreFail, Core: 1},
+		{At: 10, Kind: CoreFail, Core: 3},
+		{At: 15, Kind: CoreRecover, Core: 3},
+		{At: 20, Kind: BudgetCap, Watts: 160},
+		{At: 40, Kind: SpeedStuck, Core: 0, Speed: 1.5},
+		{At: 42, Kind: SpeedFree, Core: 0},
+		{At: 50, Kind: BudgetRestore},
+	}
+	if !reflect.DeepEqual(ev, want) {
+		t.Fatalf("events:\n got %+v\nwant %+v", ev, want)
+	}
+	if err := sch.Validate(16); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	nan := func() float64 { var z float64; return z / z }()
+	cases := []struct {
+		name string
+		spec Spec
+		want string
+	}{
+		{"negative-time", Spec{At: -1, Kind: CoreFail}, "finite and non-negative"},
+		{"nan-time", Spec{At: nan, Kind: CoreFail}, "finite and non-negative"},
+		{"core-out-of-range", Spec{At: 1, Kind: CoreFail, Core: 16}, "outside machine"},
+		{"negative-core", Spec{At: 1, Kind: CoreFail, Core: -1}, "outside machine"},
+		{"zero-watts", Spec{At: 1, Kind: BudgetCap, Watts: 0}, "finite and positive"},
+		{"nan-watts", Spec{At: 1, Kind: BudgetCap, Watts: nan}, "finite and positive"},
+		{"zero-speed", Spec{At: 1, Kind: SpeedStuck, Core: 0}, "finite and positive"},
+		{"recovery-kind", Spec{At: 1, Kind: CoreRecover}, "recovery kind"},
+		{"negative-duration", Spec{At: 1, Kind: CoreFail, Duration: -2}, "finite and non-negative"},
+		{"unknown-kind", Spec{At: 1, Kind: Kind(99)}, "unknown fault kind"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.spec.Validate(16)
+			if err == nil {
+				t.Fatalf("spec %+v accepted", c.spec)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(42, 16, 600, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(42, 16, 600, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Events(), b.Events()) {
+		t.Fatal("same seed produced different schedules")
+	}
+	c, err := Generate(43, 16, 600, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() > 0 && reflect.DeepEqual(a.Events(), c.Events()) {
+		t.Fatal("different seeds produced identical non-empty schedules")
+	}
+}
+
+func TestGeneratePairsFailures(t *testing.T) {
+	sch, err := Generate(7, 8, 1000, 50, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sch.Len() == 0 {
+		t.Fatal("expected some failures at MTBF 50 over 1000 s")
+	}
+	down := make(map[int]bool)
+	for _, e := range sch.Events() {
+		switch e.Kind {
+		case CoreFail:
+			if down[e.Core] {
+				t.Fatalf("core %d failed twice without recovering", e.Core)
+			}
+			down[e.Core] = true
+		case CoreRecover:
+			if !down[e.Core] {
+				t.Fatalf("core %d recovered without failing", e.Core)
+			}
+			down[e.Core] = false
+		default:
+			t.Fatalf("generator emitted unexpected kind %v", e.Kind)
+		}
+	}
+	for core, d := range down {
+		if d {
+			t.Fatalf("core %d left failed with no paired recovery", core)
+		}
+	}
+	if err := sch.Validate(8); err != nil {
+		t.Fatalf("generated schedule invalid: %v", err)
+	}
+}
+
+func TestGenerateRejectsBadParams(t *testing.T) {
+	cases := []struct {
+		cores               int
+		horizon, mtbf, mttr float64
+		want                string
+	}{
+		{0, 100, 10, 1, "positive core count"},
+		{4, 0, 10, 1, "horizon"},
+		{4, 100, 0, 1, "MTBF"},
+		{4, 100, 10, -1, "MTTR"},
+	}
+	for _, c := range cases {
+		_, err := Generate(1, c.cores, c.horizon, c.mtbf, c.mttr)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("Generate(%d,%v,%v,%v) error %v, want mention of %q",
+				c.cores, c.horizon, c.mtbf, c.mttr, err, c.want)
+		}
+	}
+}
+
+func TestScheduleValidateCoreMismatch(t *testing.T) {
+	sch, err := New([]Spec{{At: 5, Kind: CoreFail, Core: 10, Duration: 1}}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sch.Validate(8); err == nil {
+		t.Fatal("schedule for 16 cores accepted on an 8-core machine")
+	}
+}
+
+func TestNilScheduleIsEmpty(t *testing.T) {
+	var s *Schedule
+	if s.Len() != 0 || s.Events() != nil || s.Validate(4) != nil {
+		t.Fatal("nil schedule should behave as empty")
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for name, want := range map[string]Kind{
+		"core-fail": CoreFail, "fail": CoreFail,
+		"budget-cap": BudgetCap, "cap": BudgetCap,
+		"speed-stuck": SpeedStuck, "stuck": SpeedStuck,
+	} {
+		got, err := ParseKind(name)
+		if err != nil || got != want {
+			t.Fatalf("ParseKind(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseKind("meteor"); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		CoreFail: "core-fail", CoreRecover: "core-recover",
+		BudgetCap: "budget-cap", BudgetRestore: "budget-restore",
+		SpeedStuck: "speed-stuck", SpeedFree: "speed-free",
+		Kind(42): "fault(42)",
+	} {
+		if got := k.String(); got != want {
+			t.Fatalf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzGenerate asserts the three structural guarantees of the MTBF/MTTR
+// generator over arbitrary parameters: events are time-ordered, every
+// failure is paired with a later recovery of the same core, and a fixed
+// seed reproduces the stream exactly.
+func FuzzGenerate(f *testing.F) {
+	f.Add(uint64(2017), 16, 600.0, 100.0, 10.0)
+	f.Add(uint64(0), 1, 1.0, 0.001, 0.001)
+	f.Add(uint64(42), 64, 50.0, 5.0, 500.0)
+	f.Fuzz(func(t *testing.T, seed uint64, cores int, horizon, mtbf, mttr float64) {
+		if cores > 256 {
+			cores %= 256
+		}
+		sch, err := Generate(seed, cores, horizon, mtbf, mttr)
+		if err != nil {
+			return // invalid parameters are rejected, not generated around
+		}
+		events := sch.Events()
+		last := 0.0
+		down := make(map[int]bool)
+		for i, e := range events {
+			if e.At < last {
+				t.Fatalf("event %d at %v before predecessor at %v", i, e.At, last)
+			}
+			last = e.At
+			switch e.Kind {
+			case CoreFail:
+				if down[e.Core] {
+					t.Fatalf("core %d failed while already down", e.Core)
+				}
+				down[e.Core] = true
+			case CoreRecover:
+				if !down[e.Core] {
+					t.Fatalf("core %d recovered while up", e.Core)
+				}
+				down[e.Core] = false
+			default:
+				t.Fatalf("generator emitted kind %v", e.Kind)
+			}
+		}
+		for core, d := range down {
+			if d {
+				t.Fatalf("core %d left failed without a paired recovery", core)
+			}
+		}
+		if err := sch.Validate(cores); err != nil {
+			t.Fatalf("generated schedule fails validation: %v", err)
+		}
+		again, err := Generate(seed, cores, horizon, mtbf, mttr)
+		if err != nil {
+			t.Fatalf("second generation errored: %v", err)
+		}
+		if !reflect.DeepEqual(events, again.Events()) {
+			t.Fatal("same parameters produced different schedules")
+		}
+	})
+}

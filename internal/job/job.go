@@ -66,6 +66,12 @@ type Job struct {
 	// CutCount records how many times a cutting pass reduced this job's
 	// target (diagnostics).
 	CutCount int
+	// Requeues counts how many times the job was orphaned by a core
+	// failure and returned to the waiting queue. It is the audit trail for
+	// the one permitted exception to the no-migration rule: a job may be
+	// re-bound to a new core only after a failure orphaned it, and the
+	// invariant checker verifies every re-binding against this counter.
+	Requeues int
 	// Finish is the simulation time at which the job was finalized
 	// (completed or expired); meaningful only once State is
 	// StateFinalized. The response time is Finish − Release.

@@ -9,7 +9,11 @@
 // time-weighted speed statistics accumulate as execution proceeds.
 //
 // Jobs never migrate between cores (paper §II-B); the scheduler may only
-// re-order or re-speed a core's own queue.
+// re-order or re-speed a core's own queue. The one audited exception is
+// fault injection: Core.Fail orphans the planned queue so the scheduler can
+// requeue those jobs elsewhere (see internal/faults and internal/sched).
+// Cores also carry health state (failed, stuck DVFS) and the Server carries
+// a mutable power cap so facility-level capping can shrink it mid-run.
 package machine
 
 import (
@@ -60,6 +64,14 @@ type Core struct {
 	total   stats.TimeWeighted // speed profile including idle time
 	done    int64
 	expired int64
+
+	// Fault-injection state: a failed core executes nothing; a stuck core
+	// executes every plan entry at the wedged speed.
+	failed   bool
+	failedAt float64
+	downTime float64
+	failures int64
+	stuck    float64 // 0 = DVFS free
 }
 
 // NewCore returns an idle core starting its clock at 0.
@@ -111,7 +123,11 @@ func (c *Core) Load() float64 {
 
 // SetPlan replaces the core's execution plan. Every entry's job must
 // already be bound to this core; the entries execute in the given order
-// (the scheduler provides EDF order).
+// (the scheduler provides EDF order). A failed core accepts a plan but
+// executes nothing — planning work there is a policy bug that the verify
+// layer flags as a "dead-core" violation. On a stuck core, every entry's
+// speed is overridden by the wedged DVFS speed — the hardware, not the
+// scheduler, picks the frequency there.
 func (c *Core) SetPlan(entries []Entry) error {
 	for _, e := range entries {
 		if e.Job.Core != c.Index {
@@ -123,13 +139,83 @@ func (c *Core) SetPlan(entries []Entry) error {
 		}
 	}
 	c.entries = append(c.entries[:0], entries...)
+	if c.stuck > 0 {
+		for i := range c.entries {
+			c.entries[i].Speed = c.stuck
+		}
+	}
 	return nil
 }
+
+// Fail halts the core at time now: the planned queue is orphaned and
+// returned to the caller (the scheduler decides whether to requeue or drop
+// those jobs), and the core executes nothing until Recover. Failing a
+// failed core is a no-op returning nil.
+func (c *Core) Fail(now float64) []Entry {
+	if c.failed {
+		return nil
+	}
+	c.failed = true
+	c.failedAt = now
+	c.failures++
+	orphans := append([]Entry(nil), c.entries...)
+	c.entries = c.entries[:0]
+	return orphans
+}
+
+// Recover returns a failed core to service (empty and healthy) at time now.
+func (c *Core) Recover(now float64) {
+	if !c.failed {
+		return
+	}
+	c.downTime += now - c.failedAt
+	c.failed = false
+}
+
+// Healthy reports whether the core is in service.
+func (c *Core) Healthy() bool { return !c.failed }
+
+// Failures counts how many times this core has failed.
+func (c *Core) Failures() int64 { return c.failures }
+
+// DownTime returns the total time the core has spent failed, up to now.
+func (c *Core) DownTime(now float64) float64 {
+	if c.failed {
+		return c.downTime + now - c.failedAt
+	}
+	return c.downTime
+}
+
+// SetStuck wedges the core's DVFS at speed GHz (speed <= 0 frees it). The
+// current plan is re-speeded immediately.
+func (c *Core) SetStuck(speed float64) {
+	if speed <= 0 {
+		c.stuck = 0
+		return
+	}
+	c.stuck = speed
+	for i := range c.entries {
+		c.entries[i].Speed = speed
+	}
+}
+
+// StuckSpeed returns the wedged DVFS speed, or 0 when the governor is free.
+func (c *Core) StuckSpeed() float64 { return c.stuck }
 
 // Advance executes the core's plan from its current clock to `to`,
 // finalizing jobs as they complete or expire. Energy and speed statistics
 // accumulate. The model supplies the power curve.
 func (c *Core) Advance(m power.Model, to float64, finalize FinalizeFunc) {
+	if c.failed {
+		// A failed core executes nothing and draws nothing. The dead span
+		// still enters the total profile at speed 0 so time conservation
+		// holds across the speed statistics.
+		if to > c.now {
+			c.total.Add(0, to-c.now)
+			c.now = to
+		}
+		return
+	}
 	t := c.now
 	for t < to {
 		// Finalize any leading jobs that are done or hopeless.
@@ -297,6 +383,11 @@ type Server struct {
 	Models []power.Model // one per core
 	Cores  []*Core
 	now    float64
+
+	// budget is the machine's current total power cap in watts. It is
+	// mutable so facility-level power capping can shrink it mid-run; 0
+	// means "not set" (callers fall back to their configured budget).
+	budget float64
 }
 
 // NewServer builds a server with m identical cores under the given power
@@ -342,15 +433,60 @@ func (s *Server) Now() float64 { return s.now }
 // M returns the core count.
 func (s *Server) M() int { return len(s.Cores) }
 
-// Advance runs every core forward to time `to`.
-func (s *Server) Advance(to float64, finalize FinalizeFunc) {
+// Advance runs every core forward to time `to`. A backwards advance is a
+// corrupted event stream; it is reported as an error so the run degrades
+// into a diagnosable failure instead of crashing the process.
+func (s *Server) Advance(to float64, finalize FinalizeFunc) error {
 	if to < s.now {
-		panic(fmt.Sprintf("machine: advance backwards %v -> %v", s.now, to))
+		return fmt.Errorf("machine: advance backwards %v -> %v", s.now, to)
 	}
 	for i, c := range s.Cores {
 		c.Advance(s.Models[i], to, finalize)
 	}
 	s.now = to
+	return nil
+}
+
+// SetBudget sets the machine's current total power cap in watts.
+func (s *Server) SetBudget(w float64) { s.budget = w }
+
+// Budget returns the current total power cap (0 when never set).
+func (s *Server) Budget() float64 { return s.budget }
+
+// Healthy counts the cores currently in service.
+func (s *Server) Healthy() int {
+	n := 0
+	for _, c := range s.Cores {
+		if c.Healthy() {
+			n++
+		}
+	}
+	return n
+}
+
+// Failures sums the per-core failure counters.
+func (s *Server) Failures() int64 {
+	var n int64
+	for _, c := range s.Cores {
+		n += c.Failures()
+	}
+	return n
+}
+
+// SurvivingCapacity returns the time-weighted fraction of core-time that
+// was healthy over [0, now]: exactly 1.0 on a fault-free run, (m−k)/m
+// while k cores are down. It is derived from the cores' accumulated
+// downtime, so fault-free runs carry no floating-point drift. Before any
+// time has passed it reports 1.
+func (s *Server) SurvivingCapacity() float64 {
+	if s.now <= 0 || len(s.Cores) == 0 {
+		return 1
+	}
+	down := 0.0
+	for _, c := range s.Cores {
+		down += c.DownTime(s.now)
+	}
+	return 1 - down/(s.now*float64(len(s.Cores)))
 }
 
 // Energy returns the total dynamic energy consumed by all cores (joules).

@@ -2,6 +2,7 @@ package machine
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"goodenough/internal/job"
@@ -258,15 +259,18 @@ func TestServerAdvanceAggregates(t *testing.T) {
 	}
 }
 
-func TestServerAdvanceBackwardsPanics(t *testing.T) {
+func TestServerAdvanceBackwardsErrors(t *testing.T) {
 	s, _ := NewServer(1, model())
-	s.Advance(1, nil)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("backwards advance did not panic")
-		}
-	}()
-	s.Advance(0.5, nil)
+	if err := s.Advance(1, nil); err != nil {
+		t.Fatalf("forward advance: %v", err)
+	}
+	err := s.Advance(0.5, nil)
+	if err == nil {
+		t.Fatal("backwards advance did not error")
+	}
+	if !strings.Contains(err.Error(), "backwards") {
+		t.Fatalf("error %q does not mention backwards", err)
+	}
 }
 
 func TestLoads(t *testing.T) {
@@ -473,5 +477,115 @@ func TestHeterogeneousServerValidation(t *testing.T) {
 	}
 	if _, err := NewHeterogeneousServer([]power.Model{{A: -1, Beta: 2}}); err == nil {
 		t.Error("invalid model accepted")
+	}
+}
+
+func TestCoreFailOrphansQueueAndTracksDowntime(t *testing.T) {
+	c := NewCore(0)
+	j1 := bind(job.New(1, 0, 1, 100), 0)
+	j2 := bind(job.New(2, 0, 1, 100), 0)
+	if err := c.SetPlan([]Entry{{Job: j1, Speed: 1}, {Job: j2, Speed: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	orphans := c.Fail(0.5)
+	if len(orphans) != 2 || orphans[0].Job != j1 || orphans[1].Job != j2 {
+		t.Fatalf("orphans = %v", orphans)
+	}
+	if c.Healthy() || !c.Idle() {
+		t.Fatal("failed core should be unhealthy and idle")
+	}
+	if c.Failures() != 1 {
+		t.Fatalf("failures = %d", c.Failures())
+	}
+	// Double-fail is a no-op.
+	if again := c.Fail(0.6); again != nil {
+		t.Fatalf("second Fail returned %v", again)
+	}
+	if c.Failures() != 1 {
+		t.Fatalf("failures after double-fail = %d", c.Failures())
+	}
+	// A dead core accepts a plan (the verify layer flags the policy bug)
+	// but executes none of it.
+	if err := c.SetPlan([]Entry{{Job: j1, Speed: 1}}); err != nil {
+		t.Fatalf("SetPlan on failed core: %v", err)
+	}
+	c.Advance(model(), 10, func(*job.Job, Reason) { t.Fatal("dead core finalized a job") })
+	if j1.Processed != 0 {
+		t.Fatalf("dead core processed %v units", j1.Processed)
+	}
+	c.SetPlan(nil)
+	if got := c.DownTime(1.5); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("open-interval downtime = %v, want 1", got)
+	}
+	c.Recover(2.0)
+	if !c.Healthy() {
+		t.Fatal("recovered core not healthy")
+	}
+	if got := c.DownTime(5); math.Abs(got-1.5) > 1e-9 {
+		t.Fatalf("closed downtime = %v, want 1.5", got)
+	}
+}
+
+func TestFailedCoreExecutesNothing(t *testing.T) {
+	s, _ := NewServer(1, model())
+	c := s.Cores[0]
+	c.Fail(0)
+	if err := s.Advance(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if c.Energy() != 0 {
+		t.Fatalf("dead core consumed %v J", c.Energy())
+	}
+	prof := c.TotalProfile()
+	if got := prof.Mean(); got != 0 {
+		t.Fatalf("dead core mean speed = %v", got)
+	}
+}
+
+func TestStuckCoreOverridesPlanSpeeds(t *testing.T) {
+	c := NewCore(0)
+	j := bind(job.New(1, 0, 10, 1000), 0)
+	c.SetStuck(2)
+	if c.StuckSpeed() != 2 {
+		t.Fatalf("stuck speed = %v", c.StuckSpeed())
+	}
+	if err := c.SetPlan([]Entry{{Job: j, Speed: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.CurrentSpeed(); got != 2 {
+		t.Fatalf("stuck core speed = %v, want wedged 2", got)
+	}
+	c.SetStuck(0) // free again: existing entries keep their wedged speed
+	if c.StuckSpeed() != 0 {
+		t.Fatal("stuck speed not cleared")
+	}
+}
+
+func TestServerBudgetAndSurvivingCapacity(t *testing.T) {
+	s, _ := NewServer(4, model())
+	s.SetBudget(40)
+	if s.Budget() != 40 {
+		t.Fatalf("budget = %v", s.Budget())
+	}
+	if got := s.SurvivingCapacity(); got != 1 {
+		t.Fatalf("capacity before time passes = %v, want 1", got)
+	}
+	if err := s.Advance(1, nil); err != nil { // 4 healthy core-seconds
+		t.Fatal(err)
+	}
+	s.Cores[1].Fail(1)
+	s.Cores[2].Fail(1)
+	if got := s.Healthy(); got != 2 {
+		t.Fatalf("healthy = %d", got)
+	}
+	if err := s.Advance(2, nil); err != nil { // + 2 healthy core-seconds
+		t.Fatal(err)
+	}
+	// (4 + 2) alive core-seconds over 2 s * 4 cores = 0.75.
+	if got := s.SurvivingCapacity(); math.Abs(got-0.75) > 1e-9 {
+		t.Fatalf("surviving capacity = %v, want 0.75", got)
+	}
+	if got := s.Failures(); got != 2 {
+		t.Fatalf("server failures = %d", got)
 	}
 }

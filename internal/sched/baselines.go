@@ -72,12 +72,27 @@ func (s *SingleJob) Reset() {}
 // Schedule implements Policy.
 func (s *SingleJob) Schedule(ctx *Context) {
 	cfg := ctx.Cfg
-	share := cfg.PowerBudget / float64(cfg.Cores) // Equal-Sharing
-	ctx.SetMode(false)                            // these baselines never approximate
+	ctx.SetMode(false) // these baselines never approximate
+
+	// Equal-Sharing of the *current* budget over the surviving cores.
+	budget := ctx.Budget
+	if budget <= 0 {
+		budget = cfg.PowerBudget
+	}
+	alive := 0
+	for _, c := range ctx.Server.Cores {
+		if c.Healthy() {
+			alive++
+		}
+	}
+	if alive == 0 {
+		return
+	}
+	share := budget / float64(alive)
 
 	for _, c := range ctx.Server.Cores {
 		c.DropExpired(ctx.Now, ctx.Finalize)
-		if !c.Idle() {
+		if !c.Healthy() || !c.Idle() {
 			continue
 		}
 		j := s.pop(ctx.Waiting)

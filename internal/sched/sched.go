@@ -20,7 +20,9 @@ package sched
 import (
 	"fmt"
 	"math"
+	"sort"
 
+	"goodenough/internal/faults"
 	"goodenough/internal/job"
 	"goodenough/internal/machine"
 	"goodenough/internal/metrics"
@@ -61,6 +63,14 @@ type Config struct {
 	// Cores; Model is then ignored except as a fallback. Discrete ladders
 	// are not supported together with heterogeneity.
 	PerCoreModels []power.Model
+	// Faults, when non-nil, injects the schedule's timed fault events
+	// (core failure/recovery, budget cap/restore, stuck DVFS) into the
+	// run. The runner degrades gracefully: orphaned jobs are requeued
+	// (the audited exception to the no-migration rule), the power
+	// distribution recomputes over surviving cores, and admission control
+	// sheds the lowest-marginal-quality waiting jobs when the surviving
+	// capacity cannot carry the offered load.
+	Faults *faults.Schedule
 }
 
 // ModelFor returns the power model governing core i.
@@ -129,6 +139,11 @@ func (c Config) Validate() error {
 			return fmt.Errorf("sched: discrete ladders are not supported with heterogeneous cores")
 		}
 	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(c.Cores); err != nil {
+			return fmt.Errorf("sched: fault schedule: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -143,6 +158,10 @@ const (
 	TriggerIdleCore
 	// TriggerCounter fires when the waiting queue reaches the threshold.
 	TriggerCounter
+	// TriggerFault fires after a fault event (core failure/recovery,
+	// budget change, stuck DVFS) so the policy can recompute the
+	// distribution over the surviving machine immediately.
+	TriggerFault
 )
 
 // String implements fmt.Stringer.
@@ -154,6 +173,8 @@ func (t Trigger) String() string {
 		return "idle-core"
 	case TriggerCounter:
 		return "counter"
+	case TriggerFault:
+		return "fault"
 	default:
 		return fmt.Sprintf("trigger(%d)", int(t))
 	}
@@ -167,6 +188,11 @@ type Context struct {
 	Trigger Trigger
 	// Cfg is the run configuration.
 	Cfg *Config
+	// Budget is the machine's *current* total power cap in watts. It
+	// equals Cfg.PowerBudget on a fault-free run and drops below it while
+	// a facility-level budget cap is active; policies must size their
+	// distributions against this, not the nominal budget.
+	Budget float64
 	// Server is the machine; the policy replans core queues through it.
 	Server *machine.Server
 	// Waiting is the queue of arrived, unassigned jobs. The policy pops
@@ -237,6 +263,17 @@ type Result struct {
 	// made visible. They sum to Energy (for policies that report a mode).
 	AESEnergy float64
 	BQEnergy  float64
+	// Fault-injection outcomes (zero on fault-free runs). CoreFailures
+	// counts injected core failures; RequeuedJobs counts jobs orphaned by
+	// a failure and returned to the waiting queue (the audited migration
+	// exception); DroppedJobs counts jobs shed by admission control when
+	// the surviving capacity could not carry the offered load.
+	CoreFailures int64
+	RequeuedJobs int64
+	DroppedJobs  int64
+	// SurvivingCapacity is the time-weighted fraction of core-time that
+	// was healthy: 1.0 on a fault-free run, lower while cores are down.
+	SurvivingCapacity float64
 }
 
 // Runner executes one workload against one policy.
@@ -255,6 +292,10 @@ type Runner struct {
 	cutJobs      int64
 	queueExpired int64
 	responses    []float64 // completed jobs' response times
+
+	// Fault accounting.
+	requeued int64
+	shed     int64
 
 	// Mode accounting.
 	modeAES      bool
@@ -346,6 +387,7 @@ func newRunner(cfg Config, policy Policy, src workload.Source) (*Runner, error) 
 		acc:        quality.NewAccumulator(cfg.Quality),
 		idleEvents: make([]*sim.Event, cfg.Cores),
 	}
+	server.SetBudget(cfg.PowerBudget)
 	r.engine = sim.NewEngine(r.handle)
 	return r, nil
 }
@@ -353,10 +395,23 @@ func newRunner(cfg Config, policy Policy, src workload.Source) (*Runner, error) 
 // Run executes the simulation to completion and returns the result.
 func (r *Runner) Run() (Result, error) {
 	r.policy.Reset()
-	// Prime the pump: first arrival and first quantum tick.
-	r.scheduleNextArrival()
+	// Prime the pump: first arrival, first quantum tick, and the full
+	// fault schedule. Fault events get priority -1 so a failure at time t
+	// is observed before any arrival or quantum tick at the same instant.
+	if err := r.scheduleNextArrival(); err != nil {
+		return Result{}, err
+	}
 	if _, err := r.engine.Schedule(r.cfg.QuantumSec, sim.KindQuantum, nil); err != nil {
 		return Result{}, err
+	}
+	for _, fe := range r.cfg.Faults.Events() {
+		kind, ok := simFaultKind(fe.Kind)
+		if !ok {
+			return Result{}, fmt.Errorf("sched: fault schedule has unmapped kind %v", fe.Kind)
+		}
+		if _, err := r.engine.ScheduleWithPriority(fe.At, kind, fe, -1); err != nil {
+			return Result{}, err
+		}
 	}
 	if err := r.engine.Run(); err != nil {
 		return Result{}, err
@@ -385,7 +440,29 @@ func (r *Runner) Run() (Result, error) {
 	res.P95Response = stats.Quantile(r.responses, 0.95)
 	res.AESEnergy = r.aesEnergy
 	res.BQEnergy = r.bqEnergy
+	res.CoreFailures = r.server.Failures()
+	res.RequeuedJobs = r.requeued
+	res.DroppedJobs = r.shed
+	res.SurvivingCapacity = r.server.SurvivingCapacity()
 	return res, nil
+}
+
+// simFaultKind maps a fault event kind onto its sim queue kind.
+func simFaultKind(k faults.Kind) (sim.Kind, bool) {
+	switch k {
+	case faults.CoreFail:
+		return sim.KindCoreFail, true
+	case faults.CoreRecover:
+		return sim.KindCoreRecover, true
+	case faults.BudgetCap, faults.BudgetRestore:
+		return sim.KindBudgetChange, true
+	case faults.SpeedStuck:
+		return sim.KindSpeedStuck, true
+	case faults.SpeedFree:
+		return sim.KindSpeedFree, true
+	default:
+		return 0, false
+	}
 }
 
 // handle is the event dispatcher.
@@ -395,7 +472,9 @@ func (r *Runner) handle(e *sim.Event) error {
 	// Bring the machine to the present; completions/expiries feed the
 	// quality monitor. Energy consumed over the advanced interval belongs
 	// to the mode that was active while it ran.
-	r.server.Advance(now, r.finalize)
+	if err := r.server.Advance(now, r.finalize); err != nil {
+		return err
+	}
 	if delta := r.server.Energy() - r.lastEnergy; delta > 0 {
 		if r.modeAES {
 			r.aesEnergy += delta
@@ -417,7 +496,9 @@ func (r *Runner) handle(e *sim.Event) error {
 		if _, err := r.engine.Schedule(j.Deadline, sim.KindDeadline, j); err != nil {
 			return err
 		}
-		r.scheduleNextArrival()
+		if err := r.scheduleNextArrival(); err != nil {
+			return err
+		}
 		if r.wait.Len() >= r.cfg.CounterTrigger {
 			r.invoke(now, TriggerCounter)
 		} else if r.anyIdleCore() {
@@ -435,24 +516,101 @@ func (r *Runner) handle(e *sim.Event) error {
 	case sim.KindCoreIdle:
 		core := e.Payload.(int)
 		r.idleEvents[core] = nil
-		if r.server.Cores[core].Idle() {
+		if r.server.Cores[core].Idle() && r.server.Cores[core].Healthy() {
 			r.invoke(now, TriggerIdleCore)
 		}
 
 	case sim.KindDeadline:
 		// Machine advance + expireWaiting already finalized whatever was
 		// due; nothing further. The event exists to make expiry timely.
+
+	case sim.KindCoreFail:
+		fe := e.Payload.(faults.Event)
+		r.failCore(now, fe.Core)
+		r.invoke(now, TriggerFault)
+
+	case sim.KindCoreRecover:
+		fe := e.Payload.(faults.Event)
+		if fe.Core >= 0 && fe.Core < len(r.server.Cores) {
+			r.server.Cores[fe.Core].Recover(now)
+		}
+		r.invoke(now, TriggerFault)
+
+	case sim.KindBudgetChange:
+		fe := e.Payload.(faults.Event)
+		if fe.Kind == faults.BudgetCap {
+			r.server.SetBudget(fe.Watts)
+		} else {
+			r.server.SetBudget(r.cfg.PowerBudget)
+		}
+		r.invoke(now, TriggerFault)
+
+	case sim.KindSpeedStuck:
+		fe := e.Payload.(faults.Event)
+		if fe.Core >= 0 && fe.Core < len(r.server.Cores) {
+			r.server.Cores[fe.Core].SetStuck(fe.Speed)
+		}
+		r.invoke(now, TriggerFault)
+
+	case sim.KindSpeedFree:
+		fe := e.Payload.(faults.Event)
+		if fe.Core >= 0 && fe.Core < len(r.server.Cores) {
+			r.server.Cores[fe.Core].SetStuck(0)
+		}
+		r.invoke(now, TriggerFault)
 	}
 	r.recordSample(now)
 	return nil
 }
 
-// invoke runs the policy and refreshes per-core idle events.
+// failCore halts a core and requeues its orphaned jobs — the one audited
+// exception to the no-migration rule. Each orphan's Requeues counter is
+// bumped so the invariant checker can verify that re-bindings happen only
+// at failure instants; orphans already past their deadline are finalized
+// instead of requeued.
+func (r *Runner) failCore(now float64, core int) {
+	if core < 0 || core >= len(r.server.Cores) {
+		return
+	}
+	c := r.server.Cores[core]
+	if !c.Healthy() {
+		return
+	}
+	orphans := c.Fail(now)
+	if ev := r.idleEvents[core]; ev != nil {
+		r.engine.Cancel(ev)
+		r.idleEvents[core] = nil
+	}
+	for _, e := range orphans {
+		j := e.Job
+		if j.Done() || j.Expired(now) {
+			// Nothing left to run elsewhere; finalize in place.
+			j.State = job.StateFinalized
+			j.Finish = now
+			r.queueExpired++
+			r.acc.Add(j.Processed, j.Demand)
+			continue
+		}
+		j.Core = -1
+		j.State = job.StateWaiting
+		j.Requeues++
+		r.requeued++
+		r.wait.Push(j)
+	}
+}
+
+// invoke runs the policy and refreshes per-core idle events. While the
+// machine is degraded (failed cores or a capped budget), admission control
+// sheds unservable waiting jobs first so the policy plans a feasible load.
 func (r *Runner) invoke(now float64, trig Trigger) {
+	if r.cfg.Faults != nil && r.degraded() {
+		r.shedLoad(now)
+	}
 	ctx := &Context{
 		Now:         now,
 		Trigger:     trig,
 		Cfg:         &r.cfg,
+		Budget:      r.server.Budget(),
 		Server:      r.server,
 		Waiting:     &r.wait,
 		Monitor:     r.acc,
@@ -462,6 +620,98 @@ func (r *Runner) invoke(now float64, trig Trigger) {
 	}
 	r.policy.Schedule(ctx)
 	r.refreshIdleEvents(now)
+}
+
+// degraded reports whether the machine is currently below its nominal
+// capacity: any core down or the budget capped.
+func (r *Runner) degraded() bool {
+	if r.server.Budget() < r.cfg.PowerBudget {
+		return true
+	}
+	return r.server.Healthy() < len(r.server.Cores)
+}
+
+// shedLoad is the graceful-degradation admission control: when the
+// surviving cores under the current budget cannot sustain the aggregate
+// required processing rate, waiting jobs are dropped lowest marginal
+// quality first (quality mass gained per unit of processing rate consumed)
+// until the residual load fits. Only unassigned jobs are shed — work
+// already planned on a core is never revoked, preserving no-migration.
+func (r *Runner) shedLoad(now float64) {
+	waiting := r.wait.Peek()
+	if len(waiting) == 0 {
+		return
+	}
+	// Capacity: every healthy core running at its equal share of the
+	// current cap. This is the sustainable aggregate rate; WF can shift
+	// power between cores but not create more of it.
+	alive := r.server.Healthy()
+	capacity := 0.0
+	if alive > 0 {
+		share := r.server.Budget() / float64(alive)
+		for _, c := range r.server.Cores {
+			if c.Healthy() {
+				capacity += power.Rate(r.cfg.ModelFor(c.Index).Speed(share))
+			}
+		}
+	}
+	// Demand: the required rate of everything planned plus everything
+	// waiting, each job needing Remaining/Window units per second.
+	need := 0.0
+	rate := func(j *job.Job) float64 {
+		w := j.Deadline - now
+		if w <= 0 {
+			return math.Inf(1)
+		}
+		return j.Remaining() / w
+	}
+	for _, c := range r.server.Cores {
+		for _, j := range c.Queue() {
+			need += rate(j)
+		}
+	}
+	for _, j := range waiting {
+		need += rate(j)
+	}
+	if need <= capacity {
+		return
+	}
+	// Shed lowest marginal quality first: the quality the job would add if
+	// fully served, per unit of required rate. Ties break by ID so equal
+	// runs shed identically.
+	type candidate struct {
+		j        *job.Job
+		marginal float64
+	}
+	cands := make([]candidate, 0, len(waiting))
+	for _, j := range waiting {
+		req := rate(j)
+		m := 0.0
+		if !math.IsInf(req, 1) && req > 0 {
+			m = r.cfg.Quality.Value(j.Target) / req
+		}
+		cands = append(cands, candidate{j: j, marginal: m})
+	}
+	sort.SliceStable(cands, func(a, b int) bool {
+		if cands[a].marginal != cands[b].marginal {
+			return cands[a].marginal < cands[b].marginal
+		}
+		return cands[a].j.ID < cands[b].j.ID
+	})
+	for _, c := range cands {
+		if need <= capacity {
+			break
+		}
+		j := r.wait.PopWhere(func(x *job.Job) bool { return x == c.j })
+		if j == nil {
+			continue
+		}
+		need -= rate(j)
+		j.State = job.StateFinalized
+		j.Finish = now
+		r.shed++
+		r.acc.Add(j.Processed, j.Demand)
+	}
 }
 
 // finalize records a finished or dropped job into the quality monitor.
@@ -492,19 +742,21 @@ func (r *Runner) expireWaiting(now float64) {
 	}
 }
 
-func (r *Runner) scheduleNextArrival() {
+func (r *Runner) scheduleNextArrival() error {
 	if r.genDone {
-		return
+		return nil
 	}
 	j := r.gen.Next()
 	if j == nil {
 		r.genDone = true
-		return
+		return nil
 	}
 	if _, err := r.engine.Schedule(j.Release, sim.KindArrival, j); err != nil {
-		// Arrivals are generated in order; this cannot happen.
-		panic(err)
+		// A malformed source emitted an out-of-order release; surface it
+		// as a diagnosable error instead of crashing the process.
+		return fmt.Errorf("sched: job source emitted job %d out of order: %w", j.ID, err)
 	}
+	return nil
 }
 
 // finished reports whether the run can stop scheduling quantum ticks: no
@@ -523,7 +775,7 @@ func (r *Runner) finished() bool {
 
 func (r *Runner) anyIdleCore() bool {
 	for _, c := range r.server.Cores {
-		if c.Idle() {
+		if c.Idle() && c.Healthy() {
 			return true
 		}
 	}
@@ -531,14 +783,14 @@ func (r *Runner) anyIdleCore() bool {
 }
 
 // refreshIdleEvents re-arms a KindCoreIdle event per busy core at its
-// projected drain time.
+// projected drain time. Failed cores have no plan and get no events.
 func (r *Runner) refreshIdleEvents(now float64) {
 	for i, c := range r.server.Cores {
 		if ev := r.idleEvents[i]; ev != nil {
 			r.engine.Cancel(ev)
 			r.idleEvents[i] = nil
 		}
-		if c.Idle() {
+		if c.Idle() || !c.Healthy() {
 			continue
 		}
 		at := c.ProjectedIdle(now)

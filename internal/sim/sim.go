@@ -29,6 +29,17 @@ const (
 	KindEnd
 	// KindUser is available for scheduler-specific events.
 	KindUser
+	// KindCoreFail fires when a core halts (fault injection).
+	KindCoreFail
+	// KindCoreRecover fires when a failed core returns to service.
+	KindCoreRecover
+	// KindBudgetChange fires when the total power budget is capped or
+	// restored mid-run.
+	KindBudgetChange
+	// KindSpeedStuck fires when a core's DVFS wedges at a fixed speed.
+	KindSpeedStuck
+	// KindSpeedFree fires when a stuck core's DVFS is released.
+	KindSpeedFree
 )
 
 // String implements fmt.Stringer.
@@ -46,6 +57,16 @@ func (k Kind) String() string {
 		return "end"
 	case KindUser:
 		return "user"
+	case KindCoreFail:
+		return "core-fail"
+	case KindCoreRecover:
+		return "core-recover"
+	case KindBudgetChange:
+		return "budget-change"
+	case KindSpeedStuck:
+		return "speed-stuck"
+	case KindSpeedFree:
+		return "speed-free"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}

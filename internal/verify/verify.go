@@ -2,13 +2,20 @@
 // policies: a Policy decorator that, after every scheduling decision,
 // asserts the structural properties the model guarantees on paper —
 //
-//   - no migration: a job bound to a core never moves (paper §II-B);
+//   - no migration: a job bound to a core never moves (paper §II-B) —
+//     with one audited exception: a job orphaned by a core failure may be
+//     re-bound exactly once per recorded requeue (job.Requeues is the
+//     audit trail written by the runner at failure instants);
 //   - EDF order: every core's plan is sorted by deadline;
 //   - power budget: the instantaneous dynamic power implied by the
-//     cores' current speeds never exceeds the total budget H;
+//     cores' current speeds never exceeds the *current* cap (the nominal
+//     budget H, or the injected facility-level cap while one is active);
+//   - dead core: no job is ever planned on a failed core;
 //   - target sanity: Processed ≤ Target ≤ Demand for every planned job;
 //   - speed sanity: no negative speeds, and no speed above what burning
-//     the entire budget on one core could sustain;
+//     the entire current budget on one core could sustain (stuck-DVFS
+//     cores are exempt from the cap — the hardware, not the scheduler,
+//     pinned them);
 //   - monotone time: scheduling triggers arrive in time order.
 //
 // Integration tests wrap each policy in a Checker and run full
@@ -43,8 +50,10 @@ type Checker struct {
 	inner sched.Policy
 
 	violations []Violation
-	// jobCore remembers each job's first core binding.
-	jobCore  map[int]int
+	// jobCore remembers each job's latest sanctioned binding together
+	// with the requeue count at which it was learned, so failure-driven
+	// re-bindings can be distinguished from illegal migrations.
+	jobCore  map[int]binding
 	lastTime float64
 	timeSet  bool
 	// Limit caps the number of recorded violations (0 = default 100) so a
@@ -52,9 +61,18 @@ type Checker struct {
 	Limit int
 }
 
+// binding is one sanctioned job-to-core assignment: the core, and the
+// job's requeue count when the binding was observed. A later binding to a
+// different core is legal only if the requeue count has grown since —
+// i.e. a core failure orphaned the job in between.
+type binding struct {
+	core     int
+	requeues int
+}
+
 // Wrap decorates a policy with invariant checking.
 func Wrap(p sched.Policy) *Checker {
-	return &Checker{inner: p, jobCore: make(map[int]int)}
+	return &Checker{inner: p, jobCore: make(map[int]binding)}
 }
 
 // Name implements sched.Policy.
@@ -64,7 +82,7 @@ func (c *Checker) Name() string { return c.inner.Name() }
 func (c *Checker) Reset() {
 	c.inner.Reset()
 	c.violations = nil
-	c.jobCore = make(map[int]int)
+	c.jobCore = make(map[int]binding)
 	c.timeSet = false
 }
 
@@ -98,20 +116,37 @@ func (c *Checker) Schedule(ctx *sched.Context) {
 	c.inner.Schedule(ctx)
 
 	cfg := ctx.Cfg
+	// The budget to audit against is the machine's current cap — a
+	// facility-level capping fault may have shrunk it below the nominal
+	// configuration value.
+	budget := ctx.Budget
+	if budget <= 0 {
+		budget = cfg.PowerBudget
+	}
 	instPower := 0.0
 	for _, core := range ctx.Server.Cores {
-		maxSpeed := cfg.ModelFor(core.Index).Speed(cfg.PowerBudget)
+		maxSpeed := cfg.ModelFor(core.Index).Speed(budget)
 		queue := core.Queue()
+		// No job may be planned on a dead core.
+		if !core.Healthy() && len(queue) > 0 {
+			c.report(ctx.Now, "dead-core",
+				"core %d is failed but plans %d jobs", core.Index, len(queue))
+		}
 		prevDeadline := -1.0
 		for _, j := range queue {
-			// No migration.
-			if first, seen := c.jobCore[j.ID]; seen {
-				if first != j.Core {
+			// No migration — except the audited failure-requeue path: a
+			// re-binding is sanctioned only when the job's requeue
+			// counter advanced since the previous binding was learned.
+			if prev, seen := c.jobCore[j.ID]; seen && prev.core != j.Core {
+				if j.Requeues > prev.requeues {
+					c.jobCore[j.ID] = binding{core: j.Core, requeues: j.Requeues}
+				} else {
 					c.report(ctx.Now, "no-migration",
-						"job %d moved from core %d to core %d", j.ID, first, j.Core)
+						"job %d moved from core %d to core %d without an intervening core failure",
+						j.ID, prev.core, j.Core)
 				}
-			} else {
-				c.jobCore[j.ID] = j.Core
+			} else if !seen {
+				c.jobCore[j.ID] = binding{core: j.Core, requeues: j.Requeues}
 			}
 			if j.Core != core.Index {
 				c.report(ctx.Now, "binding",
@@ -130,19 +165,21 @@ func (c *Checker) Schedule(ctx *sched.Context) {
 					j.ID, j.Target, j.Processed, j.Demand)
 			}
 		}
-		// Speed sanity and instantaneous power.
+		// Speed sanity and instantaneous power. A stuck-DVFS core is
+		// exempt from the budget-implied speed cap (the hardware pinned
+		// it), but its draw still counts toward the budget check.
 		s := core.CurrentSpeed()
 		if s < 0 {
 			c.report(ctx.Now, "speed-negative", "core %d speed %v", core.Index, s)
 		}
-		if s > maxSpeed*(1+1e-9) {
+		if s > maxSpeed*(1+1e-9) && core.StuckSpeed() <= 0 {
 			c.report(ctx.Now, "speed-cap",
 				"core %d speed %v exceeds whole-budget speed %v", core.Index, s, maxSpeed)
 		}
 		instPower += cfg.ModelFor(core.Index).Power(s)
 	}
-	if instPower > cfg.PowerBudget*(1+1e-6) {
+	if instPower > budget*(1+1e-6) {
 		c.report(ctx.Now, "power-budget",
-			"instantaneous power %v W exceeds budget %v W", instPower, cfg.PowerBudget)
+			"instantaneous power %v W exceeds current cap %v W", instPower, budget)
 	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"goodenough/internal/core"
 	"goodenough/internal/dist"
+	"goodenough/internal/faults"
 	"goodenough/internal/machine"
 	"goodenough/internal/power"
 	"goodenough/internal/sched"
@@ -259,5 +260,213 @@ func TestHeterogeneousMachineUpholdsInvariants(t *testing.T) {
 	ck := runChecked(t, cfg, core.NewGE(0.9), shortSpec(160, 10))
 	if !ck.Ok() {
 		t.Fatalf("heterogeneous GE violated invariants:\n%v", ck.Violations()[0])
+	}
+}
+
+// faultyConfig builds a Defaults config with a representative mixed fault
+// schedule: two mid-run core failures (one transient), a facility budget
+// cap window, and a stuck-DVFS window.
+func faultyConfig(t *testing.T) sched.Config {
+	t.Helper()
+	cfg := sched.Defaults()
+	fs, err := faults.New([]faults.Spec{
+		{At: 3, Kind: faults.CoreFail, Core: 2},
+		{At: 4, Kind: faults.CoreFail, Core: 5, Duration: 5},
+		{At: 6, Kind: faults.BudgetCap, Watts: 160, Duration: 4},
+		{At: 2, Kind: faults.SpeedStuck, Core: 9, Speed: 1.0, Duration: 6},
+	}, cfg.Cores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Faults = fs
+	return cfg
+}
+
+func TestGEUpholdsInvariantsUnderFaults(t *testing.T) {
+	for _, rate := range []float64{120, 180} {
+		ck := runChecked(t, faultyConfig(t), core.NewGE(0.9), shortSpec(rate, 11))
+		if !ck.Ok() {
+			t.Fatalf("rate %v: GE under faults violated invariants:\n%v",
+				rate, ck.Violations()[0])
+		}
+	}
+}
+
+func TestBaselinesUpholdInvariantsUnderFaults(t *testing.T) {
+	for _, mk := range []func() sched.Policy{
+		func() sched.Policy { return sched.NewFCFS() },
+		func() sched.Policy { return core.NewBE() },
+	} {
+		p := mk()
+		ck := runChecked(t, faultyConfig(t), p, shortSpec(150, 12))
+		if !ck.Ok() {
+			t.Fatalf("%s under faults violated invariants:\n%v", p.Name(), ck.Violations()[0])
+		}
+	}
+}
+
+// deadCorePlanner plans a waiting job onto a core it knows is failed.
+type deadCorePlanner struct{ inner sched.Policy }
+
+func (r *deadCorePlanner) Name() string { return "dead-core-planner" }
+func (r *deadCorePlanner) Reset()       { r.inner.Reset() }
+func (r *deadCorePlanner) Schedule(ctx *sched.Context) {
+	r.inner.Schedule(ctx)
+	var dead *machine.Core
+	for _, c := range ctx.Server.Cores {
+		if !c.Healthy() {
+			dead = c
+			break
+		}
+	}
+	if dead == nil {
+		return
+	}
+	// Steal a planned job from a healthy core and re-bind it to the dead
+	// one (with the requeue counter bumped so only dead-core can fire).
+	for _, c := range ctx.Server.Cores {
+		q := c.Queue()
+		if !c.Healthy() || len(q) == 0 {
+			continue
+		}
+		j := q[len(q)-1]
+		rest := make([]machine.Entry, 0, len(q)-1)
+		for _, jj := range q[:len(q)-1] {
+			rest = append(rest, machine.Entry{Job: jj, Speed: 1})
+		}
+		c.SetPlan(rest)
+		j.Core = dead.Index
+		j.Requeues++
+		dead.SetPlan([]machine.Entry{{Job: j, Speed: 1}})
+		return
+	}
+}
+
+func TestCheckerCatchesDeadCorePlan(t *testing.T) {
+	ck := Wrap(&deadCorePlanner{inner: core.NewGE(0.9)})
+	r, err := sched.NewRunner(faultyConfig(t), ck, shortSpec(150, 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, v := range ck.Violations() {
+		if v.Rule == "dead-core" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("checker missed the dead-core plan: %v", ck.Violations())
+	}
+}
+
+// sanctionedMover migrates one job but increments its requeue counter, as
+// the runner's failure path would — the checker must accept the re-binding.
+type sanctionedMover struct {
+	inner sched.Policy
+	done  bool
+}
+
+func (r *sanctionedMover) Name() string { return "sanctioned-mover" }
+func (r *sanctionedMover) Reset()       { r.inner.Reset() }
+func (r *sanctionedMover) Schedule(ctx *sched.Context) {
+	r.inner.Schedule(ctx)
+	if r.done || ctx.Now < 1 {
+		return // let the checker learn some bindings first
+	}
+	for _, c := range ctx.Server.Cores {
+		q := c.Queue()
+		if len(q) == 0 {
+			continue
+		}
+		j := q[0]
+		rest := make([]machine.Entry, 0, len(q)-1)
+		for _, jj := range q[1:] {
+			rest = append(rest, machine.Entry{Job: jj, Speed: 1})
+		}
+		c.SetPlan(rest)
+		next := (c.Index + 1) % len(ctx.Server.Cores)
+		j.Core = next
+		j.Requeues++ // the audit trail a core failure would have written
+		nq := ctx.Server.Cores[next].Queue()
+		entries := make([]machine.Entry, 0, len(nq)+1)
+		for _, jj := range nq {
+			entries = append(entries, machine.Entry{Job: jj, Speed: 1})
+		}
+		entries = append(entries, machine.Entry{Job: j, Speed: 1})
+		ctx.Server.Cores[next].SetPlan(entries)
+		r.done = true
+		return
+	}
+}
+
+func TestCheckerAcceptsRequeueSanctionedMove(t *testing.T) {
+	ck := Wrap(&sanctionedMover{inner: core.NewGE(0.9)})
+	r, err := sched.NewRunner(sched.Defaults(), ck, shortSpec(150, 14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range ck.Violations() {
+		if v.Rule == "no-migration" {
+			t.Fatalf("requeue-sanctioned move flagged as migration: %v", v)
+		}
+	}
+}
+
+// capIgnorer sizes speeds off the nominal budget even while a facility cap
+// is active, so the checker's power-budget rule (against the *current* cap)
+// must fire.
+type capIgnorer struct{ inner sched.Policy }
+
+func (r *capIgnorer) Name() string { return "cap-ignorer" }
+func (r *capIgnorer) Reset()       { r.inner.Reset() }
+func (r *capIgnorer) Schedule(ctx *sched.Context) {
+	r.inner.Schedule(ctx)
+	if ctx.Budget >= ctx.Cfg.PowerBudget {
+		return // no cap active; behave
+	}
+	share := ctx.Cfg.PowerBudget / float64(len(ctx.Server.Cores))
+	for _, c := range ctx.Server.Cores {
+		q := c.Queue()
+		if !c.Healthy() || len(q) == 0 {
+			continue
+		}
+		speed := ctx.Cfg.ModelFor(c.Index).Speed(share)
+		entries := make([]machine.Entry, len(q))
+		for i, j := range q {
+			entries[i] = machine.Entry{Job: j, Speed: speed}
+		}
+		c.SetPlan(entries)
+	}
+}
+
+func TestCheckerEnforcesCurrentCap(t *testing.T) {
+	cfg := sched.Defaults()
+	fs, err := faults.New([]faults.Spec{
+		{At: 2, Kind: faults.BudgetCap, Watts: 40},
+	}, cfg.Cores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Faults = fs
+	ck := Wrap(&capIgnorer{inner: core.NewBE()})
+	r, err := sched.NewRunner(cfg, ck, shortSpec(200, 15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rules := map[string]bool{}
+	for _, v := range ck.Violations() {
+		rules[v.Rule] = true
+	}
+	if !rules["power-budget"] && !rules["speed-cap"] {
+		t.Fatalf("checker missed the ignored cap: %v", ck.Violations())
 	}
 }
