@@ -14,12 +14,25 @@
 //	gesim -scheduler ge -rate 180 -cap-watts 160 -cap-at 10 -cap-for 20
 //	gesim -scheduler ge -rate 180 -stuck-core 3 -stuck-speed 1.2 -stuck-at 5
 //	gesim -scheduler ge -rate 150 -fault-mtbf 60 -fault-mttr 10
+//
+// Observability (structured events, traces, reports, profiles):
+//
+//	gesim -scheduler ge -rate 154 -events run.jsonl -trace run.trace.json
+//	gesim -scheduler ge -rate 154 -report
+//	gesim -scheduler ge -rate 300 -duration 600 -cpuprofile cpu.pprof -memprofile mem.pprof
+//
+// The -trace output loads in Perfetto (ui.perfetto.dev) or chrome://tracing
+// with one track per core; -events emits one JSON object per scheduler
+// event for jq/grep analysis.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -76,8 +89,44 @@ func main() {
 		csv      = flag.Bool("csv", false, "emit a single CSV row instead of text")
 		timeline = flag.String("timeline", "", "write a quality/power/mode time series CSV to this file")
 		compare  = flag.Bool("compare", false, "run every scheduler on this workload and print a comparison table")
+
+		traceOut   = flag.String("trace", "", "write a Chrome trace-event file (open in Perfetto) to this file")
+		eventsOut  = flag.String("events", "", "write the structured event stream as JSON Lines to this file")
+		report     = flag.Bool("report", false, "print a plain-text observability report after the run")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gesim:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "gesim:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "gesim:", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "gesim:", err)
+			}
+			f.Close()
+		}()
+	}
 
 	if *list {
 		fmt.Println(strings.Join(goodenough.Schedulers(), "\n"))
@@ -143,18 +192,35 @@ func main() {
 		return
 	}
 
-	var res goodenough.Result
-	var err error
-	if *timeline != "" {
-		f, ferr := os.Create(*timeline)
+	var opts goodenough.RunOptions
+	var outFiles []*os.File
+	open := func(path string) *os.File {
+		f, ferr := os.Create(path)
 		if ferr != nil {
 			fmt.Fprintln(os.Stderr, "gesim:", ferr)
 			os.Exit(1)
 		}
-		res, err = goodenough.RunWithTimeline(cfg, 0.5, f)
+		outFiles = append(outFiles, f)
+		return f
+	}
+	if *timeline != "" {
+		opts.Timeline = open(*timeline)
+		opts.TimelineInterval = 0.5
+	}
+	if *eventsOut != "" {
+		opts.Events = open(*eventsOut)
+	}
+	if *traceOut != "" {
+		opts.Trace = open(*traceOut)
+	}
+	var reportBuf bytes.Buffer
+	if *report {
+		opts.Report = &reportBuf
+	}
+
+	res, err := goodenough.RunWithOptions(cfg, opts)
+	for _, f := range outFiles {
 		f.Close()
-	} else {
-		res, err = goodenough.Run(cfg)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gesim:", err)
@@ -168,6 +234,7 @@ func main() {
 			res.AvgSpeed, res.SpeedVariance, res.Jobs, res.Completed,
 			res.Expired, res.CutJobs, res.ModeSwitches, res.SimTime,
 			res.CoreFailures, res.RequeuedJobs, res.DroppedJobs, res.SurvivingCapacity)
+		reportBuf.WriteTo(os.Stdout)
 		return
 	}
 
@@ -190,5 +257,9 @@ func main() {
 		fmt.Printf("requeued jobs    %d\n", res.RequeuedJobs)
 		fmt.Printf("dropped jobs     %d\n", res.DroppedJobs)
 		fmt.Printf("surviving cap.   %.4f\n", res.SurvivingCapacity)
+	}
+	if *report {
+		fmt.Println()
+		reportBuf.WriteTo(os.Stdout)
 	}
 }

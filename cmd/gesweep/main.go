@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -29,8 +31,39 @@ func main() {
 		figures  = flag.String("figures", "all", "comma-separated subset: fig1,fig2,...,fig12")
 		ascii    = flag.Bool("ascii", false, "also print ASCII charts to stdout")
 		workers  = flag.Int("workers", 0, "sweep parallelism (0 = GOMAXPROCS)")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "gesweep:", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "gesweep:", err)
+			}
+			f.Close()
+		}()
+	}
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)

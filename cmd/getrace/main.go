@@ -31,7 +31,8 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   getrace export [-rate R] [-duration S] [-seed N] [-random-window] [-o FILE]
-  getrace replay [-scheduler NAME] [-cores N] [-budget W] [-qge Q] FILE`)
+  getrace replay [-scheduler NAME] [-cores N] [-budget W] [-qge Q]
+                 [-trace FILE] [-events FILE] FILE`)
 	os.Exit(2)
 }
 
@@ -75,6 +76,8 @@ func replay(args []string) {
 	qge := fs.Float64("qge", 0.9, "good-enough quality target")
 	bepBudget := fs.Float64("bep-budget", 0, "budget for be-p")
 	besCap := fs.Float64("bes-cap", 0, "speed cap for be-s")
+	traceOut := fs.String("trace", "", "write a Chrome trace-event file (open in Perfetto)")
+	eventsOut := fs.String("events", "", "write the structured event stream as JSON Lines")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		usage()
@@ -94,7 +97,27 @@ func replay(args []string) {
 	cfg.BEPBudget = *bepBudget
 	cfg.BESCap = *besCap
 
-	res, err := goodenough.RunTrace(cfg, f)
+	var opts goodenough.RunOptions
+	var outFiles []*os.File
+	open := func(path string) *os.File {
+		of, oerr := os.Create(path)
+		if oerr != nil {
+			fatal(oerr)
+		}
+		outFiles = append(outFiles, of)
+		return of
+	}
+	if *traceOut != "" {
+		opts.Trace = open(*traceOut)
+	}
+	if *eventsOut != "" {
+		opts.Events = open(*eventsOut)
+	}
+
+	res, err := goodenough.RunTraceWithOptions(cfg, f, opts)
+	for _, of := range outFiles {
+		of.Close()
+	}
 	if err != nil {
 		fatal(err)
 	}

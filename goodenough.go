@@ -45,6 +45,7 @@ import (
 	"goodenough/internal/dist"
 	"goodenough/internal/faults"
 	"goodenough/internal/metrics"
+	"goodenough/internal/obs"
 	"goodenough/internal/power"
 	"goodenough/internal/quality"
 	"goodenough/internal/sched"
@@ -395,6 +396,38 @@ func RunSeeds(cfg Config, seeds []uint64) (Replication, error) {
 // queued load, and execution mode are sampled at scheduling events (thinned
 // to one sample per intervalSec) and written as CSV to w after the run.
 func RunWithTimeline(cfg Config, intervalSec float64, w io.Writer) (Result, error) {
+	return RunWithOptions(cfg, RunOptions{Timeline: w, TimelineInterval: intervalSec})
+}
+
+// RunOptions attaches observability sinks to one simulation. The zero
+// value is equivalent to Run: nothing is recorded and the scheduling path
+// stays allocation-free.
+type RunOptions struct {
+	// Timeline, when non-nil, receives the sampled time series as CSV
+	// after the run (quality, power, load, mode, per-core speeds, energy),
+	// thinned to one sample per TimelineInterval seconds (0 keeps every
+	// sample). See RunWithTimeline.
+	Timeline         io.Writer
+	TimelineInterval float64
+	// Events, when non-nil, receives the full structured event stream as
+	// JSON Lines — one object per event, grep/jq-friendly.
+	Events io.Writer
+	// Trace, when non-nil, receives the run in Chrome trace-event format:
+	// open it in Perfetto (ui.perfetto.dev) or chrome://tracing to see one
+	// track per core with job execution spans, speed counters, and fault
+	// markers.
+	Trace io.Writer
+	// Report, when non-nil, receives a plain-text run report after the
+	// run: event counters, latency histograms, and a per-core
+	// utilization/energy table.
+	Report io.Writer
+	// Observer, when non-nil, additionally receives every structured
+	// event (custom sinks; see internal/obs for the event taxonomy).
+	Observer obs.Observer
+}
+
+// RunWithOptions is Run with observability sinks attached.
+func RunWithOptions(cfg Config, opts RunOptions) (Result, error) {
 	scfg, spec, policy, err := lower(cfg)
 	if err != nil {
 		return Result{}, err
@@ -403,14 +436,81 @@ func RunWithTimeline(cfg Config, intervalSec float64, w io.Writer) (Result, erro
 	if err != nil {
 		return Result{}, err
 	}
-	tl := metrics.NewTimeline(intervalSec)
-	runner.SetTimeline(tl)
+	return finishWithOptions(runner, scfg.Cores, opts)
+}
+
+// RunTraceWithOptions is RunTrace with observability sinks attached.
+func RunTraceWithOptions(cfg Config, traceJSON io.Reader, opts RunOptions) (Result, error) {
+	scfg, _, policy, err := lowerMachineOnly(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	tr, err := workload.ReadTrace(traceJSON)
+	if err != nil {
+		return Result{}, err
+	}
+	src, err := workload.NewReplayer(tr)
+	if err != nil {
+		return Result{}, err
+	}
+	runner, err := sched.NewRunnerFromSource(scfg, policy, src)
+	if err != nil {
+		return Result{}, err
+	}
+	return finishWithOptions(runner, scfg.Cores, opts)
+}
+
+// finishWithOptions wires the requested sinks into the runner, executes the
+// simulation, and flushes each sink in a deterministic order.
+func finishWithOptions(runner *sched.Runner, cores int, opts RunOptions) (Result, error) {
+	var tl *metrics.Timeline
+	if opts.Timeline != nil {
+		tl = metrics.NewTimeline(opts.TimelineInterval)
+		runner.SetTimeline(tl)
+	}
+	var sinks []obs.Observer
+	var events *obs.JSONL
+	if opts.Events != nil {
+		events = obs.NewJSONL(opts.Events)
+		sinks = append(sinks, events)
+	}
+	var tracer *obs.Tracer
+	if opts.Trace != nil {
+		tracer = obs.NewTracer(opts.Trace, cores)
+		sinks = append(sinks, tracer)
+	}
+	var col *obs.Collector
+	if opts.Report != nil {
+		col = obs.NewCollector()
+		sinks = append(sinks, col)
+	}
+	sinks = append(sinks, opts.Observer)
+	if o := obs.Multi(sinks...); o != nil {
+		runner.SetObserver(o)
+	}
 	res, err := finish(runner)
 	if err != nil {
 		return Result{}, err
 	}
-	if err := tl.WriteCSV(w); err != nil {
-		return Result{}, err
+	if tl != nil {
+		if err := tl.WriteCSV(opts.Timeline); err != nil {
+			return Result{}, err
+		}
+	}
+	if events != nil {
+		if err := events.Flush(); err != nil {
+			return Result{}, err
+		}
+	}
+	if tracer != nil {
+		if err := tracer.Flush(); err != nil {
+			return Result{}, err
+		}
+	}
+	if col != nil {
+		if err := col.WriteReport(opts.Report); err != nil {
+			return Result{}, err
+		}
 	}
 	return res, nil
 }

@@ -264,8 +264,11 @@ func TestRunWithTimeline(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	if !strings.HasPrefix(out, "time_s,quality,power_w,load_units,waiting,aes\n") {
+	if !strings.HasPrefix(out, "time_s,quality,power_w,load_units,waiting,aes,energy_j") {
 		t.Fatalf("timeline header missing:\n%.100s", out)
+	}
+	if !strings.Contains(out, ",speed_c0_ghz") {
+		t.Fatalf("timeline header lacks per-core speed columns:\n%.200s", out)
 	}
 	lines := strings.Count(out, "\n")
 	// 15 simulated seconds sampled every 0.5 s → roughly 30 rows.
@@ -280,8 +283,22 @@ func TestRunWithTimeline(t *testing.T) {
 	if res.Quality != plain.Quality || res.Energy != plain.Energy {
 		t.Fatal("timeline recording perturbed the simulation")
 	}
-	// Timeline must show both modes at the critical rate.
-	if !strings.Contains(out, ",1\n") || !strings.Contains(out, ",0\n") {
+	// Timeline must show both modes at the critical rate (the aes column
+	// is the sixth field).
+	sawAES, sawBQ := false, false
+	for _, line := range strings.Split(out, "\n")[1:] {
+		fields := strings.Split(line, ",")
+		if len(fields) < 7 {
+			continue
+		}
+		switch fields[5] {
+		case "1":
+			sawAES = true
+		case "0":
+			sawBQ = true
+		}
+	}
+	if !sawAES || !sawBQ {
 		t.Fatal("timeline never shows both AES and BQ modes at the knee")
 	}
 }

@@ -28,6 +28,7 @@ import (
 	"goodenough/internal/dist"
 	"goodenough/internal/job"
 	"goodenough/internal/machine"
+	"goodenough/internal/obs"
 	"goodenough/internal/power"
 	"goodenough/internal/qopt"
 	"goodenough/internal/sched"
@@ -77,6 +78,10 @@ type GE struct {
 	// history of (time, achieved, possible) snapshots for the optional
 	// windowed monitor.
 	hist []monitorSnap
+	// lastHeavy/heavySet track the hybrid distribution's regime so the
+	// ES↔WF crossings can be emitted as EventDistSwitch.
+	lastHeavy bool
+	heavySet  bool
 }
 
 type monitorSnap struct {
@@ -144,6 +149,8 @@ func (g *GE) Name() string { return g.name }
 func (g *GE) Reset() {
 	g.inAES = !g.opts.AlwaysBQ
 	g.hist = nil
+	g.lastHeavy = false
+	g.heavySet = false
 	g.opts.Assigner.Reset()
 }
 
@@ -177,6 +184,12 @@ func (g *GE) Schedule(ctx *sched.Context) {
 			batch = nil
 		} else {
 			g.opts.Assigner.Assign(batch, eligible, ctx.Server.Loads())
+			if ctx.Observer != nil {
+				for _, j := range batch {
+					ctx.Observer.Observe(obs.Event{Time: now, Type: obs.EventJobAssign,
+						Core: j.Core, Job: j.ID, Value: j.Remaining(), Aux: j.Deadline})
+				}
+			}
 		}
 	}
 	perCore := make([][]*job.Job, cfg.Cores)
@@ -199,7 +212,9 @@ func (g *GE) Schedule(ctx *sched.Context) {
 			all = append(all, perCore[i]...)
 		}
 		if g.inAES {
+			before := snapTargets(ctx, all)
 			cut.LongestFirst(all, cfg.Quality, g.opts.Target)
+			emitCuts(ctx, now, all, before)
 		} else {
 			cut.Restore(all)
 		}
@@ -209,7 +224,9 @@ func (g *GE) Schedule(ctx *sched.Context) {
 				continue
 			}
 			if g.inAES {
+				before := snapTargets(ctx, perCore[i])
 				cut.LongestFirst(perCore[i], cfg.Quality, g.opts.Target)
+				emitCuts(ctx, now, perCore[i], before)
 			} else {
 				cut.Restore(perCore[i])
 			}
@@ -266,6 +283,11 @@ func (g *GE) Schedule(ctx *sched.Context) {
 		distributable = 0
 	}
 	heavy := ctx.ArrivalRate >= cfg.CriticalLoad
+	if g.opts.Dist == dist.PolicyHybrid && (!g.heavySet || heavy != g.lastHeavy) {
+		obs.Emit(ctx.Observer, obs.Event{Time: now, Type: obs.EventDistSwitch,
+			Core: -1, Job: -1, Value: ctx.ArrivalRate, Flag: heavy})
+	}
+	g.lastHeavy, g.heavySet = heavy, true
 	compact := make([]float64, len(free))
 	for k, i := range free {
 		compact[k] = demands[i]
@@ -321,7 +343,9 @@ func (g *GE) Schedule(ctx *sched.Context) {
 			continue
 		}
 		if yds.PeakSpeed(now, jobs) > speedCap*(1+1e-9) {
+			before := snapTargets(ctx, jobs)
 			qopt.Allocate(now, jobs, power.Rate(speedCap), cfg.Quality)
+			emitCuts(ctx, now, jobs, before)
 		}
 		var entries []machine.Entry
 		if cfg.Ladder != nil {
@@ -382,3 +406,30 @@ func (g *GE) monitoredQuality(ctx *sched.Context) float64 {
 func (g *GE) InAES() bool { return g.inAES }
 
 func sortEDF(jobs []*job.Job) { job.SortEDF(jobs) }
+
+// snapTargets records the jobs' targets before a cutting pass so the diffs
+// can be emitted as EventJobCut. Returns nil (and emitCuts no-ops) when no
+// observer is attached, keeping the hot path allocation-free.
+func snapTargets(ctx *sched.Context, jobs []*job.Job) []float64 {
+	if ctx.Observer == nil || len(jobs) == 0 {
+		return nil
+	}
+	ts := make([]float64, len(jobs))
+	for i, j := range jobs {
+		ts[i] = j.Target
+	}
+	return ts
+}
+
+// emitCuts emits one EventJobCut per job whose target the pass reduced.
+func emitCuts(ctx *sched.Context, now float64, jobs []*job.Job, before []float64) {
+	if before == nil {
+		return
+	}
+	for k, j := range jobs {
+		if j.Target < before[k] {
+			ctx.Observer.Observe(obs.Event{Time: now, Type: obs.EventJobCut,
+				Core: j.Core, Job: j.ID, Value: j.Target, Aux: j.Demand})
+		}
+	}
+}

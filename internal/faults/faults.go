@@ -26,6 +26,7 @@ import (
 	"math"
 	"sort"
 
+	"goodenough/internal/obs"
 	"goodenough/internal/rng"
 )
 
@@ -95,6 +96,28 @@ type Event struct {
 	Watts float64
 	// Speed is the wedged speed in GHz for SpeedStuck.
 	Speed float64
+}
+
+// Obs renders the fault as a structured event for the observability bus
+// (internal/obs). BudgetRestore carries Value 0 here — the nominal budget
+// lives in the runner's config, which fills it in on emission.
+func (e Event) Obs() obs.Event {
+	ev := obs.Event{Time: e.At, Core: -1, Job: -1}
+	switch e.Kind {
+	case CoreFail:
+		ev.Type, ev.Core = obs.EventCoreFail, e.Core
+	case CoreRecover:
+		ev.Type, ev.Core = obs.EventCoreRecover, e.Core
+	case BudgetCap:
+		ev.Type, ev.Value = obs.EventBudgetCap, e.Watts
+	case BudgetRestore:
+		ev.Type = obs.EventBudgetRestore
+	case SpeedStuck:
+		ev.Type, ev.Core, ev.Value = obs.EventSpeedStuck, e.Core, e.Speed
+	case SpeedFree:
+		ev.Type, ev.Core = obs.EventSpeedFree, e.Core
+	}
+	return ev
 }
 
 // Spec is the user-level description of one fault: an onset and an optional

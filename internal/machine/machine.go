@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"goodenough/internal/job"
+	"goodenough/internal/obs"
 	"goodenough/internal/power"
 	"goodenough/internal/stats"
 )
@@ -72,6 +73,26 @@ type Core struct {
 	downTime float64
 	failures int64
 	stuck    float64 // 0 = DVFS free
+
+	// Observability: obs receives exec segments and DVFS speed changes;
+	// lastSpeed deduplicates speed events. Nil obs costs one branch.
+	obs       obs.Observer
+	lastSpeed float64
+}
+
+// SetObserver attaches an observability sink to the core. With an observer
+// attached, Advance emits one obs.EventExec per contiguous (job, speed)
+// execution segment and one obs.EventCoreSpeed whenever the executing speed
+// changes (0 = idle).
+func (c *Core) SetObserver(o obs.Observer) { c.obs = o }
+
+// noteSpeed emits a DVFS-transition event when the executing speed changes.
+func (c *Core) noteSpeed(t, s float64) {
+	if c.obs == nil || s == c.lastSpeed {
+		return
+	}
+	c.lastSpeed = s
+	c.obs.Observe(obs.Event{Time: t, Type: obs.EventCoreSpeed, Core: c.Index, Job: -1, Value: s})
 }
 
 // NewCore returns an idle core starting its clock at 0.
@@ -160,6 +181,7 @@ func (c *Core) Fail(now float64) []Entry {
 	c.failures++
 	orphans := append([]Entry(nil), c.entries...)
 	c.entries = c.entries[:0]
+	c.noteSpeed(now, 0) // execution halts instantly
 	return orphans
 }
 
@@ -211,6 +233,7 @@ func (c *Core) Advance(m power.Model, to float64, finalize FinalizeFunc) {
 		// still enters the total profile at speed 0 so time conservation
 		// holds across the speed statistics.
 		if to > c.now {
+			c.noteSpeed(c.now, 0)
 			c.total.Add(0, to-c.now)
 			c.now = to
 		}
@@ -238,6 +261,9 @@ func (c *Core) Advance(m power.Model, to float64, finalize FinalizeFunc) {
 	run:
 		if len(c.entries) == 0 {
 			// Idle to the end of the window.
+			if to > t {
+				c.noteSpeed(t, 0)
+			}
 			c.total.Add(0, to-t)
 			t = to
 			break
@@ -250,6 +276,7 @@ func (c *Core) Advance(m power.Model, to float64, finalize FinalizeFunc) {
 				idleUntil = to
 			}
 			if idleUntil > t {
+				c.noteSpeed(t, 0)
 				c.total.Add(0, idleUntil-t)
 				t = idleUntil
 			}
@@ -268,6 +295,13 @@ func (c *Core) Advance(m power.Model, to float64, finalize FinalizeFunc) {
 		}
 		if dt < 0 {
 			dt = 0
+		}
+		if c.obs != nil && dt > 0 {
+			c.noteSpeed(t, head.Speed)
+			c.obs.Observe(obs.Event{
+				Time: t, Type: obs.EventExec, Core: c.Index, Job: head.Job.ID,
+				Value: head.Speed, Aux: dt, Extra: m.Energy(head.Speed, dt),
+			})
 		}
 		head.Job.Advance(rate * dt)
 		c.energy += m.Energy(head.Speed, dt)
@@ -426,6 +460,14 @@ func NewHeterogeneousServer(models []power.Model) (*Server, error) {
 
 // ModelFor returns the power model of core i.
 func (s *Server) ModelFor(i int) power.Model { return s.Models[i] }
+
+// SetObserver attaches an observability sink to every core (see
+// Core.SetObserver). Pass nil to detach.
+func (s *Server) SetObserver(o obs.Observer) {
+	for _, c := range s.Cores {
+		c.SetObserver(o)
+	}
+}
 
 // Now returns the machine clock.
 func (s *Server) Now() float64 { return s.now }

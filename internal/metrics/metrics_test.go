@@ -83,16 +83,74 @@ func TestSeriesExtraction(t *testing.T) {
 
 func TestWriteCSV(t *testing.T) {
 	tl := NewTimeline(0)
-	tl.Record(Sample{Time: 0.5, Quality: 0.95, Power: 120.5, Load: 800, Waiting: 2, AES: true})
+	tl.Record(Sample{Time: 0.5, Quality: 0.95, Power: 120.5, Load: 800, Waiting: 2, AES: true,
+		Energy: 42.125, Speeds: []float64{2.5, 0}})
 	var buf bytes.Buffer
 	if err := tl.WriteCSV(&buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	if !strings.HasPrefix(out, "time_s,quality,power_w,load_units,waiting,aes\n") {
+	if !strings.HasPrefix(out, "time_s,quality,power_w,load_units,waiting,aes,energy_j,speed_c0_ghz,speed_c1_ghz\n") {
 		t.Fatalf("header wrong:\n%s", out)
 	}
-	if !strings.Contains(out, "0.500000,0.950000,120.500,800.0,2,1") {
+	if !strings.Contains(out, "0.500000,0.950000,120.500,800.0,2,1,42.125,2.5000,0.0000") {
 		t.Fatalf("row wrong:\n%s", out)
+	}
+}
+
+func TestWriteCSVNoSpeeds(t *testing.T) {
+	tl := NewTimeline(0)
+	tl.Record(Sample{Time: 1, Quality: 0.9})
+	var buf bytes.Buffer
+	if err := tl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "time_s,quality,power_w,load_units,waiting,aes,energy_j\n") {
+		t.Fatalf("speed-free header wrong:\n%s", buf.String())
+	}
+}
+
+// TestTimelineFlushKeepsFinalSample is the regression test for the thinning
+// bug: with a coarse interval, the last sample of a run used to vanish, so
+// trajectories appeared to end early. Flush must retain it.
+func TestTimelineFlushKeepsFinalSample(t *testing.T) {
+	tl := NewTimeline(10)
+	tl.Record(Sample{Time: 0, Quality: 0.5})
+	tl.Record(Sample{Time: 1, Quality: 0.6}) // thinned
+	tl.Record(Sample{Time: 2, Quality: 0.7}) // thinned; pending endpoint
+	tl.Flush()
+	if tl.Len() != 2 {
+		t.Fatalf("got %d samples, want 2 (first + flushed final)", tl.Len())
+	}
+	last := tl.Samples()[tl.Len()-1]
+	if last.Time != 2 || last.Quality != 0.7 {
+		t.Fatalf("final sample lost: got %+v", last)
+	}
+	// A second Flush must not duplicate it.
+	tl.Flush()
+	if tl.Len() != 2 {
+		t.Fatalf("double Flush duplicated the endpoint: %d samples", tl.Len())
+	}
+}
+
+func TestTimelineFlushNoPending(t *testing.T) {
+	tl := NewTimeline(1)
+	tl.Record(Sample{Time: 0})
+	tl.Flush() // nothing pending: the only sample was recorded
+	if tl.Len() != 1 {
+		t.Fatalf("flush with nothing pending appended: %d samples", tl.Len())
+	}
+}
+
+func TestEnergySeries(t *testing.T) {
+	tl := NewTimeline(0)
+	tl.Record(Sample{Time: 1, Energy: 10})
+	tl.Record(Sample{Time: 2, Energy: 30})
+	s, err := tl.Series("energy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Y[0] != 10 || s.Y[1] != 30 {
+		t.Fatalf("energy series = %v", s.Y)
 	}
 }

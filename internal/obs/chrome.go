@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Tracer exports the event stream in the Chrome trace-event JSON format
+// (the "JSON Array Format" with a traceEvents wrapper), viewable in
+// Perfetto or chrome://tracing. The layout is one thread track per core
+// carrying job execution spans and fault markers, a counter track per core
+// for its DVFS speed, plus machine-wide counter tracks for the execution
+// mode (AES=1), the live power budget, and the waiting-queue depth.
+//
+// Like JSONL, the encoding is deterministic byte-for-byte for a seeded run.
+type Tracer struct {
+	w     *bufio.Writer
+	first bool
+	err   error
+}
+
+// NewTracer starts a trace over a machine with the given core count and
+// writes the header plus per-core track metadata. Call Flush when the run
+// completes to terminate the JSON document.
+func NewTracer(w io.Writer, cores int) *Tracer {
+	t := &Tracer{w: bufio.NewWriter(w), first: true}
+	t.raw(`{"displayTimeUnit":"ms","traceEvents":[`)
+	t.event(`{"ph":"M","pid":1,"tid":0,"name":"process_name","args":{"name":"goodenough sim"}}`)
+	for i := 0; i < cores; i++ {
+		t.event(fmt.Sprintf(`{"ph":"M","pid":1,"tid":%d,"name":"thread_name","args":{"name":"core %d"}}`, i, i))
+		t.event(fmt.Sprintf(`{"ph":"M","pid":1,"tid":%d,"name":"thread_sort_index","args":{"sort_index":%d}}`, i, i))
+	}
+	return t
+}
+
+func (t *Tracer) raw(s string) {
+	if t.err != nil {
+		return
+	}
+	if _, err := t.w.WriteString(s); err != nil {
+		t.err = err
+	}
+}
+
+func (t *Tracer) event(s string) {
+	if !t.first {
+		t.raw(",\n")
+	}
+	t.first = false
+	t.raw(s)
+}
+
+// us renders a simulation time (seconds) as trace microseconds.
+func us(sec float64) string { return strconv.FormatFloat(sec*1e6, 'g', -1, 64) }
+
+func g(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func b01(f bool) string {
+	if f {
+		return "1"
+	}
+	return "0"
+}
+
+// Observe implements Observer.
+func (t *Tracer) Observe(e Event) {
+	switch e.Type {
+	case EventExec:
+		// A complete ("X") span on the core's thread: one contiguous run
+		// of one job at one speed.
+		t.event(fmt.Sprintf(`{"ph":"X","pid":1,"tid":%d,"ts":%s,"dur":%s,"name":"J%d","args":{"ghz":%s,"energy_j":%s}}`,
+			e.Core, us(e.Time), us(e.Aux), e.Job, g(e.Value), g(e.Extra)))
+	case EventCoreSpeed:
+		// Speed counters render as their own named tracks, so the core
+		// index lives in the counter name rather than a tid.
+		t.event(fmt.Sprintf(`{"ph":"C","pid":1,"ts":%s,"name":"speed core %d","args":{"ghz":%s}}`,
+			us(e.Time), e.Core, g(e.Value)))
+	case EventModeSwitch:
+		t.event(fmt.Sprintf(`{"ph":"C","pid":1,"ts":%s,"name":"mode (AES=1)","args":{"aes":%s}}`,
+			us(e.Time), b01(e.Flag)))
+	case EventDistSwitch:
+		t.event(fmt.Sprintf(`{"ph":"C","pid":1,"ts":%s,"name":"dist (WF=1)","args":{"wf":%s}}`,
+			us(e.Time), b01(e.Flag)))
+	case EventBudgetCap, EventBudgetRestore:
+		t.event(fmt.Sprintf(`{"ph":"C","pid":1,"ts":%s,"name":"budget_w","args":{"w":%s}}`,
+			us(e.Time), g(e.Value)))
+	case EventBatch:
+		t.event(fmt.Sprintf(`{"ph":"C","pid":1,"ts":%s,"name":"waiting","args":{"jobs":%s}}`,
+			us(e.Time), g(e.Value)))
+	case EventCoreFail, EventCoreRecover, EventSpeedStuck, EventSpeedFree:
+		// Thread-scoped instant markers on the affected core's track.
+		t.event(fmt.Sprintf(`{"ph":"i","pid":1,"tid":%d,"ts":%s,"s":"t","name":"%s"}`,
+			e.Core, us(e.Time), e.Type))
+	case EventJobRequeue:
+		t.event(fmt.Sprintf(`{"ph":"i","pid":1,"tid":%d,"ts":%s,"s":"t","name":"requeue J%d"}`,
+			e.Core, us(e.Time), e.Job))
+	case EventJobDrop:
+		t.event(fmt.Sprintf(`{"ph":"i","pid":1,"tid":0,"ts":%s,"s":"p","name":"drop J%d"}`,
+			us(e.Time), e.Job))
+	}
+}
+
+// Flush terminates the JSON document and drains the buffer.
+func (t *Tracer) Flush() error {
+	t.raw("\n]}\n")
+	if t.err != nil {
+		return t.err
+	}
+	return t.w.Flush()
+}

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Collector is an Observer that folds the event stream into a metrics
+// Registry plus per-core utilization/energy accounting, and renders it all
+// as a plain-text run report. It is the default sink behind the -report
+// flag of the commands.
+type Collector struct {
+	// Registry holds the folded counters/gauges/histograms; callers may
+	// read individual metrics from it after (or during) a run.
+	Registry *Registry
+
+	queueLatency *Histogram // arrival → assignment (s)
+	response     *Histogram // release → completion (s)
+	cutRatio     *Histogram // target/demand at each cut
+
+	arrivals map[int]float64 // job ID → arrival time, until assigned
+
+	// per-core accumulation, grown on demand
+	busy    []float64 // seconds executing
+	energy  []float64 // joules
+	work    []float64 // processing units executed (speed·dt·UnitsPerGHz is the machine's business; we store GHz·s)
+	endTime float64
+}
+
+// NewCollector returns a collector with the standard metric set.
+func NewCollector() *Collector {
+	reg := NewRegistry()
+	ql, _ := reg.Histogram("queue_latency_s",
+		[]float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.15, 0.25, 0.5, 1})
+	rs, _ := reg.Histogram("response_s",
+		[]float64{0.01, 0.025, 0.05, 0.1, 0.15, 0.25, 0.5, 1, 2})
+	cr, _ := reg.Histogram("cut_ratio",
+		[]float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1})
+	return &Collector{
+		Registry:     reg,
+		queueLatency: ql,
+		response:     rs,
+		cutRatio:     cr,
+		arrivals:     map[int]float64{},
+	}
+}
+
+func (c *Collector) core(i int) int {
+	for len(c.busy) <= i {
+		c.busy = append(c.busy, 0)
+		c.energy = append(c.energy, 0)
+		c.work = append(c.work, 0)
+	}
+	return i
+}
+
+// Observe implements Observer.
+func (c *Collector) Observe(e Event) {
+	if e.Time > c.endTime {
+		c.endTime = e.Time
+	}
+	reg := c.Registry
+	switch e.Type {
+	case EventJobArrive:
+		reg.Counter("jobs_arrived").Inc()
+		c.arrivals[e.Job] = e.Time
+	case EventJobAssign:
+		reg.Counter("jobs_assigned").Inc()
+		if t0, ok := c.arrivals[e.Job]; ok {
+			c.queueLatency.Observe(e.Time - t0)
+			delete(c.arrivals, e.Job)
+		}
+	case EventJobCut:
+		reg.Counter("cuts").Inc()
+		if e.Aux > 0 {
+			c.cutRatio.Observe(e.Value / e.Aux)
+		}
+	case EventJobComplete:
+		reg.Counter("jobs_completed").Inc()
+		c.response.Observe(e.Aux)
+		delete(c.arrivals, e.Job)
+	case EventJobExpire:
+		reg.Counter("jobs_expired").Inc()
+		if e.Core < 0 {
+			reg.Counter("jobs_expired_in_queue").Inc()
+		}
+		delete(c.arrivals, e.Job)
+	case EventJobRequeue:
+		reg.Counter("jobs_requeued").Inc()
+	case EventJobDrop:
+		reg.Counter("jobs_dropped").Inc()
+		delete(c.arrivals, e.Job)
+	case EventExec:
+		if i := c.core(e.Core); i >= 0 {
+			c.busy[i] += e.Aux
+			c.energy[i] += e.Extra
+			c.work[i] += e.Value * e.Aux
+		}
+	case EventCoreSpeed:
+		reg.Counter("dvfs_transitions").Inc()
+	case EventModeSwitch:
+		reg.Counter("mode_switches").Inc()
+	case EventDistSwitch:
+		reg.Counter("dist_switches").Inc()
+	case EventBatch:
+		reg.Counter("batches").Inc()
+		reg.Gauge("max_waiting").Max(e.Value)
+	case EventCoreFail:
+		reg.Counter("core_failures").Inc()
+	case EventCoreRecover:
+		reg.Counter("core_recoveries").Inc()
+	case EventBudgetCap:
+		reg.Counter("budget_caps").Inc()
+	case EventSpeedStuck:
+		reg.Counter("dvfs_stuck").Inc()
+	case EventKernel:
+		reg.Counter("sim_events").Inc()
+	case EventRunEnd:
+		reg.Gauge("sim_time_s").Set(e.Value)
+	}
+}
+
+// WriteReport renders the folded metrics and the per-core table. The output
+// is deterministic for a deterministic event stream.
+func (c *Collector) WriteReport(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "--- run report (internal/obs) ---"); err != nil {
+		return err
+	}
+	if err := c.Registry.WriteText(w); err != nil {
+		return err
+	}
+	if len(c.busy) == 0 {
+		return nil
+	}
+	span := c.endTime
+	if _, err := fmt.Fprintf(w, "%-6s %12s %9s %12s %14s\n",
+		"core", "busy_s", "util", "energy_j", "ghz_seconds"); err != nil {
+		return err
+	}
+	order := make([]int, len(c.busy))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Ints(order)
+	for _, i := range order {
+		util := 0.0
+		if span > 0 {
+			util = c.busy[i] / span
+		}
+		if _, err := fmt.Fprintf(w, "%-6d %12.4f %9.4f %12.2f %14.3f\n",
+			i, c.busy[i], util, c.energy[i], c.work[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,37 @@
+package obs_test
+
+import (
+	"fmt"
+
+	"goodenough/internal/obs"
+)
+
+// ExampleFunc shows the smallest possible custom observer: a function that
+// counts AES↔BQ mode switches and remembers the last mode. Attach any
+// Observer to a run with sched.Runner.SetObserver (or combine several with
+// obs.Multi); here the events are fed directly for a deterministic example.
+func ExampleFunc() {
+	var switches int
+	var lastAES bool
+	counter := obs.Func(func(e obs.Event) {
+		if e.Type == obs.EventModeSwitch {
+			switches++
+			lastAES = e.Flag
+		}
+	})
+
+	// What a runner would emit as the compensation policy toggles modes.
+	stream := []obs.Event{
+		{Time: 0.5, Type: obs.EventModeSwitch, Core: -1, Job: -1, Flag: false}, // quality dipped: BQ
+		{Time: 2.0, Type: obs.EventModeSwitch, Core: -1, Job: -1, Flag: true},  // recovered: AES
+		{Time: 3.5, Type: obs.EventJobArrive, Core: -1, Job: 17, Value: 400},   // ignored by this observer
+		{Time: 4.0, Type: obs.EventModeSwitch, Core: -1, Job: -1, Flag: false},
+	}
+	for _, e := range stream {
+		obs.Emit(counter, e)
+	}
+
+	fmt.Printf("mode switches: %d, in AES: %v\n", switches, lastAES)
+	// Output:
+	// mode switches: 3, in AES: false
+}

@@ -5,6 +5,7 @@ import (
 
 	"goodenough/internal/job"
 	"goodenough/internal/machine"
+	"goodenough/internal/obs"
 	"goodenough/internal/power"
 )
 
@@ -101,6 +102,8 @@ func (s *SingleJob) Schedule(ctx *Context) {
 		}
 		j.Core = c.Index
 		j.State = job.StateAssigned
+		obs.Emit(ctx.Observer, obs.Event{Time: ctx.Now, Type: obs.EventJobAssign,
+			Core: c.Index, Job: j.ID, Value: j.Remaining(), Aux: j.Deadline})
 		maxSpeed := cfg.ModelFor(c.Index).Speed(share)
 		speed := s.speedFor(ctx, j, maxSpeed)
 		c.SetPlan([]machine.Entry{{Job: j, Speed: speed}})

@@ -26,6 +26,7 @@ import (
 	"goodenough/internal/job"
 	"goodenough/internal/machine"
 	"goodenough/internal/metrics"
+	"goodenough/internal/obs"
 	"goodenough/internal/power"
 	"goodenough/internal/quality"
 	"goodenough/internal/sim"
@@ -208,6 +209,10 @@ type Context struct {
 	// Finalize records a job the policy drops (e.g. sweeping expired jobs
 	// out of core queues) into the quality monitor.
 	Finalize machine.FinalizeFunc
+	// Observer is the run's observability sink (nil when none attached).
+	// Policies emit their decision events — job assignment, cutting,
+	// distribution switches — through obs.Emit(ctx.Observer, ...).
+	Observer obs.Observer
 
 	runner *Runner
 }
@@ -313,6 +318,18 @@ type Runner struct {
 	lastEventTime float64
 
 	timeline *metrics.Timeline
+	obs      obs.Observer
+}
+
+// SetObserver attaches a structured-event sink to every layer of the run:
+// the sim kernel, the machine's cores, and the runner itself (which also
+// hands it to the policy through Context.Observer). Call before Run; pass
+// nil to detach. With no observer the emission paths cost one branch and
+// zero allocations.
+func (r *Runner) SetObserver(o obs.Observer) {
+	r.obs = o
+	r.engine.SetObserver(o)
+	r.server.SetObserver(o)
 }
 
 // SetTimeline attaches a recorder that samples quality, power, load, and
@@ -326,8 +343,10 @@ func (r *Runner) recordSample(now float64) {
 		return
 	}
 	power := 0.0
-	for _, c := range r.server.Cores {
-		power += r.cfg.ModelFor(c.Index).Power(c.CurrentSpeed())
+	speeds := make([]float64, len(r.server.Cores))
+	for i, c := range r.server.Cores {
+		speeds[i] = c.CurrentSpeed()
+		power += r.cfg.ModelFor(c.Index).Power(speeds[i])
 	}
 	r.timeline.Record(metrics.Sample{
 		Time:    now,
@@ -336,6 +355,8 @@ func (r *Runner) recordSample(now float64) {
 		Load:    r.server.TotalLoad(),
 		Waiting: r.wait.Len(),
 		AES:     r.modeAES,
+		Speeds:  speeds,
+		Energy:  r.server.Energy(),
 	})
 }
 
@@ -418,6 +439,12 @@ func (r *Runner) Run() (Result, error) {
 	}
 	// Close out mode accounting.
 	r.setMode(r.engine.Now(), r.modeAES) // flush the open interval
+	obs.Emit(r.obs, obs.Event{Time: r.engine.Now(), Type: obs.EventRunEnd,
+		Core: -1, Job: -1, Value: r.engine.Now()})
+	if r.timeline != nil {
+		// Make sure the trajectory's endpoint survives thinning.
+		r.timeline.Flush()
+	}
 	busy := r.server.BusySpeedProfile()
 	simTime := r.engine.Now()
 	res := Result{
@@ -492,6 +519,8 @@ func (r *Runner) handle(e *sim.Event) error {
 		r.wait.Push(j)
 		r.jobs++
 		r.noteArrival(now)
+		obs.Emit(r.obs, obs.Event{Time: now, Type: obs.EventJobArrive,
+			Core: -1, Job: j.ID, Value: j.Demand, Aux: j.Deadline})
 		// Every job gets a deadline event so expiry is observed promptly.
 		if _, err := r.engine.Schedule(j.Deadline, sim.KindDeadline, j); err != nil {
 			return err
@@ -526,11 +555,13 @@ func (r *Runner) handle(e *sim.Event) error {
 
 	case sim.KindCoreFail:
 		fe := e.Payload.(faults.Event)
+		obs.Emit(r.obs, fe.Obs())
 		r.failCore(now, fe.Core)
 		r.invoke(now, TriggerFault)
 
 	case sim.KindCoreRecover:
 		fe := e.Payload.(faults.Event)
+		obs.Emit(r.obs, fe.Obs())
 		if fe.Core >= 0 && fe.Core < len(r.server.Cores) {
 			r.server.Cores[fe.Core].Recover(now)
 		}
@@ -538,15 +569,19 @@ func (r *Runner) handle(e *sim.Event) error {
 
 	case sim.KindBudgetChange:
 		fe := e.Payload.(faults.Event)
+		fev := fe.Obs()
 		if fe.Kind == faults.BudgetCap {
 			r.server.SetBudget(fe.Watts)
 		} else {
 			r.server.SetBudget(r.cfg.PowerBudget)
+			fev.Value = r.cfg.PowerBudget
 		}
+		obs.Emit(r.obs, fev)
 		r.invoke(now, TriggerFault)
 
 	case sim.KindSpeedStuck:
 		fe := e.Payload.(faults.Event)
+		obs.Emit(r.obs, fe.Obs())
 		if fe.Core >= 0 && fe.Core < len(r.server.Cores) {
 			r.server.Cores[fe.Core].SetStuck(fe.Speed)
 		}
@@ -554,6 +589,7 @@ func (r *Runner) handle(e *sim.Event) error {
 
 	case sim.KindSpeedFree:
 		fe := e.Payload.(faults.Event)
+		obs.Emit(r.obs, fe.Obs())
 		if fe.Core >= 0 && fe.Core < len(r.server.Cores) {
 			r.server.Cores[fe.Core].SetStuck(0)
 		}
@@ -589,6 +625,8 @@ func (r *Runner) failCore(now float64, core int) {
 			j.Finish = now
 			r.queueExpired++
 			r.acc.Add(j.Processed, j.Demand)
+			obs.Emit(r.obs, obs.Event{Time: now, Type: obs.EventJobExpire,
+				Core: core, Job: j.ID, Value: j.Processed, Aux: j.Demand})
 			continue
 		}
 		j.Core = -1
@@ -596,6 +634,8 @@ func (r *Runner) failCore(now float64, core int) {
 		j.Requeues++
 		r.requeued++
 		r.wait.Push(j)
+		obs.Emit(r.obs, obs.Event{Time: now, Type: obs.EventJobRequeue,
+			Core: core, Job: j.ID, Value: j.Remaining()})
 	}
 }
 
@@ -606,6 +646,8 @@ func (r *Runner) invoke(now float64, trig Trigger) {
 	if r.cfg.Faults != nil && r.degraded() {
 		r.shedLoad(now)
 	}
+	obs.Emit(r.obs, obs.Event{Time: now, Type: obs.EventBatch, Core: -1, Job: -1,
+		Value: float64(r.wait.Len()), Aux: float64(trig)})
 	ctx := &Context{
 		Now:         now,
 		Trigger:     trig,
@@ -616,6 +658,7 @@ func (r *Runner) invoke(now float64, trig Trigger) {
 		Monitor:     r.acc,
 		ArrivalRate: r.estimateRate(now),
 		Finalize:    r.finalize,
+		Observer:    r.obs,
 		runner:      r,
 	}
 	r.policy.Schedule(ctx)
@@ -711,6 +754,8 @@ func (r *Runner) shedLoad(now float64) {
 		j.Finish = now
 		r.shed++
 		r.acc.Add(j.Processed, j.Demand)
+		obs.Emit(r.obs, obs.Event{Time: now, Type: obs.EventJobDrop,
+			Core: -1, Job: j.ID, Value: j.Processed, Aux: j.Demand})
 	}
 }
 
@@ -724,6 +769,11 @@ func (r *Runner) finalize(j *job.Job, reason machine.Reason) {
 	}
 	if reason == machine.ReasonCompleted {
 		r.responses = append(r.responses, j.Finish-j.Release)
+		obs.Emit(r.obs, obs.Event{Time: j.Finish, Type: obs.EventJobComplete,
+			Core: j.Core, Job: j.ID, Value: j.Processed, Aux: j.Finish - j.Release})
+	} else {
+		obs.Emit(r.obs, obs.Event{Time: j.Finish, Type: obs.EventJobExpire,
+			Core: j.Core, Job: j.ID, Value: j.Processed, Aux: j.Demand})
 	}
 }
 
@@ -739,6 +789,8 @@ func (r *Runner) expireWaiting(now float64) {
 		j.Finish = j.Deadline
 		r.queueExpired++
 		r.acc.Add(j.Processed, j.Demand)
+		obs.Emit(r.obs, obs.Event{Time: now, Type: obs.EventJobExpire,
+			Core: -1, Job: j.ID, Value: j.Processed, Aux: j.Demand})
 	}
 }
 
@@ -838,7 +890,13 @@ func (r *Runner) setMode(now float64, aes bool) {
 		}
 		if aes != r.modeAES {
 			r.modeSwitches++
+			obs.Emit(r.obs, obs.Event{Time: now, Type: obs.EventModeSwitch,
+				Core: -1, Job: -1, Flag: aes})
 		}
+	} else {
+		// Declare the initial mode so exporters can anchor their tracks.
+		obs.Emit(r.obs, obs.Event{Time: now, Type: obs.EventModeSwitch,
+			Core: -1, Job: -1, Flag: aes})
 	}
 	r.modeAES = aes
 	r.modeSet = true

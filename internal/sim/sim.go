@@ -11,6 +11,8 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+
+	"goodenough/internal/obs"
 )
 
 // Kind labels an event for dispatch.
@@ -137,6 +139,25 @@ type Engine struct {
 	// Horizon, when positive, hard-stops the run at that time even if
 	// events remain (safety net against runaway schedules).
 	Horizon float64
+
+	// obs, when set, receives one EventKernel per delivered event —
+	// the lowest layer of the observability bus. Nil costs one branch.
+	obs obs.Observer
+}
+
+// SetObserver attaches an observability sink to the kernel: every delivered
+// event is mirrored as an obs.EventKernel carrying the sim Kind ordinal and
+// the pending-queue depth. Pass nil to detach.
+func (e *Engine) SetObserver(o obs.Observer) { e.obs = o }
+
+// observe mirrors one delivery onto the bus.
+func (e *Engine) observe(ev *Event) {
+	if e.obs != nil {
+		e.obs.Observe(obs.Event{
+			Time: ev.Time, Type: obs.EventKernel, Core: -1, Job: -1,
+			Value: float64(ev.Kind), Aux: float64(len(e.queue)),
+		})
+	}
 }
 
 // NewEngine returns an engine at time zero with the given handler.
@@ -196,6 +217,7 @@ func (e *Engine) Run() error {
 		}
 		e.now = ev.Time
 		e.Processed++
+		e.observe(ev)
 		if err := e.handler(ev); err != nil {
 			return err
 		}
@@ -218,6 +240,7 @@ func (e *Engine) Step() (bool, error) {
 	}
 	e.now = ev.Time
 	e.Processed++
+	e.observe(ev)
 	if err := e.handler(ev); err != nil {
 		return false, err
 	}
