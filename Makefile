@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench sweep sweep-fast fuzz cover clean
+.PHONY: all build test race vet bench smoke sweep sweep-fast fuzz cover clean
 
 all: build vet test
 
@@ -18,6 +18,10 @@ test:
 # Full test suite under the race detector (what CI runs).
 race:
 	$(GO) test -race ./...
+
+# End-to-end serving smoke: boot geserve, load it, SIGTERM, require exit 0.
+smoke:
+	sh scripts/serve_smoke.sh
 
 # One benchmark iteration per paper figure + ablations (fast, shape-level).
 bench:

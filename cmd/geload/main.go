@@ -1,0 +1,265 @@
+// Command geload drives a running geserve instance with closed- or
+// open-loop traffic and reports latency and shed-rate — the tool that makes
+// overload behavior demonstrable:
+//
+//	geload -url http://localhost:8377 -mode closed -concurrency 8 -requests 100
+//	geload -url http://localhost:8377 -mode open -rate 20 -requests 200
+//
+// Closed-loop mode keeps -concurrency requests outstanding (each worker
+// waits for its response before sending the next) — the classic saturation
+// probe. Open-loop mode fires requests at a fixed -rate regardless of
+// completions, which is how real overload arrives.
+//
+// Shed (429) and draining (503) responses are retried with jittered
+// exponential backoff that honors the server's Retry-After hint; a request
+// that exhausts its retries counts as shed. The final report shows the
+// admitted/shed/error split, the shed rate, and the latency distribution of
+// admitted requests (mean/p50/p95/p99).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type options struct {
+	url         string
+	mode        string
+	concurrency int
+	rate        float64
+	requests    int
+	retries     int
+	backoff     time.Duration
+	maxBackoff  time.Duration
+	timeout     time.Duration
+	seed        int64
+	csv         bool
+
+	body []byte
+}
+
+// tally accumulates outcomes across workers.
+type tally struct {
+	mu        sync.Mutex
+	latencies []float64 // seconds, successful attempts only
+	ok        int
+	cancelled int // 200s whose result was a partial (Cancelled) run
+	shed      int // exhausted retries on 429/503
+	errors    int // 4xx/5xx config or server errors, connection failures
+	attempts  int64
+	retried   int64
+}
+
+func (t *tally) success(d time.Duration, cancelled bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ok++
+	t.latencies = append(t.latencies, d.Seconds())
+	if cancelled {
+		t.cancelled++
+	}
+}
+
+func (t *tally) addShed() { t.mu.Lock(); t.shed++; t.mu.Unlock() }
+func (t *tally) addErr()  { t.mu.Lock(); t.errors++; t.mu.Unlock() }
+
+// quantile returns the q-th quantile of sorted xs.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// retryAfter extracts the server's backoff hint in whole seconds; zero when
+// absent or unparsable.
+func retryAfter(resp *http.Response) time.Duration {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// oneRequest submits one run, retrying shed responses with jittered
+// exponential backoff. rng is per-worker, so jitter is reproducible under
+// -seed without lock contention.
+func oneRequest(client *http.Client, opt *options, t *tally, rng *rand.Rand) {
+	backoff := opt.backoff
+	for attempt := 0; ; attempt++ {
+		atomic.AddInt64(&t.attempts, 1)
+		start := time.Now()
+		resp, err := client.Post(opt.url+"/v1/run", "application/json", bytes.NewReader(opt.body))
+		if err != nil {
+			// Connection-level failure: retry like a shed, the server may
+			// be briefly unreachable mid-drain.
+			if attempt >= opt.retries {
+				t.addErr()
+				return
+			}
+		} else {
+			elapsed := time.Since(start)
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+			resp.Body.Close()
+			switch {
+			case resp.StatusCode == http.StatusOK:
+				var rr struct {
+					Result struct {
+						Cancelled bool
+					}
+				}
+				_ = json.Unmarshal(body, &rr)
+				t.success(elapsed, rr.Result.Cancelled)
+				return
+			case resp.StatusCode == http.StatusTooManyRequests ||
+				resp.StatusCode == http.StatusServiceUnavailable:
+				if attempt >= opt.retries {
+					t.addShed()
+					return
+				}
+				if ra := retryAfter(resp); ra > backoff {
+					backoff = ra
+				}
+			default:
+				// 400 config errors and 500 panics are not retryable.
+				fmt.Fprintf(os.Stderr, "geload: %s: %s\n", resp.Status, bytes.TrimSpace(body))
+				t.addErr()
+				return
+			}
+		}
+		atomic.AddInt64(&t.retried, 1)
+		// Full jitter on the current backoff, then exponential growth.
+		sleep := time.Duration(rng.Int63n(int64(backoff) + 1))
+		time.Sleep(sleep)
+		backoff *= 2
+		if backoff > opt.maxBackoff {
+			backoff = opt.maxBackoff
+		}
+	}
+}
+
+func main() {
+	var opt options
+	var runDuration = flag.Float64("run-duration", 1, "DurationSec of each submitted simulation")
+	var simRate = flag.Float64("sim-rate", 154, "ArrivalRate of each submitted simulation")
+	var scheduler = flag.String("scheduler", "ge", "scheduler of each submitted simulation")
+	var cores = flag.Int("cores", 16, "cores of each submitted simulation")
+	flag.StringVar(&opt.url, "url", "http://127.0.0.1:8377", "geserve base URL")
+	flag.StringVar(&opt.mode, "mode", "closed", "closed (fixed concurrency) or open (fixed arrival rate)")
+	flag.IntVar(&opt.concurrency, "concurrency", 8, "closed-loop outstanding requests")
+	flag.Float64Var(&opt.rate, "rate", 10, "open-loop offered request rate (req/s)")
+	flag.IntVar(&opt.requests, "requests", 50, "total requests to offer")
+	flag.IntVar(&opt.retries, "retries", 4, "max retries per shed request")
+	flag.DurationVar(&opt.backoff, "backoff", 200*time.Millisecond, "initial retry backoff")
+	flag.DurationVar(&opt.maxBackoff, "max-backoff", 5*time.Second, "retry backoff ceiling")
+	flag.DurationVar(&opt.timeout, "timeout", 2*time.Minute, "per-attempt HTTP timeout")
+	flag.Int64Var(&opt.seed, "seed", 1, "jitter RNG seed")
+	flag.BoolVar(&opt.csv, "csv", false, "emit a single CSV row instead of text")
+	flag.Parse()
+
+	if opt.requests <= 0 {
+		fmt.Fprintln(os.Stderr, "geload: -requests must be positive")
+		os.Exit(1)
+	}
+	body, err := json.Marshal(map[string]any{
+		"Scheduler":   *scheduler,
+		"ArrivalRate": *simRate,
+		"DurationSec": *runDuration,
+		"Cores":       *cores,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "geload:", err)
+		os.Exit(1)
+	}
+	opt.body = body
+
+	client := &http.Client{Timeout: opt.timeout}
+	var t tally
+	start := time.Now()
+	var wg sync.WaitGroup
+	switch opt.mode {
+	case "closed":
+		var next int64
+		for w := 0; w < opt.concurrency; w++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(opt.seed + int64(id)))
+				for {
+					if int(atomic.AddInt64(&next, 1)) > opt.requests {
+						return
+					}
+					oneRequest(client, &opt, &t, rng)
+				}
+			}(w)
+		}
+	case "open":
+		if opt.rate <= 0 {
+			fmt.Fprintln(os.Stderr, "geload: open-loop mode needs -rate > 0")
+			os.Exit(1)
+		}
+		interval := time.Duration(float64(time.Second) / opt.rate)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for i := 0; i < opt.requests; i++ {
+			<-ticker.C
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(opt.seed + int64(id)))
+				oneRequest(client, &opt, &t, rng)
+			}(i)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "geload: unknown -mode %q (closed|open)\n", opt.mode)
+		os.Exit(1)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Float64s(t.latencies)
+	shedRate := float64(t.shed) / float64(opt.requests)
+	mean := 0.0
+	for _, v := range t.latencies {
+		mean += v
+	}
+	if len(t.latencies) > 0 {
+		mean /= float64(len(t.latencies))
+	}
+	if opt.csv {
+		fmt.Println("mode,offered,ok,cancelled,shed,errors,attempts,retries,shed_rate,elapsed_s,throughput_rps,lat_mean_ms,lat_p50_ms,lat_p95_ms,lat_p99_ms")
+		fmt.Printf("%s,%d,%d,%d,%d,%d,%d,%d,%.4f,%.2f,%.2f,%.1f,%.1f,%.1f,%.1f\n",
+			opt.mode, opt.requests, t.ok, t.cancelled, t.shed, t.errors,
+			t.attempts, t.retried, shedRate, elapsed.Seconds(),
+			float64(t.ok)/elapsed.Seconds(),
+			mean*1000, quantile(t.latencies, 0.50)*1000,
+			quantile(t.latencies, 0.95)*1000, quantile(t.latencies, 0.99)*1000)
+		return
+	}
+	fmt.Printf("mode             %s\n", opt.mode)
+	fmt.Printf("offered          %d requests in %.1fs\n", opt.requests, elapsed.Seconds())
+	fmt.Printf("admitted ok      %d (%d returned partial/cancelled results)\n", t.ok, t.cancelled)
+	fmt.Printf("shed             %d (rate %.3f, after %d retries)\n", t.shed, shedRate, t.retried)
+	fmt.Printf("errors           %d\n", t.errors)
+	fmt.Printf("attempts         %d\n", t.attempts)
+	fmt.Printf("throughput       %.2f ok/s\n", float64(t.ok)/elapsed.Seconds())
+	fmt.Printf("latency (ok)     mean %.1f ms, p50 %.1f ms, p95 %.1f ms, p99 %.1f ms\n",
+		mean*1000, quantile(t.latencies, 0.50)*1000,
+		quantile(t.latencies, 0.95)*1000, quantile(t.latencies, 0.99)*1000)
+}

@@ -1,0 +1,93 @@
+// Command geserve runs the goodenough simulator as a long-lived HTTP/JSON
+// service with admission control, load shedding, and graceful drain:
+//
+//	geserve -addr :8377 -concurrency 4 -queue 8 -timeout 30s
+//
+// Submit work with any HTTP client; bodies are goodenough.Config overlays
+// on DefaultConfig:
+//
+//	curl -X POST localhost:8377/v1/run   -d '{"DurationSec": 5, "ArrivalRate": 200}'
+//	curl -X POST localhost:8377/v1/sweep -d '{"config":{"DurationSec":2},"rates":[100,154,200]}'
+//	curl localhost:8377/healthz
+//	curl localhost:8377/metricz
+//
+// When every worker is busy and the admission queue is full, requests are
+// shed with 429 and a Retry-After hint (cmd/geload honors it). SIGTERM or
+// SIGINT starts a graceful drain: admission stops (readyz flips to 503),
+// in-flight runs get -drain-timeout to finish, stragglers are cancelled and
+// still answer with their partial results, and the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"goodenough/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8377", "listen address")
+		concurrency  = flag.Int("concurrency", 0, "max simultaneous runs (0 = GOMAXPROCS)")
+		queue        = flag.Int("queue", 0, "admission queue depth beyond running (0 = 2×concurrency)")
+		timeout      = flag.Duration("timeout", 30*time.Second, "per-request run deadline")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "grace for in-flight runs on shutdown")
+		retryAfter   = flag.Duration("retry-after", time.Second, "backoff hint attached to shed (429) responses")
+		maxBody      = flag.Int64("max-body", 8<<20, "request body cap in bytes")
+		maxSweep     = flag.Int("max-sweep", 64, "max points one sweep request may fan out to")
+	)
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		MaxConcurrent:  *concurrency,
+		QueueDepth:     *queue,
+		RequestTimeout: *timeout,
+		DrainTimeout:   *drainTimeout,
+		RetryAfter:     *retryAfter,
+		MaxBodyBytes:   *maxBody,
+		MaxSweepPoints: *maxSweep,
+	})
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "geserve: listening on %s\n", *addr)
+		errCh <- hs.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		// Listener died before any signal: that is a startup failure.
+		fmt.Fprintln(os.Stderr, "geserve:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	stop()
+
+	fmt.Fprintln(os.Stderr, "geserve: draining (new requests rejected)...")
+	// Give the drain its configured grace plus slack for response writes;
+	// the bound guarantees the process cannot hang on shutdown.
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout+5*time.Second)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "geserve: drain:", err)
+	}
+	if err := hs.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "geserve: shutdown:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "geserve: drained cleanly")
+}

@@ -37,9 +37,13 @@
 package goodenough
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"goodenough/internal/core"
 	"goodenough/internal/dist"
@@ -275,6 +279,15 @@ type Result struct {
 	// SurvivingCapacity is the time-weighted fraction of core capacity
 	// that stayed healthy over the run (1 on a fault-free run).
 	SurvivingCapacity float64
+	// Cancelled reports that the run was interrupted by its context
+	// (RunContext, RunTraceContext, or RunOptions.Context) before all
+	// arrivals drained. Every other field then describes the partial run
+	// up to the interruption point.
+	Cancelled bool
+	// CancelReason says why a cancelled run stopped: "context canceled"
+	// for an explicit cancellation, "context deadline exceeded" for a
+	// deadline. Empty when Cancelled is false.
+	CancelReason string
 }
 
 // Schedulers lists the accepted Config.Scheduler names.
@@ -321,28 +334,27 @@ func Run(cfg Config) (Result, error) {
 	return finish(runner)
 }
 
+// RunContext is Run bounded by ctx: cancelling the context or passing its
+// deadline interrupts the simulation within a bounded number of events and
+// returns the *partial* Result with Cancelled set and CancelReason filled —
+// not an error — so online callers always get the metrics accumulated up to
+// the interruption. Configuration problems still surface as errors.
+func RunContext(ctx context.Context, cfg Config) (Result, error) {
+	return RunWithOptions(cfg, RunOptions{Context: ctx})
+}
+
 // RunTrace executes one simulation over a recorded workload trace (JSON,
 // as produced by ExportTrace or cmd/getrace) instead of a synthetic
 // stream. The workload fields of cfg (ArrivalRate, demand distribution,
 // windows, duration, seed) are ignored; machine and scheduler fields apply.
 func RunTrace(cfg Config, traceJSON io.Reader) (Result, error) {
-	scfg, _, policy, err := lowerMachineOnly(cfg)
-	if err != nil {
-		return Result{}, err
-	}
-	tr, err := workload.ReadTrace(traceJSON)
-	if err != nil {
-		return Result{}, err
-	}
-	src, err := workload.NewReplayer(tr)
-	if err != nil {
-		return Result{}, err
-	}
-	runner, err := sched.NewRunnerFromSource(scfg, policy, src)
-	if err != nil {
-		return Result{}, err
-	}
-	return finish(runner)
+	return RunTraceWithOptions(cfg, traceJSON, RunOptions{})
+}
+
+// RunTraceContext is RunTrace bounded by ctx, with the same partial-Result
+// cancellation semantics as RunContext.
+func RunTraceContext(ctx context.Context, cfg Config, traceJSON io.Reader) (Result, error) {
+	return RunTraceWithOptions(cfg, traceJSON, RunOptions{Context: ctx})
 }
 
 // Replication summarizes repeated runs of the same configuration under
@@ -366,25 +378,67 @@ type Replication struct {
 }
 
 // RunSeeds executes cfg once per seed and aggregates the results. The
-// cfg.Seed field is overridden by each entry.
+// cfg.Seed field is overridden by each entry. Replications run in parallel
+// across up to GOMAXPROCS workers; see RunSeedsContext for the guarantees.
 func RunSeeds(cfg Config, seeds []uint64) (Replication, error) {
+	return RunSeedsContext(context.Background(), cfg, seeds)
+}
+
+// RunSeedsContext is RunSeeds bounded by ctx. Replications are spread over
+// min(GOMAXPROCS, len(seeds)) workers, but each seed's simulation is
+// independent and internally deterministic, and results are reported in
+// seed order regardless of completion order — the Replication is identical
+// to a sequential run. If any replication fails, the remaining ones are
+// cancelled and the first error in seed order is returned (never a partial
+// Replication). Cancelling ctx instead yields a full-length Replication
+// whose unfinished entries carry partial Results with Cancelled set.
+func RunSeedsContext(ctx context.Context, cfg Config, seeds []uint64) (Replication, error) {
 	if len(seeds) == 0 {
 		return Replication{}, fmt.Errorf("goodenough: RunSeeds needs at least one seed")
 	}
-	var rep Replication
-	var q, e stats.Running
-	for _, seed := range seeds {
-		c := cfg
-		c.Seed = seed
-		res, err := Run(c)
+	results := make([]Result, len(seeds))
+	errs := make([]error, len(seeds))
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(seeds) {
+		workers = len(seeds)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(seeds) {
+					return
+				}
+				c := cfg
+				c.Seed = seeds[i]
+				res, err := RunContext(runCtx, c)
+				if err != nil {
+					errs[i] = err
+					cancel() // stop the remaining replications promptly
+					continue // keep draining indices so Wait returns
+				}
+				results[i] = res
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
 		if err != nil {
-			return Replication{}, err
+			return Replication{}, fmt.Errorf("goodenough: seed %d: %w", seeds[i], err)
 		}
-		rep.Results = append(rep.Results, res)
+	}
+	rep := Replication{Runs: len(seeds), Results: results}
+	var q, e stats.Running
+	for _, res := range results {
 		q.Add(res.Quality)
 		e.Add(res.Energy)
 	}
-	rep.Runs = len(seeds)
 	rep.QualityMean, rep.QualityStd = q.Mean(), q.Std()
 	rep.EnergyMean, rep.EnergyStd = e.Mean(), e.Std()
 	rep.QualityMin, rep.QualityMax = q.Min(), q.Max()
@@ -424,6 +478,12 @@ type RunOptions struct {
 	// Observer, when non-nil, additionally receives every structured
 	// event (custom sinks; see internal/obs for the event taxonomy).
 	Observer obs.Observer
+	// Context, when non-nil, bounds the run: cancelling it or passing its
+	// deadline interrupts the simulation mid-flight and the run returns a
+	// partial Result with Cancelled set instead of an error. Attached
+	// sinks are still flushed, so a cancelled run's events and timeline
+	// remain usable up to the interruption point.
+	Context context.Context
 }
 
 // RunWithOptions is Run with observability sinks attached.
@@ -441,7 +501,7 @@ func RunWithOptions(cfg Config, opts RunOptions) (Result, error) {
 
 // RunTraceWithOptions is RunTrace with observability sinks attached.
 func RunTraceWithOptions(cfg Config, traceJSON io.Reader, opts RunOptions) (Result, error) {
-	scfg, _, policy, err := lowerMachineOnly(cfg)
+	scfg, policy, err := cfg.compile()
 	if err != nil {
 		return Result{}, err
 	}
@@ -463,6 +523,9 @@ func RunTraceWithOptions(cfg Config, traceJSON io.Reader, opts RunOptions) (Resu
 // finishWithOptions wires the requested sinks into the runner, executes the
 // simulation, and flushes each sink in a deterministic order.
 func finishWithOptions(runner *sched.Runner, cores int, opts RunOptions) (Result, error) {
+	if opts.Context != nil {
+		runner.SetContext(opts.Context)
+	}
 	var tl *metrics.Timeline
 	if opts.Timeline != nil {
 		tl = metrics.NewTimeline(opts.TimelineInterval)
@@ -555,6 +618,9 @@ func finish(runner *sched.Runner) (Result, error) {
 		RequeuedJobs:      res.RequeuedJobs,
 		DroppedJobs:       res.DroppedJobs,
 		SurvivingCapacity: res.SurvivingCapacity,
+
+		Cancelled:    res.Cancelled,
+		CancelReason: res.CancelReason,
 	}, nil
 }
 
@@ -580,31 +646,42 @@ func qualityFor(cfg Config) (quality.Function, error) {
 	}
 }
 
-// lower converts the public Config into the internal configuration triple.
-func lower(cfg Config) (sched.Config, workload.Spec, sched.Policy, error) {
-	scfg, _, policy, err := lowerMachineOnly(cfg)
-	if err != nil {
-		return sched.Config{}, workload.Spec{}, nil, err
+// Validate checks every user-facing Config field — scheduler name,
+// machine, quality model, fault schedule, and workload stream — without
+// running the simulation. It is the single consolidated validation gate:
+// every Run* variant performs exactly these checks (once) before running,
+// so a config that passes Validate will not fail at admission time. The
+// RunTrace* variants skip the workload-stream checks, since the trace
+// supplies the jobs.
+func (c Config) Validate() error {
+	if _, _, err := c.compile(); err != nil {
+		return err
 	}
+	return c.workloadSpec().Validate()
+}
+
+// workloadSpec builds the internal synthetic-workload description. The
+// result is validated by Spec.Validate, not here.
+func (c Config) workloadSpec() workload.Spec {
 	spec := workload.Spec{
-		ArrivalRate:  cfg.ArrivalRate,
-		ParetoAlpha:  cfg.ParetoAlpha,
-		Xmin:         cfg.DemandMin,
-		Xmax:         cfg.DemandMax,
-		Window:       cfg.WindowMS / 1000,
-		RandomWindow: cfg.RandomWindow,
-		WindowMin:    cfg.WindowMinMS / 1000,
-		WindowMax:    cfg.WindowMaxMS / 1000,
-		Duration:     cfg.DurationSec,
-		Seed:         cfg.Seed,
+		ArrivalRate:  c.ArrivalRate,
+		ParetoAlpha:  c.ParetoAlpha,
+		Xmin:         c.DemandMin,
+		Xmax:         c.DemandMax,
+		Window:       c.WindowMS / 1000,
+		RandomWindow: c.RandomWindow,
+		WindowMin:    c.WindowMinMS / 1000,
+		WindowMax:    c.WindowMaxMS / 1000,
+		Duration:     c.DurationSec,
+		Seed:         c.Seed,
 	}
-	if cfg.Bursty {
+	if c.Bursty {
 		spec.Burst = &workload.Burst{
-			HighRate: cfg.BurstHigh, LowRate: cfg.BurstLow,
-			MeanHigh: cfg.BurstMeanHighSec, MeanLow: cfg.BurstMeanLowSec,
+			HighRate: c.BurstHigh, LowRate: c.BurstLow,
+			MeanHigh: c.BurstMeanHighSec, MeanLow: c.BurstMeanLowSec,
 		}
 	}
-	for _, m := range cfg.Mix {
+	for _, m := range c.Mix {
 		spec.Classes = append(spec.Classes, workload.Class{
 			Name: m.Name, Weight: m.Weight,
 			ParetoAlpha: m.ParetoAlpha, Xmin: m.DemandMin, Xmax: m.DemandMax,
@@ -612,35 +689,49 @@ func lower(cfg Config) (sched.Config, workload.Spec, sched.Policy, error) {
 			WindowMin: m.WindowMinMS / 1000, WindowMax: m.WindowMaxMS / 1000,
 		})
 	}
+	return spec
+}
+
+// lower converts the public Config into the internal configuration triple
+// for a synthetic-workload run.
+func lower(cfg Config) (sched.Config, workload.Spec, sched.Policy, error) {
+	scfg, policy, err := cfg.compile()
+	if err != nil {
+		return sched.Config{}, workload.Spec{}, nil, err
+	}
+	spec := cfg.workloadSpec()
 	if err := spec.Validate(); err != nil {
 		return sched.Config{}, workload.Spec{}, nil, err
 	}
 	return scfg, spec, policy, nil
 }
 
-// lowerMachineOnly builds the machine configuration and policy, ignoring
-// the workload fields (used by trace replay).
-func lowerMachineOnly(cfg Config) (sched.Config, workload.Spec, sched.Policy, error) {
+// compile validates the machine/scheduler/quality/fault fields and builds
+// the internal sched.Config and policy. Together with Spec.Validate (the
+// workload half, invoked from lower and Validate) this is the only place
+// Config fields are checked — every Run* entry point funnels through it
+// exactly once.
+func (cfg Config) compile() (sched.Config, sched.Policy, error) {
 	mk, ok := schedulerMakers[cfg.Scheduler]
 	if !ok {
-		return sched.Config{}, workload.Spec{}, nil,
+		return sched.Config{}, nil,
 			fmt.Errorf("goodenough: unknown scheduler %q (valid: %v)", cfg.Scheduler, Schedulers())
 	}
 	if cfg.Scheduler == "be-p" && cfg.BEPBudget <= 0 {
-		return sched.Config{}, workload.Spec{}, nil,
+		return sched.Config{}, nil,
 			fmt.Errorf("goodenough: scheduler be-p requires BEPBudget > 0")
 	}
 	if cfg.Scheduler == "be-s" && cfg.BESCap <= 0 {
-		return sched.Config{}, workload.Spec{}, nil,
+		return sched.Config{}, nil,
 			fmt.Errorf("goodenough: scheduler be-s requires BESCap > 0")
 	}
 	if cfg.QualityC <= 0 || cfg.DemandMax <= 0 {
-		return sched.Config{}, workload.Spec{}, nil,
+		return sched.Config{}, nil,
 			fmt.Errorf("goodenough: QualityC and DemandMax must be positive")
 	}
 	qf, err := qualityFor(cfg)
 	if err != nil {
-		return sched.Config{}, workload.Spec{}, nil, err
+		return sched.Config{}, nil, err
 	}
 
 	cores := cfg.Cores
@@ -649,7 +740,7 @@ func lowerMachineOnly(cfg Config) (sched.Config, workload.Spec, sched.Policy, er
 		cores = 0
 		for _, g := range cfg.CoreGroups {
 			if g.Count <= 0 {
-				return sched.Config{}, workload.Spec{}, nil,
+				return sched.Config{}, nil,
 					fmt.Errorf("goodenough: core group count must be positive, got %d", g.Count)
 			}
 			m := power.Model{A: g.PowerAlpha, Beta: g.PowerBeta, MaxSpeed: g.MaxSpeedGHz}
@@ -674,7 +765,7 @@ func lowerMachineOnly(cfg Config) (sched.Config, workload.Spec, sched.Policy, er
 	if len(cfg.DiscreteSpeeds) > 0 {
 		ladder, err := power.NewLadder(cfg.DiscreteSpeeds)
 		if err != nil {
-			return sched.Config{}, workload.Spec{}, nil, err
+			return sched.Config{}, nil, err
 		}
 		scfg.Ladder = ladder
 	}
@@ -684,7 +775,7 @@ func lowerMachineOnly(cfg Config) (sched.Config, workload.Spec, sched.Policy, er
 		for i, f := range cfg.Faults {
 			kind, err := faults.ParseKind(f.Kind)
 			if err != nil {
-				return sched.Config{}, workload.Spec{}, nil,
+				return sched.Config{}, nil,
 					fmt.Errorf("goodenough: fault %d: %w", i, err)
 			}
 			specs[i] = faults.Spec{
@@ -694,25 +785,25 @@ func lowerMachineOnly(cfg Config) (sched.Config, workload.Spec, sched.Policy, er
 		}
 		fs, err := faults.New(specs, cores)
 		if err != nil {
-			return sched.Config{}, workload.Spec{}, nil, fmt.Errorf("goodenough: %w", err)
+			return sched.Config{}, nil, fmt.Errorf("goodenough: %w", err)
 		}
 		scfg.Faults = fs
 	case cfg.FaultMTBFSec > 0 || cfg.FaultMTTRSec > 0:
 		if cfg.DurationSec <= 0 {
-			return sched.Config{}, workload.Spec{}, nil,
+			return sched.Config{}, nil,
 				fmt.Errorf("goodenough: the MTBF/MTTR fault generator needs DurationSec > 0")
 		}
 		fs, err := faults.Generate(cfg.Seed, cores, cfg.DurationSec,
 			cfg.FaultMTBFSec, cfg.FaultMTTRSec)
 		if err != nil {
-			return sched.Config{}, workload.Spec{}, nil, fmt.Errorf("goodenough: %w", err)
+			return sched.Config{}, nil, fmt.Errorf("goodenough: %w", err)
 		}
 		scfg.Faults = fs
 	}
 	if err := scfg.Validate(); err != nil {
-		return sched.Config{}, workload.Spec{}, nil, err
+		return sched.Config{}, nil, err
 	}
 
 	policy := mk(makerArgs{qge: cfg.QGE, bepBudget: cfg.BEPBudget, besCap: cfg.BESCap})
-	return scfg, workload.Spec{}, policy, nil
+	return scfg, policy, nil
 }

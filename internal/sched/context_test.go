@@ -1,0 +1,85 @@
+package sched
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestRunnerContextCancelPartialResult verifies that cancelling a run
+// mid-simulation returns promptly with a partial Result flagged Cancelled,
+// instead of spinning the event loop to completion.
+func TestRunnerContextCancelPartialResult(t *testing.T) {
+	cfg := Defaults()
+	spec := shortSpec(200, 7)
+	spec.Duration = 1e6 // effectively unbounded; only cancellation ends it
+	r, err := NewRunner(cfg, NewFCFS(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	r.SetContext(ctx)
+	start := time.Now()
+	res, err := r.Run()
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("cancelled run must not error, got %v", err)
+	}
+	if !res.Cancelled {
+		t.Fatal("Result.Cancelled not set")
+	}
+	if res.CancelReason != context.Canceled.Error() {
+		t.Fatalf("CancelReason = %q, want %q", res.CancelReason, context.Canceled.Error())
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v; must stop within a bounded number of events", elapsed)
+	}
+	if res.SimTime <= 0 || res.SimTime >= 1e6 {
+		t.Fatalf("partial SimTime = %v, want a mid-run value", res.SimTime)
+	}
+	if res.Jobs == 0 {
+		t.Fatal("partial result carries no jobs; accounting lost")
+	}
+}
+
+// TestRunnerDeadlinePartialResult verifies deadline-bounded runs report the
+// deadline as the cancel reason.
+func TestRunnerDeadlinePartialResult(t *testing.T) {
+	cfg := Defaults()
+	spec := shortSpec(200, 8)
+	spec.Duration = 1e6
+	r, err := NewRunner(cfg, NewFCFS(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	r.SetContext(ctx)
+	res, err := r.Run()
+	if err != nil {
+		t.Fatalf("deadline-bounded run must not error, got %v", err)
+	}
+	if !res.Cancelled || res.CancelReason != context.DeadlineExceeded.Error() {
+		t.Fatalf("got Cancelled=%v reason=%q, want deadline exceeded",
+			res.Cancelled, res.CancelReason)
+	}
+}
+
+// TestRunnerNoContextCompletes pins the default: no context, no Cancelled.
+func TestRunnerNoContextCompletes(t *testing.T) {
+	r, err := NewRunner(Defaults(), NewFCFS(), shortSpec(100, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cancelled || res.CancelReason != "" {
+		t.Fatalf("uncancelled run reports Cancelled=%v reason=%q", res.Cancelled, res.CancelReason)
+	}
+}

@@ -18,6 +18,8 @@
 package sched
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -279,6 +281,15 @@ type Result struct {
 	// SurvivingCapacity is the time-weighted fraction of core-time that
 	// was healthy: 1.0 on a fault-free run, lower while cores are down.
 	SurvivingCapacity float64
+	// Cancelled reports that the run was interrupted by its context
+	// (SetContext) before the event queue drained. Every other field then
+	// describes the partial run up to the interruption point — jobs still
+	// in flight are simply absent from the counts.
+	Cancelled bool
+	// CancelReason says why a cancelled run stopped: "context canceled"
+	// for an explicit cancellation, "context deadline exceeded" for a
+	// deadline. Empty when Cancelled is false.
+	CancelReason string
 }
 
 // Runner executes one workload against one policy.
@@ -336,6 +347,13 @@ func (r *Runner) SetObserver(o obs.Observer) {
 // mode at every delivered event (thinned by the timeline's own interval).
 // Call before Run.
 func (r *Runner) SetTimeline(t *metrics.Timeline) { r.timeline = t }
+
+// SetContext attaches a cancellation context to the run: when ctx is
+// cancelled or its deadline passes, Run stops within a bounded number of
+// events and returns a *partial* Result with Cancelled set — not an error —
+// so callers always get the metrics accumulated up to the interruption.
+// Call before Run; pass nil to detach.
+func (r *Runner) SetContext(ctx context.Context) { r.engine.SetContext(ctx) }
 
 // recordSample feeds the attached timeline, if any.
 func (r *Runner) recordSample(now float64) {
@@ -434,8 +452,14 @@ func (r *Runner) Run() (Result, error) {
 			return Result{}, err
 		}
 	}
+	var cancelReason string
 	if err := r.engine.Run(); err != nil {
-		return Result{}, err
+		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			return Result{}, err
+		}
+		// Context interruption is a normal outcome for an online service:
+		// report the partial run rather than discarding it.
+		cancelReason = err.Error()
 	}
 	// Close out mode accounting.
 	r.setMode(r.engine.Now(), r.modeAES) // flush the open interval
@@ -471,6 +495,10 @@ func (r *Runner) Run() (Result, error) {
 	res.RequeuedJobs = r.requeued
 	res.DroppedJobs = r.shed
 	res.SurvivingCapacity = r.server.SurvivingCapacity()
+	if cancelReason != "" {
+		res.Cancelled = true
+		res.CancelReason = cancelReason
+	}
 	return res, nil
 }
 

@@ -1,0 +1,317 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"goodenough"
+)
+
+// errorBody is the JSON error envelope every non-2xx response carries.
+type errorBody struct {
+	Error string `json:"error"`
+	// RetryAfterMS accompanies 429s: the client should back off at least
+	// this long (the Retry-After header carries the same hint in whole
+	// seconds).
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+}
+
+// runResponse wraps one simulation result.
+type runResponse struct {
+	Result goodenough.Result `json:"result"`
+}
+
+// sweepPoint is one entry of a sweep response.
+type sweepPoint struct {
+	Rate   float64           `json:"rate"`
+	Seed   uint64            `json:"seed"`
+	Result goodenough.Result `json:"result"`
+}
+
+// sweepResponse carries the completed points of a sweep. Cancelled reports
+// that the request's deadline (or a drain) interrupted the batch; Points
+// then holds the prefix that finished.
+type sweepResponse struct {
+	Points    []sweepPoint `json:"points"`
+	Cancelled bool         `json:"cancelled,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "")
+	_ = enc.Encode(v) // the client hanging up is not our error
+}
+
+// shedResponse emits the load-shedding reply for a verdict other than
+// admitted.
+func (s *Server) shedResponse(w http.ResponseWriter, verdict admission) {
+	switch verdict {
+	case shedQueueFull:
+		s.metrics.inc("shed_total")
+		secs := int64(s.cfg.RetryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		writeJSON(w, http.StatusTooManyRequests, errorBody{
+			Error:        "admission queue full",
+			RetryAfterMS: s.cfg.RetryAfter.Milliseconds(),
+		})
+	case shedDraining:
+		s.metrics.inc("rejected_draining_total")
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "server draining"})
+	case shedClientGone:
+		s.metrics.inc("client_gone_total")
+		// 499-style: the client is gone, but write something valid anyway.
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "client cancelled while queued"})
+	}
+}
+
+// decodeConfig reads a goodenough.Config overlay: the body's fields are
+// applied on top of DefaultConfig, so `{"DurationSec": 2}` is a complete
+// request. Unknown fields are rejected — they are almost always typos.
+func (s *Server) decodeConfig(w http.ResponseWriter, r *http.Request, raw []byte) (goodenough.Config, bool) {
+	cfg := goodenough.DefaultConfig()
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad config: %v", err)})
+		return goodenough.Config{}, false
+	}
+	return cfg, true
+}
+
+// readBody slurps the (size-capped) request body.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(body); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("reading body: %v", err)})
+		return nil, false
+	}
+	return buf.Bytes(), true
+}
+
+// execute admits, runs, and accounts one simulation closure. The closure
+// receives the bounded run context and returns the response payload.
+func (s *Server) execute(w http.ResponseWriter, r *http.Request,
+	run func(ctx context.Context) (any, error)) {
+	release, verdict := s.acquire(r.Context())
+	if verdict != admitted {
+		s.shedResponse(w, verdict)
+		return
+	}
+	defer release()
+	s.metrics.inc("admitted_total")
+	s.metrics.gaugeSet("inflight", float64(s.InFlight()))
+	defer func() { s.metrics.gaugeSet("inflight", float64(s.InFlight()-1)) }()
+
+	ctx, cancel := s.runContext(r)
+	defer cancel()
+	payload, err := run(ctx)
+	if err != nil {
+		s.metrics.inc("run_err_total")
+		// goodenough.RunContext reports cancellation as a partial result,
+		// not an error, so an error here is a config/trace problem — except
+		// with substituted RunFuncs, which may surface the context error
+		// directly.
+		if errIsCancel(err) {
+			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	s.metrics.inc("run_ok_total")
+	writeJSON(w, http.StatusOK, payload)
+}
+
+// handleRun executes one simulation. Body: a goodenough.Config overlay.
+// A run that hits the request timeout (or a drain force-cancel) still
+// answers 200 with Result.Cancelled=true — partial results are the point
+// of a good-enough service.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	raw, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	cfg, ok := s.decodeConfig(w, r, raw)
+	if !ok {
+		return
+	}
+	if err := cfg.Validate(); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	s.execute(w, r, func(ctx context.Context) (any, error) {
+		res, err := s.cfg.Run(ctx, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if res.Cancelled {
+			s.metrics.inc("run_cancelled_total")
+		}
+		return runResponse{Result: res}, nil
+	})
+}
+
+// traceRequest is the /v1/trace body: a config overlay plus the recorded
+// trace JSON (as produced by goodenough.ExportTrace or cmd/getrace).
+type traceRequest struct {
+	Config json.RawMessage `json:"config"`
+	Trace  json.RawMessage `json:"trace"`
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	raw, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	var req traceRequest
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad request: %v", err)})
+		return
+	}
+	if len(req.Trace) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "missing trace"})
+		return
+	}
+	cfgRaw := req.Config
+	if len(cfgRaw) == 0 {
+		cfgRaw = []byte("{}")
+	}
+	cfg, ok := s.decodeConfig(w, r, cfgRaw)
+	if !ok {
+		return
+	}
+	s.execute(w, r, func(ctx context.Context) (any, error) {
+		res, err := goodenough.RunTraceContext(ctx, cfg, bytes.NewReader(req.Trace))
+		if err != nil {
+			return nil, err
+		}
+		if res.Cancelled {
+			s.metrics.inc("run_cancelled_total")
+		}
+		return runResponse{Result: res}, nil
+	})
+}
+
+// sweepRequest is the /v1/sweep body: one config overlay fanned out over
+// arrival rates and/or seeds. Empty lists fall back to the config's own
+// rate/seed, so {"config":{}, "rates":[100,200]} is two points.
+type sweepRequest struct {
+	Config json.RawMessage `json:"config"`
+	Rates  []float64       `json:"rates"`
+	Seeds  []uint64        `json:"seeds"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	raw, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	var req sweepRequest
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad request: %v", err)})
+		return
+	}
+	cfgRaw := req.Config
+	if len(cfgRaw) == 0 {
+		cfgRaw = []byte("{}")
+	}
+	base, ok := s.decodeConfig(w, r, cfgRaw)
+	if !ok {
+		return
+	}
+	rates := req.Rates
+	if len(rates) == 0 {
+		rates = []float64{base.ArrivalRate}
+	}
+	seeds := req.Seeds
+	if len(seeds) == 0 {
+		seeds = []uint64{base.Seed}
+	}
+	points := len(rates) * len(seeds)
+	if points > s.cfg.MaxSweepPoints {
+		writeJSON(w, http.StatusBadRequest, errorBody{
+			Error: fmt.Sprintf("sweep asks for %d points, limit is %d", points, s.cfg.MaxSweepPoints),
+		})
+		return
+	}
+	// Validate every point before admitting, so a sweep never half-runs on
+	// a config error.
+	for _, rate := range rates {
+		cfg := base
+		cfg.ArrivalRate = rate
+		if err := cfg.Validate(); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+			return
+		}
+	}
+	s.execute(w, r, func(ctx context.Context) (any, error) {
+		resp := sweepResponse{Points: make([]sweepPoint, 0, points)}
+		for _, rate := range rates {
+			for _, seed := range seeds {
+				if ctx.Err() != nil {
+					resp.Cancelled = true
+					return resp, nil
+				}
+				cfg := base
+				cfg.ArrivalRate = rate
+				cfg.Seed = seed
+				res, err := s.cfg.Run(ctx, cfg)
+				if err != nil {
+					return nil, err
+				}
+				if res.Cancelled {
+					s.metrics.inc("run_cancelled_total")
+					resp.Cancelled = true
+					resp.Points = append(resp.Points, sweepPoint{Rate: rate, Seed: seed, Result: res})
+					return resp, nil
+				}
+				resp.Points = append(resp.Points, sweepPoint{Rate: rate, Seed: seed, Result: res})
+			}
+		}
+		return resp, nil
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "ok uptime=%s\n", time.Since(s.started).Round(time.Second))
+}
+
+// handleReadyz answers 200 with a metrics snapshot while the server admits
+// work, 503 once draining — the signal load balancers use to stop routing.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.Draining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+	_ = s.metrics.writeText(w)
+}
+
+func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_ = s.metrics.writeText(w)
+}
+
+// errIsCancel reports whether err is a context cancellation.
+func errIsCancel(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

@@ -1,0 +1,114 @@
+package server
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+
+	"goodenough"
+)
+
+// checkNoLeaks polls the goroutine count back down to the recorded baseline
+// (plus slack for runtime helpers net/http may have started lazily).
+// Scheduling is asynchronous, so a single instantaneous read would flake;
+// failing means some goroutine is parked forever, and the dump shows where.
+func checkNoLeaks(t *testing.T, baseline int) {
+	t.Helper()
+	const slack = 3
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= baseline+slack {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutine leak: %d running, baseline %d\n%s", n, baseline, buf)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestNoGoroutineLeaks drives the three paths most likely to strand a
+// goroutine — drain with blocked runs, per-request timeout cancellation, and
+// a recovered panic — then verifies the process returns to its baseline
+// goroutine count once each test server is torn down.
+func TestNoGoroutineLeaks(t *testing.T) {
+	old := debugWriter
+	debugWriter = io.Discard
+	defer func() { debugWriter = old }()
+	baseline := runtime.NumGoroutine()
+
+	// Path 1: drain while a run is blocked and a waiter sits in the queue.
+	func() {
+		started := make(chan struct{}, 2)
+		s := New(Config{
+			MaxConcurrent: 1,
+			QueueDepth:    1,
+			DrainTimeout:  30 * time.Millisecond,
+			Run:           blockUntilCancelled(started),
+		})
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		done := make(chan struct{}, 2)
+		for i := 0; i < 2; i++ {
+			go func() {
+				defer func() { done <- struct{}{} }()
+				postJSON(t, ts.Client(), ts.URL+"/v1/run", tinyBody)
+			}()
+		}
+		<-started
+		waitFor(t, func() bool {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return s.queued == 1
+		}, "waiter never queued")
+		if err := s.Drain(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		<-done
+		<-done
+	}()
+	checkNoLeaks(t, baseline)
+
+	// Path 2: request-timeout cancellation of a real simulation.
+	func() {
+		s := New(Config{RequestTimeout: 40 * time.Millisecond})
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		code, _, body := postJSON(t, ts.Client(), ts.URL+"/v1/run",
+			`{"DurationSec":1e6,"ArrivalRate":200,"Cores":4}`)
+		if code != http.StatusOK {
+			t.Fatalf("timeout path: %d %s", code, body)
+		}
+		if err := s.Drain(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	checkNoLeaks(t, baseline)
+
+	// Path 3: a recovered panic must not strand the slot bookkeeping or any
+	// helper goroutine.
+	func() {
+		s := New(Config{
+			Run: func(ctx context.Context, cfg goodenough.Config) (goodenough.Result, error) {
+				panic("leak-test panic")
+			},
+		})
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		if code, _, _ := postJSON(t, ts.Client(), ts.URL+"/v1/run", tinyBody); code != http.StatusInternalServerError {
+			t.Fatalf("panic path answered %d, want 500", code)
+		}
+		if err := s.Drain(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	checkNoLeaks(t, baseline)
+}

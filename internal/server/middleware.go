@@ -1,0 +1,123 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"goodenough/internal/obs"
+)
+
+func defaultConcurrency() int { return runtime.GOMAXPROCS(0) }
+
+// latencyBounds are the request-latency histogram buckets in seconds.
+var latencyBounds = []float64{
+	0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// metrics wraps the simulator's obs.Registry for concurrent use. The
+// registry itself is single-threaded by design (one registry per simulation
+// run); the serving layer multiplexes many requests onto one registry, so
+// every touch goes through the mutex.
+type metrics struct {
+	mu      sync.Mutex
+	reg     *obs.Registry
+	latency *obs.Histogram
+}
+
+func newMetrics() *metrics {
+	reg := obs.NewRegistry()
+	// Pre-create everything so /metricz shows zeros instead of absences.
+	for _, name := range []string{
+		"requests_total",
+		"admitted_total",
+		"shed_total",
+		"rejected_draining_total",
+		"client_gone_total",
+		"run_ok_total",
+		"run_err_total",
+		"run_cancelled_total",
+		"panics_total",
+	} {
+		reg.Counter(name)
+	}
+	reg.Gauge("queue_depth")
+	reg.Gauge("inflight")
+	latency, err := reg.Histogram("request_seconds", latencyBounds)
+	if err != nil {
+		// Static bounds; unreachable unless latencyBounds is edited badly.
+		panic(err)
+	}
+	return &metrics{reg: reg, latency: latency}
+}
+
+func (m *metrics) inc(name string) {
+	m.mu.Lock()
+	m.reg.Counter(name).Inc()
+	m.mu.Unlock()
+}
+
+func (m *metrics) gaugeSet(name string, v float64) {
+	m.mu.Lock()
+	m.reg.Gauge(name).Set(v)
+	m.mu.Unlock()
+}
+
+func (m *metrics) observeLatency(d time.Duration) {
+	m.mu.Lock()
+	m.latency.Observe(d.Seconds())
+	m.mu.Unlock()
+}
+
+// writeText renders the registry snapshot to w under the lock.
+func (m *metrics) writeText(w io.Writer) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.reg.WriteText(w)
+}
+
+// recoverPanics converts a panicking handler — most importantly a panic
+// inside a simulation run — into a structured 500 instead of a killed
+// connection, and counts it. The process keeps serving.
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				if p == http.ErrAbortHandler {
+					// The net/http contract for aborted responses.
+					panic(p)
+				}
+				s.metrics.inc("panics_total")
+				// Best effort: if the handler already wrote a partial
+				// body, the client sees a truncated response; for
+				// simulation panics nothing has been written yet, so this
+				// is a clean structured error.
+				writeJSON(w, http.StatusInternalServerError, errorBody{
+					Error: fmt.Sprintf("internal: run panicked: %v", p),
+				})
+				// The stack goes to stderr, not the client.
+				fmt.Fprintf(debugWriter, "geserve: recovered panic: %v\n%s\n", p, debug.Stack())
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// debugWriter receives recovered panic stacks; tests may silence it.
+var debugWriter io.Writer = os.Stderr
+
+// instrument counts requests and records end-to-end latency plus the
+// in-flight gauge around the run endpoints.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.inc("requests_total")
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		s.metrics.observeLatency(time.Since(start))
+	})
+}

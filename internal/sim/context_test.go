@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestContextCancelStopsRun verifies that cancelling the attached context
+// stops delivery within the polling stride and surfaces ctx.Err().
+func TestContextCancelStopsRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	delivered := 0
+	var e *Engine
+	e = NewEngine(func(ev *Event) error {
+		delivered++
+		if delivered == 10 {
+			cancel()
+		}
+		// Keep the queue alive forever: self-perpetuating ticks.
+		_, err := e.Schedule(ev.Time+1, KindQuantum, nil)
+		return err
+	})
+	e.SetContext(ctx)
+	for i := 0; i < 4; i++ {
+		if _, err := e.Schedule(float64(i), KindQuantum, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err := e.Run()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run returned %v, want context.Canceled", err)
+	}
+	if delivered < 10 || delivered > 10+ctxStride {
+		t.Fatalf("delivered %d events; cancellation should stop within %d of the cancel",
+			delivered, ctxStride)
+	}
+}
+
+// TestContextPreCancelled verifies an already-dead context stops the run
+// before any event is delivered.
+func TestContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e := NewEngine(func(ev *Event) error {
+		t.Fatal("handler ran despite pre-cancelled context")
+		return nil
+	})
+	e.SetContext(ctx)
+	if _, err := e.Schedule(0, KindQuantum, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run returned %v, want context.Canceled", err)
+	}
+	if e.Processed != 0 {
+		t.Fatalf("processed %d events before noticing cancellation", e.Processed)
+	}
+}
+
+// TestNilContextUnchanged verifies the default path (no context) drains the
+// queue exactly as before.
+func TestNilContextUnchanged(t *testing.T) {
+	n := 0
+	e := NewEngine(func(ev *Event) error { n++; return nil })
+	for i := 0; i < 5; i++ {
+		if _, err := e.Schedule(float64(i), KindQuantum, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("delivered %d events, want 5", n)
+	}
+}

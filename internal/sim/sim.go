@@ -9,6 +9,7 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 
@@ -143,12 +144,44 @@ type Engine struct {
 	// obs, when set, receives one EventKernel per delivered event —
 	// the lowest layer of the observability bus. Nil costs one branch.
 	obs obs.Observer
+
+	// ctx, when set, lets the run be cancelled or deadline-bounded from
+	// outside. The loop polls it every ctxStride deliveries (and once on
+	// entry), so cancellation latency is bounded by the cost of ctxStride
+	// handler invocations — microseconds, not simulated time.
+	ctx context.Context
 }
+
+// ctxStride is how many deliveries pass between context polls. Polling is
+// one non-blocking channel select; a small power of two keeps cancellation
+// prompt while staying invisible in the hot loop.
+const ctxStride = 64
 
 // SetObserver attaches an observability sink to the kernel: every delivered
 // event is mirrored as an obs.EventKernel carrying the sim Kind ordinal and
 // the pending-queue depth. Pass nil to detach.
 func (e *Engine) SetObserver(o obs.Observer) { e.obs = o }
+
+// SetContext attaches a cancellation context to the run loop. When ctx is
+// cancelled (or its deadline passes), Run and Step stop delivering events
+// and return ctx.Err(); the clock stays at the last delivered event, so the
+// caller can still read a consistent partial state. Pass nil to detach.
+// Call before Run.
+func (e *Engine) SetContext(ctx context.Context) { e.ctx = ctx }
+
+// interrupted polls the attached context; it reports a non-nil error when
+// the run should stop.
+func (e *Engine) interrupted() error {
+	if e.ctx == nil {
+		return nil
+	}
+	select {
+	case <-e.ctx.Done():
+		return e.ctx.Err()
+	default:
+		return nil
+	}
+}
 
 // observe mirrors one delivery onto the bus.
 func (e *Engine) observe(ev *Event) {
@@ -204,9 +237,19 @@ func (e *Engine) Cancel(ev *Event) bool {
 }
 
 // Run delivers events in order until the queue empties, a KindEnd event is
-// delivered, the optional horizon passes, or the handler errors.
+// delivered, the optional horizon passes, the handler errors, or the
+// attached context (SetContext) is cancelled — the last case returns
+// ctx.Err() so callers can distinguish cancellation from simulation faults.
 func (e *Engine) Run() error {
+	if err := e.interrupted(); err != nil {
+		return err
+	}
 	for len(e.queue) > 0 {
+		if e.Processed%ctxStride == 0 {
+			if err := e.interrupted(); err != nil {
+				return err
+			}
+		}
 		ev := heap.Pop(&e.queue).(*Event)
 		if e.Horizon > 0 && ev.Time > e.Horizon {
 			e.now = e.Horizon
@@ -231,6 +274,9 @@ func (e *Engine) Run() error {
 // Step delivers exactly one event, returning false when the queue is empty.
 // Used by tests that need to observe intermediate state.
 func (e *Engine) Step() (bool, error) {
+	if err := e.interrupted(); err != nil {
+		return false, err
+	}
 	if len(e.queue) == 0 {
 		return false, nil
 	}

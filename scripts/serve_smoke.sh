@@ -1,0 +1,65 @@
+#!/bin/sh
+# End-to-end smoke test of the serving layer: build geserve + geload, boot
+# the daemon, probe health/readiness, run one simulation, put it briefly
+# under load, then SIGTERM it and require a clean (exit 0) graceful drain.
+# Used by `make smoke` and the CI serve-smoke job.
+set -eu
+
+ADDR=${ADDR:-127.0.0.1:8377}
+BASE="http://$ADDR"
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+go build -o "$TMP/geserve" ./cmd/geserve
+go build -o "$TMP/geload" ./cmd/geload
+
+"$TMP/geserve" -addr "$ADDR" -concurrency 2 -queue 2 \
+    -timeout 10s -drain-timeout 2s &
+SERVE_PID=$!
+
+# Wait for the listener (up to ~10 s).
+i=0
+until curl -fsS "$BASE/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "smoke: geserve never became healthy" >&2
+        kill "$SERVE_PID" 2>/dev/null || true
+        exit 1
+    fi
+    sleep 0.2
+done
+echo "smoke: healthz ok"
+
+curl -fsS "$BASE/readyz" | grep -q '^ready' || {
+    echo "smoke: readyz not ready" >&2
+    exit 1
+}
+echo "smoke: readyz ok"
+
+# One real simulation must come back complete (not cancelled).
+RESP=$(curl -fsS -d '{"Scheduler":"ge","ArrivalRate":154,"DurationSec":5}' \
+    "$BASE/v1/run")
+echo "$RESP" | grep -q '"Jobs":' || {
+    echo "smoke: run response carries no result: $RESP" >&2
+    exit 1
+}
+echo "$RESP" | grep -q '"Cancelled":true' && {
+    echo "smoke: uncontended run came back cancelled: $RESP" >&2
+    exit 1
+}
+echo "smoke: run ok"
+
+# Brief closed-loop overload; geload exits 0 as long as requests resolve
+# (admitted or cleanly shed).
+"$TMP/geload" -url "$BASE" -mode closed -concurrency 6 -requests 24 \
+    -run-duration 10 -retries 1 -backoff 100ms
+echo "smoke: load ok"
+
+# Graceful drain: SIGTERM must produce exit 0 with no stragglers.
+kill -TERM "$SERVE_PID"
+if wait "$SERVE_PID"; then
+    echo "smoke: clean drain, exit 0"
+else
+    echo "smoke: geserve exited non-zero on SIGTERM" >&2
+    exit 1
+fi
