@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench smoke sweep sweep-fast fuzz cover clean
+.PHONY: all build test race vet bench smoke chaos-smoke sweep sweep-fast fuzz cover clean
 
 all: build vet test
 
@@ -22,6 +22,11 @@ race:
 # End-to-end serving smoke: boot geserve, load it, SIGTERM, require exit 0.
 smoke:
 	sh scripts/serve_smoke.sh
+
+# Fleet failover smoke: 3 replicas behind gegate, gechaos black-holes one
+# mid-run, geload must see zero failures and the gateway nonzero hedge wins.
+chaos-smoke:
+	sh scripts/chaos_smoke.sh
 
 # One benchmark iteration per paper figure + ablations (fast, shape-level).
 bench:

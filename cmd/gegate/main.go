@@ -1,0 +1,121 @@
+// Command gegate fronts a pool of geserve replicas with health-checked
+// load balancing, per-replica circuit breakers, hedged requests, and a
+// global retry budget — the tier that keeps answering when individual
+// replicas stall or die:
+//
+//	gegate -addr :8370 -replicas http://127.0.0.1:8377,http://127.0.0.1:8378,http://127.0.0.1:8379
+//
+// Clients speak the same protocol as to a single geserve:
+//
+//	curl -X POST localhost:8370/v1/run -d '{"DurationSec": 2}'
+//	curl localhost:8370/replicaz   # live per-replica breaker/probe/load table
+//	curl localhost:8370/metricz    # hedge + breaker + per-replica counters
+//
+// Every response carries X-GE-Replica (which backend answered),
+// X-GE-Attempts, and X-GE-Hedged when a tail hedge won — cmd/geload
+// aggregates these into a per-replica attribution report. SIGTERM/SIGINT
+// shuts down gracefully: the listener drains in-flight requests, probe
+// loops stop, and the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"goodenough/internal/gateway"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8370", "listen address")
+		replicas     = flag.String("replicas", "", "comma-separated geserve base URLs (required)")
+		probeEvery   = flag.Duration("probe-interval", 500*time.Millisecond, "active /readyz probe period")
+		probeTimeout = flag.Duration("probe-timeout", 2*time.Second, "per-probe timeout")
+		brFailures   = flag.Int("breaker-failures", 3, "consecutive failures that open a replica's breaker")
+		brOpenFor    = flag.Duration("breaker-open", 2*time.Second, "open-state duration before a half-open trial")
+		noHedge      = flag.Bool("no-hedge", false, "disable tail-latency hedging")
+		hedgeQ       = flag.Float64("hedge-quantile", 0.95, "latency quantile that sets the hedge delay")
+		hedgeMin     = flag.Duration("hedge-min", 50*time.Millisecond, "hedge delay floor (also the cold-start delay)")
+		hedgeMax     = flag.Duration("hedge-max", 2*time.Second, "hedge delay ceiling")
+		maxAttempts  = flag.Int("max-attempts", 3, "upstream attempts per request, hedges included")
+		budgetRatio  = flag.Float64("retry-budget", 0.2, "retry/hedge tokens earned per client request")
+		budgetBurst  = flag.Float64("retry-burst", 16, "retry budget bucket size")
+		timeout      = flag.Duration("timeout", 90*time.Second, "end-to-end deadline per client request")
+		shutdownGr   = flag.Duration("shutdown-grace", 15*time.Second, "drain deadline on SIGTERM")
+	)
+	flag.Parse()
+
+	if *replicas == "" {
+		fmt.Fprintln(os.Stderr, "gegate: -replicas is required (comma-separated geserve URLs)")
+		os.Exit(1)
+	}
+	var pool []string
+	for _, r := range strings.Split(*replicas, ",") {
+		if r = strings.TrimSpace(r); r != "" {
+			pool = append(pool, r)
+		}
+	}
+
+	gw, err := gateway.New(gateway.Config{
+		Replicas:         pool,
+		ProbeInterval:    *probeEvery,
+		ProbeTimeout:     *probeTimeout,
+		BreakerFailures:  *brFailures,
+		BreakerOpenFor:   *brOpenFor,
+		DisableHedging:   *noHedge,
+		HedgeQuantile:    *hedgeQ,
+		HedgeMinDelay:    *hedgeMin,
+		HedgeMaxDelay:    *hedgeMax,
+		MaxAttempts:      *maxAttempts,
+		RetryBudgetRatio: *budgetRatio,
+		RetryBudgetBurst: *budgetBurst,
+		RequestTimeout:   *timeout,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gegate:", err)
+		os.Exit(1)
+	}
+	gw.Start()
+	defer gw.Close()
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           gw.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "gegate: listening on %s, %d replicas\n", *addr, len(pool))
+		errCh <- hs.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "gegate:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	stop()
+
+	fmt.Fprintln(os.Stderr, "gegate: shutting down...")
+	shCtx, cancel := context.WithTimeout(context.Background(), *shutdownGr)
+	defer cancel()
+	if err := hs.Shutdown(shCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "gegate: shutdown:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "gegate: drained cleanly")
+}

@@ -11,10 +11,16 @@
 // completions, which is how real overload arrives.
 //
 // Shed (429) and draining (503) responses are retried with jittered
-// exponential backoff that honors the server's Retry-After hint; a request
-// that exhausts its retries counts as shed. The final report shows the
-// admitted/shed/error split, the shed rate, and the latency distribution of
-// admitted requests (mean/p50/p95/p99).
+// exponential backoff that honors the server's Retry-After hint — but never
+// verbatim: unparseable or absurd hints are clamped to -max-backoff and
+// counted, so a misbehaving (or chaos-injected) server cannot park the
+// generator. The final report shows the admitted/shed/error split, the shed
+// rate, and the latency distribution of admitted requests (mean/p50/p95/p99).
+//
+// When pointed at gegate instead of a single geserve, responses carry
+// X-GE-Replica / X-GE-Hedged attribution headers; geload aggregates them
+// into a per-replica breakdown and a hedge-won count, making failover
+// visible from the client side.
 package main
 
 import (
@@ -54,14 +60,17 @@ type tally struct {
 	mu        sync.Mutex
 	latencies []float64 // seconds, successful attempts only
 	ok        int
-	cancelled int // 200s whose result was a partial (Cancelled) run
-	shed      int // exhausted retries on 429/503
-	errors    int // 4xx/5xx config or server errors, connection failures
+	cancelled int            // 200s whose result was a partial (Cancelled) run
+	shed      int            // exhausted retries on 429/503
+	errors    int            // 4xx/5xx config or server errors, connection failures
+	clamped   int            // Retry-After hints rejected or capped to -max-backoff
+	hedged    int            // 200s answered by a winning gateway hedge (X-GE-Hedged)
+	replicas  map[string]int // ok responses per X-GE-Replica
 	attempts  int64
 	retried   int64
 }
 
-func (t *tally) success(d time.Duration, cancelled bool) {
+func (t *tally) success(d time.Duration, cancelled bool, replica string, hedged bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.ok++
@@ -69,10 +78,20 @@ func (t *tally) success(d time.Duration, cancelled bool) {
 	if cancelled {
 		t.cancelled++
 	}
+	if hedged {
+		t.hedged++
+	}
+	if replica != "" {
+		if t.replicas == nil {
+			t.replicas = map[string]int{}
+		}
+		t.replicas[replica]++
+	}
 }
 
-func (t *tally) addShed() { t.mu.Lock(); t.shed++; t.mu.Unlock() }
-func (t *tally) addErr()  { t.mu.Lock(); t.errors++; t.mu.Unlock() }
+func (t *tally) addShed()    { t.mu.Lock(); t.shed++; t.mu.Unlock() }
+func (t *tally) addErr()     { t.mu.Lock(); t.errors++; t.mu.Unlock() }
+func (t *tally) addClamped() { t.mu.Lock(); t.clamped++; t.mu.Unlock() }
 
 // quantile returns the q-th quantile of sorted xs.
 func quantile(sorted []float64, q float64) float64 {
@@ -83,18 +102,23 @@ func quantile(sorted []float64, q float64) float64 {
 	return sorted[i]
 }
 
-// retryAfter extracts the server's backoff hint in whole seconds; zero when
-// absent or unparsable.
-func retryAfter(resp *http.Response) time.Duration {
-	v := resp.Header.Get("Retry-After")
-	if v == "" {
-		return 0
+// retryAfterHint extracts the server's backoff hint without trusting it
+// verbatim: absent means no hint; unparseable, negative, or above-ceiling
+// values are clamped to the ceiling and reported so a buggy or malicious
+// header cannot park the generator (clamped=true in those cases).
+func retryAfterHint(header string, ceiling time.Duration) (d time.Duration, clamped bool) {
+	if header == "" {
+		return 0, false
 	}
-	secs, err := strconv.Atoi(v)
+	secs, err := strconv.Atoi(header)
 	if err != nil || secs < 0 {
-		return 0
+		return ceiling, true
 	}
-	return time.Duration(secs) * time.Second
+	d = time.Duration(secs) * time.Second
+	if d > ceiling {
+		return ceiling, true
+	}
+	return d, false
 }
 
 // oneRequest submits one run, retrying shed responses with jittered
@@ -125,7 +149,8 @@ func oneRequest(client *http.Client, opt *options, t *tally, rng *rand.Rand) {
 					}
 				}
 				_ = json.Unmarshal(body, &rr)
-				t.success(elapsed, rr.Result.Cancelled)
+				t.success(elapsed, rr.Result.Cancelled,
+					resp.Header.Get("X-GE-Replica"), resp.Header.Get("X-GE-Hedged") != "")
 				return
 			case resp.StatusCode == http.StatusTooManyRequests ||
 				resp.StatusCode == http.StatusServiceUnavailable:
@@ -133,7 +158,11 @@ func oneRequest(client *http.Client, opt *options, t *tally, rng *rand.Rand) {
 					t.addShed()
 					return
 				}
-				if ra := retryAfter(resp); ra > backoff {
+				ra, clamped := retryAfterHint(resp.Header.Get("Retry-After"), opt.maxBackoff)
+				if clamped {
+					t.addClamped()
+				}
+				if ra > backoff {
 					backoff = ra
 				}
 			default:
@@ -243,9 +272,10 @@ func main() {
 		mean /= float64(len(t.latencies))
 	}
 	if opt.csv {
-		fmt.Println("mode,offered,ok,cancelled,shed,errors,attempts,retries,shed_rate,elapsed_s,throughput_rps,lat_mean_ms,lat_p50_ms,lat_p95_ms,lat_p99_ms")
-		fmt.Printf("%s,%d,%d,%d,%d,%d,%d,%d,%.4f,%.2f,%.2f,%.1f,%.1f,%.1f,%.1f\n",
+		fmt.Println("mode,offered,ok,cancelled,shed,errors,clamped,hedged,attempts,retries,shed_rate,elapsed_s,throughput_rps,lat_mean_ms,lat_p50_ms,lat_p95_ms,lat_p99_ms")
+		fmt.Printf("%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.4f,%.2f,%.2f,%.1f,%.1f,%.1f,%.1f\n",
 			opt.mode, opt.requests, t.ok, t.cancelled, t.shed, t.errors,
+			t.clamped, t.hedged,
 			t.attempts, t.retried, shedRate, elapsed.Seconds(),
 			float64(t.ok)/elapsed.Seconds(),
 			mean*1000, quantile(t.latencies, 0.50)*1000,
@@ -257,9 +287,22 @@ func main() {
 	fmt.Printf("admitted ok      %d (%d returned partial/cancelled results)\n", t.ok, t.cancelled)
 	fmt.Printf("shed             %d (rate %.3f, after %d retries)\n", t.shed, shedRate, t.retried)
 	fmt.Printf("errors           %d\n", t.errors)
+	fmt.Printf("clamped hints    %d (Retry-After rejected or capped at %s)\n", t.clamped, opt.maxBackoff)
 	fmt.Printf("attempts         %d\n", t.attempts)
 	fmt.Printf("throughput       %.2f ok/s\n", float64(t.ok)/elapsed.Seconds())
 	fmt.Printf("latency (ok)     mean %.1f ms, p50 %.1f ms, p95 %.1f ms, p99 %.1f ms\n",
 		mean*1000, quantile(t.latencies, 0.50)*1000,
 		quantile(t.latencies, 0.95)*1000, quantile(t.latencies, 0.99)*1000)
+	if len(t.replicas) > 0 {
+		fmt.Printf("hedge wins       %d\n", t.hedged)
+		names := make([]string, 0, len(t.replicas))
+		for name := range t.replicas {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Printf("  %-14s %d ok (%.1f%%)\n", name, t.replicas[name],
+				100*float64(t.replicas[name])/float64(t.ok))
+		}
+	}
 }

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRetryAfterHint: the generator honors sane Retry-After hints and
+// clamps everything else — absent, garbage, negative, or absurd values can
+// never park a worker past -max-backoff.
+func TestRetryAfterHint(t *testing.T) {
+	const ceiling = 5 * time.Second
+	cases := []struct {
+		name    string
+		header  string
+		want    time.Duration
+		clamped bool
+	}{
+		{"absent", "", 0, false},
+		{"sane", "2", 2 * time.Second, false},
+		{"zero", "0", 0, false},
+		{"at ceiling", "5", 5 * time.Second, false},
+		{"absurd", "86400", ceiling, true},
+		{"negative", "-3", ceiling, true},
+		{"garbage", "soon", ceiling, true},
+		{"http date", "Wed, 21 Oct 2015 07:28:00 GMT", ceiling, true},
+		{"float", "1.5", ceiling, true},
+	}
+	for _, c := range cases {
+		got, clamped := retryAfterHint(c.header, ceiling)
+		if got != c.want || clamped != c.clamped {
+			t.Errorf("%s: retryAfterHint(%q) = (%v, %v), want (%v, %v)",
+				c.name, c.header, got, clamped, c.want, c.clamped)
+		}
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	if q := quantile(nil, 0.99); q != 0 {
+		t.Fatalf("quantile of empty = %v", q)
+	}
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if q := quantile(xs, 0.5); q != 5 {
+		t.Fatalf("p50 = %v, want 5", q)
+	}
+	if q := quantile(xs, 1.0); q != 10 {
+		t.Fatalf("p100 = %v, want 10", q)
+	}
+}

@@ -1,0 +1,323 @@
+package chaos
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"goodenough/internal/rng"
+)
+
+// pollInterval is how often parked or idle connections re-check the
+// schedule, bounding how stale an injected state can be.
+const pollInterval = 25 * time.Millisecond
+
+// Proxy is a TCP chaos proxy: it forwards listener ↔ target byte streams
+// and consults its Schedule continuously — at accept time and per forwarded
+// chunk — so faults bite mid-connection, which is exactly how a stalled
+// replica looks to a gateway holding a warm keep-alive connection.
+//
+// Precedence when windows overlap: Reset > Blackhole > HTTPError >
+// Latency. HTTPError is applied at accept time only (it needs a request
+// boundary); the stream-level faults apply everywhere.
+type Proxy struct {
+	target string
+	sched  *Schedule
+	ln     net.Listener
+	start  time.Time
+
+	mu    sync.Mutex
+	jit   *rng.Source
+	conns map[net.Conn]struct{}
+
+	closed chan struct{}
+	wg     sync.WaitGroup
+
+	// Logf, when set, receives one line per injected fault.
+	Logf func(format string, args ...any)
+}
+
+// NewProxy listens on listenAddr and will forward to target under the
+// schedule. Use ":0" to pick a free port (see Addr). Start begins serving.
+func NewProxy(listenAddr, target string, sched *Schedule, seed uint64) (*Proxy, error) {
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: listen %s: %w", listenAddr, err)
+	}
+	return &Proxy{
+		target: target,
+		sched:  sched,
+		ln:     ln,
+		start:  time.Now(),
+		jit:    rng.New(seed ^ 0x9e3779b97f4a7c15),
+		conns:  map[net.Conn]struct{}{},
+		closed: make(chan struct{}),
+		Logf:   func(string, ...any) {},
+	}, nil
+}
+
+// Addr returns the proxy's listen address.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// elapsed is seconds since the proxy started — the schedule clock.
+func (p *Proxy) elapsed() float64 { return time.Since(p.start).Seconds() }
+
+// active returns the highest-precedence fault covering now, or nil.
+func (p *Proxy) active() *Spec {
+	specs := p.sched.ActiveAt(p.elapsed())
+	if len(specs) == 0 {
+		return nil
+	}
+	best := specs[0]
+	rank := func(k Kind) int {
+		switch k {
+		case Reset:
+			return 3
+		case Blackhole:
+			return 2
+		case HTTPError:
+			return 1
+		default:
+			return 0
+		}
+	}
+	for _, s := range specs[1:] {
+		if rank(s.Kind) > rank(best.Kind) {
+			best = s
+		}
+	}
+	return &best
+}
+
+// Start serves connections until Close.
+func (p *Proxy) Start() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		for {
+			c, err := p.ln.Accept()
+			if err != nil {
+				select {
+				case <-p.closed:
+					return
+				default:
+					p.Logf("gechaos: accept: %v", err)
+					return
+				}
+			}
+			p.track(c, true)
+			p.wg.Add(1)
+			go func() {
+				defer p.wg.Done()
+				p.handle(c)
+			}()
+		}
+	}()
+}
+
+// Close stops accepting, severs every tracked connection, and waits.
+func (p *Proxy) Close() error {
+	select {
+	case <-p.closed:
+		return nil
+	default:
+	}
+	close(p.closed)
+	err := p.ln.Close()
+	p.mu.Lock()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) track(c net.Conn, add bool) {
+	p.mu.Lock()
+	if add {
+		p.conns[c] = struct{}{}
+	} else {
+		delete(p.conns, c)
+	}
+	p.mu.Unlock()
+}
+
+// jitter draws a uniform offset in [-j, +j] seconds.
+func (p *Proxy) jitter(j float64) time.Duration {
+	if j <= 0 {
+		return 0
+	}
+	p.mu.Lock()
+	v := p.jit.Uniform(-j, j)
+	p.mu.Unlock()
+	return time.Duration(v * float64(time.Second))
+}
+
+// hardClose closes a TCP connection with RST semantics where possible.
+func hardClose(c net.Conn) {
+	if tc, ok := c.(*net.TCPConn); ok {
+		_ = tc.SetLinger(0)
+	}
+	_ = c.Close()
+}
+
+// park blocks while the given kind stays active, re-checking on the poll
+// interval; returns false when the proxy closed meanwhile.
+func (p *Proxy) park(kind Kind) bool {
+	for {
+		f := p.active()
+		if f == nil || f.Kind != kind {
+			return true
+		}
+		select {
+		case <-p.closed:
+			return false
+		case <-time.After(pollInterval):
+		}
+	}
+}
+
+// handle runs one client connection through the schedule.
+func (p *Proxy) handle(client net.Conn) {
+	defer p.track(client, false)
+	defer client.Close()
+
+	if f := p.active(); f != nil {
+		switch f.Kind {
+		case Reset:
+			p.Logf("gechaos: reset %s", client.RemoteAddr())
+			hardClose(client)
+			return
+		case HTTPError:
+			p.serve5xx(client, f)
+			return
+		case Blackhole:
+			p.Logf("gechaos: blackhole %s", client.RemoteAddr())
+			if !p.park(Blackhole) {
+				return
+			}
+		}
+	}
+
+	server, err := net.DialTimeout("tcp", p.target, 5*time.Second)
+	if err != nil {
+		p.Logf("gechaos: dial %s: %v", p.target, err)
+		return
+	}
+	p.track(server, true)
+	defer p.track(server, false)
+	defer server.Close()
+
+	done := make(chan struct{}, 2)
+	go func() { p.pump(server, client); done <- struct{}{} }()
+	go func() { p.pump(client, server); done <- struct{}{} }()
+	// Either direction ending (EOF, reset injection, proxy close) tears the
+	// pair down; Close deadlines unblock the other pump.
+	<-done
+	hardCloseBoth(client, server)
+	<-done
+}
+
+func hardCloseBoth(a, b net.Conn) {
+	_ = a.SetDeadline(time.Now())
+	_ = b.SetDeadline(time.Now())
+	a.Close()
+	b.Close()
+}
+
+// serve5xx answers one connection with a canned error burst response.
+func (p *Proxy) serve5xx(c net.Conn, f *Spec) {
+	code := f.Code
+	if code == 0 {
+		code = 503
+	}
+	p.Logf("gechaos: %d burst to %s", code, c.RemoteAddr())
+	// Read whatever request bytes arrive (bounded), then answer and close.
+	_ = c.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+	buf := make([]byte, 4096)
+	_, _ = c.Read(buf)
+	reason := "Service Unavailable"
+	if code != 503 {
+		reason = "Chaos Injected Error"
+	}
+	resp := fmt.Sprintf("HTTP/1.1 %d %s\r\nRetry-After: 1\r\nContent-Length: 0\r\nConnection: close\r\n\r\n", code, reason)
+	_ = c.SetWriteDeadline(time.Now().Add(time.Second))
+	_, _ = c.Write([]byte(resp))
+}
+
+// pump copies src → dst, consulting the schedule before every chunk so
+// faults apply mid-stream: Reset severs, Blackhole parks the byte flow,
+// Latency sleeps delay ± jitter per chunk. Short read deadlines keep idle
+// connections re-checking the schedule.
+func (p *Proxy) pump(dst, src net.Conn) {
+	buf := make([]byte, 32<<10)
+	for {
+		select {
+		case <-p.closed:
+			return
+		default:
+		}
+		if f := p.active(); f != nil {
+			switch f.Kind {
+			case Reset:
+				p.Logf("gechaos: reset mid-stream %s", src.RemoteAddr())
+				hardClose(dst)
+				hardClose(src)
+				return
+			case Blackhole:
+				if !p.park(Blackhole) {
+					return
+				}
+				continue // re-evaluate before touching bytes
+			}
+		}
+		_ = src.SetReadDeadline(time.Now().Add(pollInterval * 4))
+		n, err := src.Read(buf)
+		if n > 0 {
+			if f := p.active(); f != nil && f.Kind == Latency {
+				d := time.Duration(f.Delay*float64(time.Second)) + p.jitter(f.Jitter)
+				if d > 0 {
+					select {
+					case <-p.closed:
+						return
+					case <-time.After(d):
+					}
+				}
+			}
+			_ = dst.SetWriteDeadline(time.Now().Add(30 * time.Second))
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue // idle: loop to re-check the schedule
+			}
+			// EOF or hard error: half-close the write side so the peer sees
+			// stream end, then stop this direction.
+			if tc, ok := dst.(*net.TCPConn); ok {
+				_ = tc.CloseWrite()
+			}
+			return
+		}
+	}
+}
+
+// String renders the schedule compactly for logs.
+func (s *Schedule) String() string {
+	if s == nil || len(s.specs) == 0 {
+		return "quiet"
+	}
+	parts := make([]string, 0, len(s.specs))
+	for _, sp := range s.specs {
+		if sp.Duration > 0 {
+			parts = append(parts, fmt.Sprintf("%s@%g+%gs", sp.Kind, sp.At, sp.Duration))
+		} else {
+			parts = append(parts, fmt.Sprintf("%s@%g", sp.Kind, sp.At))
+		}
+	}
+	return strings.Join(parts, ",")
+}

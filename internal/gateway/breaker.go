@@ -1,0 +1,150 @@
+package gateway
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the classic three-state circuit-breaker automaton.
+type breakerState int
+
+const (
+	// breakerClosed: requests flow; consecutive failures are counted.
+	breakerClosed breakerState = iota
+	// breakerOpen: requests are refused until openFor has elapsed.
+	breakerOpen
+	// breakerHalfOpen: exactly one trial request is admitted; its outcome
+	// decides between closing and re-opening.
+	breakerHalfOpen
+)
+
+// String implements fmt.Stringer for replicaz and logs.
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// breaker is a per-replica circuit breaker. Closed counts consecutive
+// failures; at threshold it opens. Open refuses everything until openFor
+// has elapsed, then the next Allow transitions to half-open and admits a
+// single trial (probe admission). The trial's Success closes the breaker;
+// its Failure re-opens it for another full openFor.
+//
+// The clock is injectable so state transitions are testable without
+// sleeping.
+type breaker struct {
+	mu        sync.Mutex
+	state     breakerState
+	failures  int // consecutive failures while closed
+	threshold int
+	openFor   time.Duration
+	openedAt  time.Time
+	probing   bool // half-open: the single trial is in flight
+	now       func() time.Time
+	// onTransition observes every state change (metrics, logs). Called
+	// outside the lock is unsafe for ordering, so it is invoked while held;
+	// keep it cheap and never call back into the breaker.
+	onTransition func(from, to breakerState)
+}
+
+func newBreaker(threshold int, openFor time.Duration, onTransition func(from, to breakerState)) *breaker {
+	return &breaker{
+		threshold:    threshold,
+		openFor:      openFor,
+		now:          time.Now,
+		onTransition: onTransition,
+	}
+}
+
+func (b *breaker) transition(to breakerState) {
+	from := b.state
+	if from == to {
+		return
+	}
+	b.state = to
+	if b.onTransition != nil {
+		b.onTransition(from, to)
+	}
+}
+
+// Allow reports whether an attempt may be sent through this breaker right
+// now. In the open state it also performs the timed open→half-open
+// transition; in half-open it admits exactly one trial until the outcome
+// arrives.
+func (b *breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) < b.openFor {
+			return false
+		}
+		b.transition(breakerHalfOpen)
+		b.probing = true
+		return true
+	case breakerHalfOpen:
+		if b.probing {
+			return false // one trial at a time
+		}
+		b.probing = true
+		return true
+	}
+	return false
+}
+
+// Success records a completed attempt that went well.
+func (b *breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		b.failures = 0
+	case breakerHalfOpen:
+		b.probing = false
+		b.failures = 0
+		b.transition(breakerClosed)
+	case breakerOpen:
+		// A straggler attempt admitted before the trip finished late and
+		// happy; the breaker stays open until its own timer expires.
+	}
+}
+
+// Failure records a completed attempt that failed in a way that indicts the
+// replica (5xx, connection error, timeout — not 429 shedding).
+func (b *breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.openedAt = b.now()
+			b.transition(breakerOpen)
+		}
+	case breakerHalfOpen:
+		// The trial failed: re-open for another full window.
+		b.probing = false
+		b.openedAt = b.now()
+		b.transition(breakerOpen)
+	case breakerOpen:
+		// Straggler failure while already open; nothing new learned.
+	}
+}
+
+// State returns the current state without side effects (no timed
+// transition), for readiness checks and the replicaz page.
+func (b *breaker) State() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

@@ -1,0 +1,189 @@
+package gateway
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives the breaker's timed transitions without sleeping.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newTestBreaker(threshold int, openFor time.Duration) (*breaker, *fakeClock, *[]string) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	var transitions []string
+	b := newBreaker(threshold, openFor, func(from, to breakerState) {
+		transitions = append(transitions, from.String()+">"+to.String())
+	})
+	b.now = clk.now
+	return b, clk, &transitions
+}
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b, _, trans := newTestBreaker(3, time.Second)
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker refused attempt %d", i)
+		}
+		b.Failure()
+	}
+	if b.State() != breakerClosed {
+		t.Fatalf("state %v after 2/3 failures, want closed", b.State())
+	}
+	b.Failure()
+	if b.State() != breakerOpen {
+		t.Fatalf("state %v after threshold failures, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted an attempt")
+	}
+	if len(*trans) != 1 || (*trans)[0] != "closed>open" {
+		t.Fatalf("transitions %v, want [closed>open]", *trans)
+	}
+}
+
+func TestBreakerSuccessResetsFailureStreak(t *testing.T) {
+	b, _, _ := newTestBreaker(3, time.Second)
+	b.Failure()
+	b.Failure()
+	b.Success() // streak broken
+	b.Failure()
+	b.Failure()
+	if b.State() != breakerClosed {
+		t.Fatalf("state %v, want closed: the streak was interrupted", b.State())
+	}
+	b.Failure()
+	if b.State() != breakerOpen {
+		t.Fatalf("state %v, want open after 3 consecutive failures", b.State())
+	}
+}
+
+// TestBreakerHalfOpenRecovery walks the full recovery path: open → timed
+// half-open with single-probe admission → success closes it.
+func TestBreakerHalfOpenRecovery(t *testing.T) {
+	b, clk, trans := newTestBreaker(1, time.Second)
+	b.Failure() // opens immediately at threshold 1
+	if b.Allow() {
+		t.Fatal("open breaker admitted before openFor elapsed")
+	}
+	clk.advance(1100 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("breaker refused the half-open trial after openFor")
+	}
+	if b.State() != breakerHalfOpen {
+		t.Fatalf("state %v, want half-open", b.State())
+	}
+	// Single-probe admission: a second concurrent attempt is refused.
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second trial")
+	}
+	b.Success()
+	if b.State() != breakerClosed {
+		t.Fatalf("state %v after trial success, want closed", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("recovered breaker refused traffic")
+	}
+	want := []string{"closed>open", "open>half-open", "half-open>closed"}
+	if len(*trans) != len(want) {
+		t.Fatalf("transitions %v, want %v", *trans, want)
+	}
+	for i := range want {
+		if (*trans)[i] != want[i] {
+			t.Fatalf("transitions %v, want %v", *trans, want)
+		}
+	}
+}
+
+// TestBreakerHalfOpenFailureReopens is the re-trip path: a failed half-open
+// probe re-opens the breaker for another full window.
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	b, clk, _ := newTestBreaker(1, time.Second)
+	b.Failure()
+	clk.advance(1100 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("no half-open trial admitted")
+	}
+	b.Failure() // trial failed
+	if b.State() != breakerOpen {
+		t.Fatalf("state %v after failed trial, want open", b.State())
+	}
+	// The new open window starts at the re-trip, not the original trip.
+	clk.advance(900 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("re-opened breaker admitted before its fresh window elapsed")
+	}
+	clk.advance(200 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("re-opened breaker never re-admitted a trial")
+	}
+	b.Success()
+	if b.State() != breakerClosed {
+		t.Fatalf("state %v, want closed after second trial success", b.State())
+	}
+}
+
+// TestBreakerStragglerOutcomesWhileOpen verifies late results from attempts
+// admitted before the trip do not corrupt the open state.
+func TestBreakerStragglerOutcomesWhileOpen(t *testing.T) {
+	b, _, _ := newTestBreaker(1, time.Second)
+	b.Failure()
+	b.Success() // straggler
+	if b.State() != breakerOpen {
+		t.Fatalf("straggler success closed an open breaker (state %v)", b.State())
+	}
+	b.Failure() // straggler
+	if b.State() != breakerOpen {
+		t.Fatalf("state %v, want open", b.State())
+	}
+}
+
+func TestBudgetBoundsAndRefund(t *testing.T) {
+	b := newBudget(0.5, 2)
+	if !b.withdraw() || !b.withdraw() {
+		t.Fatal("full bucket refused its burst")
+	}
+	if b.withdraw() {
+		t.Fatal("empty bucket granted a token")
+	}
+	// Four deposits at ratio 0.5 earn two tokens.
+	for i := 0; i < 4; i++ {
+		b.deposit()
+	}
+	if got := b.level(); got != 2 {
+		t.Fatalf("level %v after 4 deposits, want 2", got)
+	}
+	// Deposits never exceed the burst cap.
+	b.deposit()
+	if got := b.level(); got != 2 {
+		t.Fatalf("level %v, want capped at burst 2", got)
+	}
+	if !b.withdraw() {
+		t.Fatal("replenished bucket refused")
+	}
+	b.refund()
+	if got := b.level(); got != 2 {
+		t.Fatalf("level %v after refund, want 2", got)
+	}
+}
+
+func TestDelayTrackerWarmupAndQuantile(t *testing.T) {
+	tr := newDelayTracker(0.95, 10*time.Millisecond, time.Second, 64)
+	if d := tr.delay(); d != 10*time.Millisecond {
+		t.Fatalf("cold tracker delay %v, want the 10ms floor", d)
+	}
+	for i := 0; i < 100; i++ {
+		tr.observe(100 * time.Millisecond)
+	}
+	if d := tr.delay(); d != 100*time.Millisecond {
+		t.Fatalf("delay %v with uniform 100ms samples, want 100ms", d)
+	}
+	// The ceiling clamps pathological tails.
+	for i := 0; i < 200; i++ {
+		tr.observe(10 * time.Second)
+	}
+	if d := tr.delay(); d != time.Second {
+		t.Fatalf("delay %v, want clamped to the 1s ceiling", d)
+	}
+}

@@ -1,0 +1,61 @@
+package gateway
+
+import "sync"
+
+// budget is the gateway-wide retry/hedge token bucket. Every incoming
+// client request deposits ratio tokens (capped at burst); every retry or
+// hedge withdraws one whole token. With ratio 0.2 the gateway's extra
+// upstream attempts are bounded by 20% of client traffic plus the burst
+// allowance — so retries and hedges cannot amplify a pool-wide outage into
+// a self-inflicted storm. The bucket starts full so a cold gateway can
+// still hedge its first requests.
+type budget struct {
+	mu     sync.Mutex
+	tokens float64
+	burst  float64 // cap and initial fill
+	ratio  float64 // tokens earned per client request
+}
+
+func newBudget(ratio, burst float64) *budget {
+	return &budget{tokens: burst, burst: burst, ratio: ratio}
+}
+
+// deposit credits one client request's worth of retry allowance.
+func (b *budget) deposit() {
+	b.mu.Lock()
+	b.tokens += b.ratio
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.mu.Unlock()
+}
+
+// withdraw takes one token; false means the budget is exhausted and the
+// caller must not launch the extra attempt.
+func (b *budget) withdraw() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// refund returns a token withdrawn for an attempt that was never launched
+// (for example, no eligible replica remained).
+func (b *budget) refund() {
+	b.mu.Lock()
+	b.tokens++
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.mu.Unlock()
+}
+
+// level reports the current token count (metrics/tests).
+func (b *budget) level() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tokens
+}

@@ -1,0 +1,631 @@
+// Package gateway is the resilient replica front tier for geserve fleets:
+// an HTTP gateway that load-balances /v1/run, /v1/trace, and /v1/sweep
+// across a pool of replicas and keeps answering when individual replicas
+// stall or die.
+//
+// Per replica it runs a state machine driven by two signal paths:
+//
+//   - active probes: a background loop GETs each replica's /readyz on a
+//     fixed interval; failures mark the replica not-ready so the picker
+//     avoids it before a single client request has to pay for discovery;
+//   - passive signals: every proxied response updates the replica's state —
+//     5xx, connection errors, and timeouts feed its circuit breaker;
+//     429 + Retry-After parks it in a cooldown (overloaded, not sick);
+//     X-GE-Queue-Depth becomes the picker's load tiebreak.
+//
+// The circuit breaker is the classic closed → open → half-open automaton
+// with single-probe admission in half-open. Hedged requests cover the
+// latency tail: when the primary attempt has been in flight longer than a
+// quantile of recent upstream latencies (clamped to [HedgeMinDelay,
+// HedgeMaxDelay]), one duplicate attempt is sent to a different replica;
+// the first response wins and the loser's context is cancelled, which the
+// replica's PR-3 plumbing turns into an abandoned partial run within
+// microseconds. A global retry budget (token bucket refilled by client
+// traffic) bounds retries + hedges so they cannot amplify a pool-wide
+// outage into a self-inflicted storm.
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"goodenough/internal/obs"
+)
+
+// Config parameterizes the gateway. Zero values get defaults; only
+// Replicas is required.
+type Config struct {
+	// Replicas are the geserve base URLs to balance across (required).
+	Replicas []string
+	// ProbeInterval is the active /readyz probe period (default 500ms).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds each probe (default 2s).
+	ProbeTimeout time.Duration
+	// BreakerFailures is the consecutive-failure count that opens a
+	// replica's breaker (default 3).
+	BreakerFailures int
+	// BreakerOpenFor is how long an open breaker refuses traffic before
+	// admitting a half-open trial (default 2s).
+	BreakerOpenFor time.Duration
+	// DisableHedging turns tail-latency hedging off (for A/B runs).
+	DisableHedging bool
+	// HedgeQuantile is the latency quantile that sets the hedge delay
+	// (default 0.95).
+	HedgeQuantile float64
+	// HedgeMinDelay floors the hedge delay and is used while the latency
+	// tracker warms up (default 50ms).
+	HedgeMinDelay time.Duration
+	// HedgeMaxDelay caps the hedge delay (default 2s).
+	HedgeMaxDelay time.Duration
+	// MaxAttempts caps upstream attempts per client request, hedges
+	// included (default 3).
+	MaxAttempts int
+	// RetryBudgetRatio is the retry/hedge tokens earned per client request
+	// (default 0.2 — extra attempts bounded at 20% of traffic).
+	RetryBudgetRatio float64
+	// RetryBudgetBurst is the bucket cap and initial fill (default 16).
+	RetryBudgetBurst float64
+	// RequestTimeout bounds one whole client request through the gateway,
+	// all attempts included (default 90s).
+	RequestTimeout time.Duration
+	// RetryAfter is the hint attached when the gateway itself sheds
+	// (no eligible replica; default 1s).
+	RetryAfter time.Duration
+	// CooldownCap clamps replica Retry-After hints (default 15s).
+	CooldownCap time.Duration
+	// MaxBodyBytes caps client request bodies (default 8 MiB).
+	MaxBodyBytes int64
+	// Transport overrides the upstream round tripper (tests).
+	Transport http.RoundTripper
+	// Logf, when set, receives one line per noteworthy transition
+	// (breaker flips, probe state changes).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 500 * time.Millisecond
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 2 * time.Second
+	}
+	if c.BreakerFailures <= 0 {
+		c.BreakerFailures = 3
+	}
+	if c.BreakerOpenFor <= 0 {
+		c.BreakerOpenFor = 2 * time.Second
+	}
+	if c.HedgeQuantile <= 0 || c.HedgeQuantile >= 1 {
+		c.HedgeQuantile = 0.95
+	}
+	if c.HedgeMinDelay <= 0 {
+		c.HedgeMinDelay = 50 * time.Millisecond
+	}
+	if c.HedgeMaxDelay <= 0 {
+		c.HedgeMaxDelay = 2 * time.Second
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.RetryBudgetRatio <= 0 {
+		c.RetryBudgetRatio = 0.2
+	}
+	if c.RetryBudgetBurst <= 0 {
+		c.RetryBudgetBurst = 16
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 90 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.CooldownCap <= 0 {
+		c.CooldownCap = 15 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.Transport == nil {
+		c.Transport = http.DefaultTransport
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Gateway fronts a pool of geserve replicas. Create with New, start the
+// probe loops with Start, serve Handler, stop with Close.
+type Gateway struct {
+	cfg      Config
+	replicas []*replica
+	mux      *http.ServeMux
+	client   *http.Client
+	metrics  *obs.SyncRegistry
+	budget   *budget
+	hedge    *delayTracker
+
+	rr uint64 // round-robin tiebreak cursor
+	mu sync.Mutex
+
+	probeCtx    context.Context
+	probeCancel context.CancelFunc
+	probeWG     sync.WaitGroup
+	startOnce   sync.Once
+
+	started time.Time
+}
+
+// errorBody mirrors the replica-side JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// latencyBounds are the request-latency histogram buckets in seconds.
+var latencyBounds = []float64{
+	0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// New builds a Gateway over the configured replica pool.
+func New(cfg Config) (*Gateway, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Replicas) == 0 {
+		return nil, fmt.Errorf("gateway: at least one replica URL is required")
+	}
+	m := obs.NewSyncRegistry()
+	probeCtx, probeCancel := context.WithCancel(context.Background())
+	g := &Gateway{
+		cfg:         cfg,
+		client:      &http.Client{Transport: cfg.Transport},
+		metrics:     m,
+		budget:      newBudget(cfg.RetryBudgetRatio, cfg.RetryBudgetBurst),
+		hedge:       newDelayTracker(cfg.HedgeQuantile, cfg.HedgeMinDelay, cfg.HedgeMaxDelay, 128),
+		probeCtx:    probeCtx,
+		probeCancel: probeCancel,
+		started:     time.Now(),
+	}
+	for i, base := range cfg.Replicas {
+		i := i
+		rep, err := newReplica(i, base, cfg.BreakerFailures, cfg.BreakerOpenFor,
+			func(from, to breakerState) { g.onBreakerTransition(i, from, to) })
+		if err != nil {
+			probeCancel()
+			return nil, err
+		}
+		g.replicas = append(g.replicas, rep)
+	}
+
+	counters := []string{
+		"gw_requests_total", "gw_ok_total", "gw_err_total", "gw_no_replica_total",
+		"hedges_fired_total", "hedges_won_total",
+		"retries_total", "retry_budget_exhausted_total",
+		"breaker_open_total", "breaker_halfopen_total", "breaker_close_total",
+		"probe_fail_total",
+	}
+	gauges := []string{"retry_budget_tokens", "hedge_delay_seconds"}
+	for _, r := range g.replicas {
+		counters = append(counters, r.name+"_attempts_total", r.name+"_errs_total")
+		gauges = append(gauges, r.name+"_inflight", r.name+"_probe_ok")
+		m.GaugeSet(r.name+"_probe_ok", 1)
+	}
+	m.Preset(counters, gauges)
+	if err := m.NewHistogram("gw_request_seconds", latencyBounds); err != nil {
+		panic(err) // static bounds
+	}
+	if err := m.NewHistogram("upstream_seconds", latencyBounds); err != nil {
+		panic(err)
+	}
+
+	g.mux = http.NewServeMux()
+	g.mux.HandleFunc("GET /healthz", g.handleHealthz)
+	g.mux.HandleFunc("GET /readyz", g.handleReadyz)
+	g.mux.HandleFunc("GET /metricz", g.handleMetricz)
+	g.mux.HandleFunc("GET /replicaz", g.handleReplicaz)
+	for _, path := range []string{"/v1/run", "/v1/trace", "/v1/sweep"} {
+		path := path
+		g.mux.HandleFunc("POST "+path, func(w http.ResponseWriter, r *http.Request) {
+			g.serveProxy(w, r, path)
+		})
+	}
+	return g, nil
+}
+
+// onBreakerTransition feeds breaker flips into metrics and the log.
+func (g *Gateway) onBreakerTransition(idx int, from, to breakerState) {
+	switch to {
+	case breakerOpen:
+		g.metrics.Inc("breaker_open_total")
+	case breakerHalfOpen:
+		g.metrics.Inc("breaker_halfopen_total")
+	case breakerClosed:
+		g.metrics.Inc("breaker_close_total")
+	}
+	g.cfg.Logf("gegate: replica%d breaker %s -> %s", idx, from, to)
+}
+
+// Start launches the active health-probe loops; idempotent.
+func (g *Gateway) Start() {
+	g.startOnce.Do(func() {
+		for _, rep := range g.replicas {
+			rep := rep
+			g.probeWG.Add(1)
+			go func() {
+				defer g.probeWG.Done()
+				ticker := time.NewTicker(g.cfg.ProbeInterval)
+				defer ticker.Stop()
+				for {
+					ok := rep.probe(g.probeCtx, g.client, g.cfg.ProbeTimeout)
+					was := rep.probeOK.Swap(ok)
+					if ok != was {
+						g.cfg.Logf("gegate: %s probe %v -> %v", rep.name, was, ok)
+					}
+					if ok {
+						g.metrics.GaugeSet(rep.name+"_probe_ok", 1)
+					} else {
+						g.metrics.GaugeSet(rep.name+"_probe_ok", 0)
+						g.metrics.Inc("probe_fail_total")
+					}
+					select {
+					case <-g.probeCtx.Done():
+						return
+					case <-ticker.C:
+					}
+				}
+			}()
+		}
+	})
+}
+
+// Close stops the probe loops and waits for them. In-flight proxied
+// requests are governed by their own contexts (and http.Server.Shutdown at
+// the binary level), not by Close.
+func (g *Gateway) Close() {
+	g.probeCancel()
+	g.probeWG.Wait()
+}
+
+// Handler returns the gateway's HTTP handler.
+func (g *Gateway) Handler() http.Handler { return g.mux }
+
+// Metrics exposes the gateway registry (tests, replicaz).
+func (g *Gateway) Metrics() *obs.SyncRegistry { return g.metrics }
+
+// pick chooses the next replica for an attempt, preferring actively
+// healthy, non-cooling replicas ordered by (in-flight, reported queue
+// depth) with a rotating tiebreak; a desperation pass ignores probe and
+// cooldown state so a pool that looks entirely unhealthy still gets a last
+// try. Breaker admission is checked per candidate because Allow has
+// half-open side effects. Returns nil when every untried replica's breaker
+// refuses.
+func (g *Gateway) pick(tried map[int]bool) *replica {
+	now := time.Now()
+	g.mu.Lock()
+	offset := g.rr
+	g.rr++
+	g.mu.Unlock()
+
+	order := func(cands []*replica) []*replica {
+		sort.SliceStable(cands, func(a, b int) bool {
+			ia, ib := cands[a], cands[b]
+			if fa, fb := ia.inflight.Load(), ib.inflight.Load(); fa != fb {
+				return fa < fb
+			}
+			if qa, qb := ia.queueDepth.Load(), ib.queueDepth.Load(); qa != qb {
+				return qa < qb
+			}
+			n := uint64(len(g.replicas))
+			return (uint64(ia.idx)+n-offset%n)%n < (uint64(ib.idx)+n-offset%n)%n
+		})
+		return cands
+	}
+
+	var preferred, desperate []*replica
+	for _, rep := range g.replicas {
+		if tried[rep.idx] {
+			continue
+		}
+		if rep.eligible(now) {
+			preferred = append(preferred, rep)
+		} else {
+			desperate = append(desperate, rep)
+		}
+	}
+	for _, pass := range [][]*replica{order(preferred), order(desperate)} {
+		for _, rep := range pass {
+			if rep.br.Allow() {
+				return rep
+			}
+		}
+	}
+	return nil
+}
+
+// attemptResult is the outcome of one upstream attempt.
+type attemptResult struct {
+	rep     *replica
+	hedged  bool
+	status  int         // 0 on transport error
+	header  http.Header // nil on transport error
+	body    []byte
+	err     error
+	latency time.Duration
+}
+
+// retryable reports whether the attempt indicts the replica or the moment,
+// making another replica worth trying: transport errors, timeouts, 5xx,
+// and 429 shedding. 2xx and other 4xx pass through to the client.
+func (a attemptResult) retryable() bool {
+	if a.err != nil {
+		return true
+	}
+	return a.status >= 500 || a.status == http.StatusTooManyRequests
+}
+
+// doAttempt executes one upstream POST and classifies the outcome, feeding
+// the replica's breaker and passive signals.
+func (g *Gateway) doAttempt(ctx context.Context, rep *replica, path string, body []byte, hedged bool) attemptResult {
+	g.metrics.Inc(rep.name + "_attempts_total")
+	n := rep.inflight.Add(1)
+	g.metrics.GaugeSet(rep.name+"_inflight", float64(n))
+	defer func() {
+		g.metrics.GaugeSet(rep.name+"_inflight", float64(rep.inflight.Add(-1)))
+	}()
+
+	start := time.Now()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rep.base+path, bytes.NewReader(body))
+	if err != nil {
+		return attemptResult{rep: rep, hedged: hedged, err: err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := g.client.Do(req)
+	if err != nil {
+		rep.br.Failure()
+		g.metrics.Inc(rep.name + "_errs_total")
+		g.cfg.Logf("gegate: %s attempt: %v", rep.name, err)
+		return attemptResult{rep: rep, hedged: hedged, err: err, latency: time.Since(start)}
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		rep.br.Failure()
+		g.metrics.Inc(rep.name + "_errs_total")
+		return attemptResult{rep: rep, hedged: hedged, err: err, latency: time.Since(start)}
+	}
+	res := attemptResult{
+		rep: rep, hedged: hedged,
+		status: resp.StatusCode, header: resp.Header, body: respBody,
+		latency: time.Since(start),
+	}
+	rep.notePassive(resp.Header)
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests:
+		// Overloaded, not sick: cooldown instead of a breaker strike.
+		rep.setCooldown(resp.Header.Get("Retry-After"), time.Now(), g.cfg.CooldownCap)
+	case resp.StatusCode >= 500:
+		rep.br.Failure()
+		g.metrics.Inc(rep.name + "_errs_total")
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			// Draining replicas also send no Retry-After; park briefly so
+			// the picker stops hammering them while probes catch up.
+			rep.setCooldown(resp.Header.Get("Retry-After"), time.Now(), g.cfg.RetryAfter)
+		}
+	default:
+		rep.br.Success()
+		g.hedge.observe(res.latency)
+		g.metrics.Observe("upstream_seconds", res.latency.Seconds())
+	}
+	return res
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// shedNoReplica answers a request the gateway cannot place anywhere.
+func (g *Gateway) shedNoReplica(w http.ResponseWriter) {
+	g.metrics.Inc("gw_no_replica_total")
+	g.metrics.Inc("gw_err_total")
+	secs := int64(g.cfg.RetryAfter / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "no healthy replica"})
+}
+
+// relay writes the winning attempt to the client with attribution headers.
+func (g *Gateway) relay(w http.ResponseWriter, res attemptResult, attempts int) {
+	if ct := res.header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	for _, h := range []string{"Retry-After", "X-GE-Inflight", "X-GE-Queue-Depth"} {
+		if v := res.header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.Header().Set("X-GE-Replica", res.rep.name)
+	w.Header().Set("X-GE-Attempts", strconv.Itoa(attempts))
+	if res.hedged {
+		w.Header().Set("X-GE-Hedged", "1")
+	}
+	w.WriteHeader(res.status)
+	_, _ = w.Write(res.body)
+}
+
+// serveProxy is the heart of the gateway: admit, pick, attempt, hedge,
+// retry within budget, relay the first terminal answer.
+func (g *Gateway) serveProxy(w http.ResponseWriter, r *http.Request, path string) {
+	g.metrics.Inc("gw_requests_total")
+	g.budget.deposit()
+	g.metrics.GaugeSet("retry_budget_tokens", g.budget.level())
+
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes))
+	if err != nil {
+		g.metrics.Inc("gw_err_total")
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("reading body: %v", err)})
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), g.cfg.RequestTimeout)
+	defer cancel()
+
+	start := time.Now()
+	results := make(chan attemptResult, g.cfg.MaxAttempts)
+	var cancels []context.CancelFunc
+	defer func() {
+		for _, c := range cancels {
+			c()
+		}
+	}()
+	tried := make(map[int]bool)
+	launched := 0
+
+	// launch starts one attempt on a not-yet-tried replica; false when no
+	// replica's breaker admits or the attempt cap is reached.
+	launch := func(hedged bool) bool {
+		if launched >= g.cfg.MaxAttempts {
+			return false
+		}
+		rep := g.pick(tried)
+		if rep == nil {
+			return false
+		}
+		tried[rep.idx] = true
+		launched++
+		actx, acancel := context.WithCancel(ctx)
+		cancels = append(cancels, acancel)
+		go func() {
+			results <- g.doAttempt(actx, rep, path, body, hedged)
+		}()
+		return true
+	}
+
+	if !launch(false) {
+		g.shedNoReplica(w)
+		return
+	}
+
+	var hedgeCh <-chan time.Time
+	if !g.cfg.DisableHedging && g.cfg.MaxAttempts > 1 {
+		d := g.hedge.delay()
+		g.metrics.GaugeSet("hedge_delay_seconds", d.Seconds())
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		hedgeCh = timer.C
+	}
+
+	outstanding := 1
+	var lastFail attemptResult
+	for {
+		select {
+		case res := <-results:
+			outstanding--
+			if !res.retryable() {
+				// Terminal: success or a client error worth passing through.
+				if res.hedged {
+					g.metrics.Inc("hedges_won_total")
+				}
+				if res.status < 400 {
+					g.metrics.Inc("gw_ok_total")
+				} else {
+					g.metrics.Inc("gw_err_total")
+				}
+				g.metrics.Observe("gw_request_seconds", time.Since(start).Seconds())
+				g.relay(w, res, launched)
+				return
+			}
+			lastFail = res
+			// Retry on a different replica if the budget and pool allow.
+			if g.budget.withdraw() {
+				if launch(false) {
+					g.metrics.Inc("retries_total")
+					outstanding++
+				} else {
+					g.budget.refund()
+				}
+			} else {
+				g.metrics.Inc("retry_budget_exhausted_total")
+			}
+			if outstanding == 0 {
+				g.metrics.Inc("gw_err_total")
+				g.metrics.Observe("gw_request_seconds", time.Since(start).Seconds())
+				if lastFail.err != nil || lastFail.status == 0 {
+					writeJSON(w, http.StatusBadGateway, errorBody{
+						Error: fmt.Sprintf("all %d attempts failed: %v", launched, lastFail.err),
+					})
+					return
+				}
+				g.relay(w, lastFail, launched)
+				return
+			}
+		case <-hedgeCh:
+			hedgeCh = nil // at most one hedge per request
+			if g.budget.withdraw() {
+				if launch(true) {
+					g.metrics.Inc("hedges_fired_total")
+					outstanding++
+				} else {
+					g.budget.refund()
+				}
+			} else {
+				g.metrics.Inc("retry_budget_exhausted_total")
+			}
+		case <-ctx.Done():
+			// Client gone or gateway deadline: abandon the attempts (their
+			// contexts are children of ctx) and answer best effort.
+			g.metrics.Inc("gw_err_total")
+			writeJSON(w, http.StatusGatewayTimeout, errorBody{Error: "gateway timeout: " + ctx.Err().Error()})
+			return
+		}
+	}
+}
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "ok uptime=%s replicas=%d\n", time.Since(g.started).Round(time.Second), len(g.replicas))
+}
+
+// handleReadyz answers 200 while at least one replica could take traffic.
+func (g *Gateway) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	now := time.Now()
+	for _, rep := range g.replicas {
+		if rep.eligible(now) && rep.br.State() != breakerOpen {
+			fmt.Fprintln(w, "ready")
+			return
+		}
+	}
+	w.WriteHeader(http.StatusServiceUnavailable)
+	fmt.Fprintln(w, "no healthy replica")
+}
+
+func (g *Gateway) handleMetricz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_ = g.metrics.WriteText(w)
+}
+
+// handleReplicaz renders the live replica table: one line per replica with
+// its breaker state, probe verdict, in-flight count, and passive signals.
+func (g *Gateway) handleReplicaz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	now := time.Now()
+	for _, rep := range g.replicas {
+		cooling := ""
+		if rep.coolingDown(now) {
+			cooling = " cooling"
+		}
+		fmt.Fprintf(w, "%-10s %-28s breaker=%-9s probe_ok=%-5v inflight=%d queue_depth=%d%s\n",
+			rep.name, rep.base, rep.br.State(), rep.probeOK.Load(),
+			rep.inflight.Load(), rep.queueDepth.Load(), cooling)
+	}
+}

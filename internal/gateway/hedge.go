@@ -1,0 +1,66 @@
+package gateway
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// hedgeWarmup is how many latency samples the tracker wants before trusting
+// its quantile estimate; below it the configured minimum delay is used, so
+// a cold gateway hedges eagerly rather than not at all.
+const hedgeWarmup = 8
+
+// delayTracker chooses the hedge delay: a quantile of recently observed
+// upstream success latencies, clamped to [min, max]. Hedging at the p95
+// means roughly 5% of requests fire a second attempt — the classic
+// tail-at-scale trade: a bounded amount of duplicate work buys a p99 that
+// tracks the healthy replicas instead of the slowest one.
+type delayTracker struct {
+	mu   sync.Mutex
+	buf  []float64 // ring buffer of latencies in seconds
+	next int
+	n    int // total observations (saturates at len(buf))
+	q    float64
+	min  time.Duration
+	max  time.Duration
+}
+
+func newDelayTracker(q float64, min, max time.Duration, window int) *delayTracker {
+	if window <= 0 {
+		window = 128
+	}
+	return &delayTracker{buf: make([]float64, window), q: q, min: min, max: max}
+}
+
+// observe records one successful upstream latency.
+func (t *delayTracker) observe(d time.Duration) {
+	t.mu.Lock()
+	t.buf[t.next] = d.Seconds()
+	t.next = (t.next + 1) % len(t.buf)
+	if t.n < len(t.buf) {
+		t.n++
+	}
+	t.mu.Unlock()
+}
+
+// delay returns the current hedge delay.
+func (t *delayTracker) delay() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.n < hedgeWarmup {
+		return t.min
+	}
+	sorted := make([]float64, t.n)
+	copy(sorted, t.buf[:t.n])
+	sort.Float64s(sorted)
+	i := int(t.q * float64(t.n-1))
+	d := time.Duration(sorted[i] * float64(time.Second))
+	if d < t.min {
+		d = t.min
+	}
+	if d > t.max {
+		d = t.max
+	}
+	return d
+}

@@ -1,0 +1,133 @@
+package gateway
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"goodenough/internal/chaos"
+	"goodenough/internal/server"
+)
+
+// TestChaosFailoverIntegration is the PR's acceptance scenario end to end:
+// three real geserve replicas, one of them behind a chaos proxy that
+// black-holes the connection 0.3s into the run for 3s. A steady stream of
+// /v1/run requests (plus a sweep) flows through the gateway for ~1.1s —
+// spanning the outage onset — and every single one must succeed: stalled
+// attempts are rescued by hedges, the sick replica's breaker opens, and the
+// metrics page shows all of it.
+func TestChaosFailoverIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+
+	newReplicaServer := func() *httptest.Server {
+		srv := server.New(server.Config{
+			MaxConcurrent:  4,
+			RequestTimeout: 10 * time.Second,
+		})
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		return ts
+	}
+	victim := newReplicaServer()
+	healthy1 := newReplicaServer()
+	healthy2 := newReplicaServer()
+
+	// The victim sits behind a chaos proxy that goes dark at t=0.3s.
+	sched, err := chaos.New([]chaos.Spec{{At: 0.3, Kind: chaos.Blackhole, Duration: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy, err := chaos.NewProxy("127.0.0.1:0",
+		strings.TrimPrefix(victim.URL, "http://"), sched, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = proxy.Close() })
+	proxy.Start()
+
+	g, err := New(Config{
+		Replicas:         []string{"http://" + proxy.Addr(), healthy1.URL, healthy2.URL},
+		ProbeInterval:    300 * time.Millisecond,
+		ProbeTimeout:     250 * time.Millisecond,
+		BreakerFailures:  2,
+		BreakerOpenFor:   2 * time.Second,
+		HedgeMinDelay:    25 * time.Millisecond,
+		MaxAttempts:      3,
+		RetryBudgetBurst: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(g.Close)
+	g.Start()
+	front := httptest.NewServer(g.Handler())
+	t.Cleanup(front.Close)
+
+	client := &http.Client{Timeout: 15 * time.Second}
+	runBody := `{"Scheduler":"ge","ArrivalRate":80,"DurationSec":0.05,"Cores":4}`
+	requests, failures := 0, 0
+	start := time.Now()
+	for time.Since(start) < 1100*time.Millisecond {
+		resp, err := client.Post(front.URL+"/v1/run", "application/json", strings.NewReader(runBody))
+		requests++
+		if err != nil {
+			failures++
+			t.Errorf("request %d: %v", requests, err)
+			continue
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			failures++
+			t.Errorf("request %d: status %d body %s", requests, resp.StatusCode, body)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// One sweep mid-outage rides the same failover machinery.
+	sweepBody := `{"config":{"Scheduler":"ge","DurationSec":0.05,"Cores":4},"rates":[60,90]}`
+	resp, err := client.Post(front.URL+"/v1/sweep", "application/json", strings.NewReader(sweepBody))
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	sweepOut, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep: status %d body %s", resp.StatusCode, sweepOut)
+	}
+
+	if failures > 0 {
+		t.Fatalf("%d/%d client requests failed across the outage; failover must hide the blackhole", failures, requests)
+	}
+	if requests < 20 {
+		t.Fatalf("only %d requests offered; the run did not span the outage", requests)
+	}
+	if won := g.Metrics().CounterValue("hedges_won_total"); won < 1 {
+		t.Fatalf("hedges_won_total = %d; stalled attempts were not rescued by hedges", won)
+	}
+	if fails := g.Metrics().CounterValue("probe_fail_total"); fails < 1 {
+		t.Fatalf("probe_fail_total = %d; active probes never noticed the blackhole", fails)
+	}
+
+	mresp, err := http.Get(front.URL + "/metricz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metricz, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, name := range []string{
+		"breaker_open_total", "breaker_halfopen_total",
+		"hedges_fired_total", "hedges_won_total",
+		"retry_budget_tokens", "replica0_probe_ok", "gw_request_seconds",
+	} {
+		if !strings.Contains(string(metricz), name) {
+			t.Errorf("metricz missing %s", name)
+		}
+	}
+	t.Logf("offered %d requests across the outage: 0 failures, hedges won %d, sweep ok (%d bytes)",
+		requests, g.Metrics().CounterValue("hedges_won_total"), len(sweepOut))
+}

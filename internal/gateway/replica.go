@@ -1,0 +1,103 @@
+package gateway
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// replica is one geserve backend with everything the gateway knows about
+// it: a circuit breaker fed by passive signals (response classes, timeouts),
+// an active probe verdict, a shed cooldown parsed from Retry-After, and the
+// live in-flight count used for least-loaded picking.
+type replica struct {
+	idx  int
+	name string // "replica0", used in metrics names and X-GE-Replica
+	base string // normalized base URL, no trailing slash
+
+	br *breaker
+
+	inflight atomic.Int64
+	// probeOK is the latest active-health verdict (GET /readyz). Replicas
+	// start optimistic so the gateway serves before the first probe lands.
+	probeOK atomic.Bool
+	// cooldownUntil (unix nanos) deprioritizes a replica that shed with
+	// 429/Retry-After: it is overloaded, not sick, so the breaker is left
+	// alone but the picker avoids it until the hint expires.
+	cooldownUntil atomic.Int64
+	// queueDepth is the last X-GE-Queue-Depth seen from the replica — the
+	// passive load signal used as the picker's tiebreak.
+	queueDepth atomic.Int64
+}
+
+func newReplica(idx int, base string, breakerFailures int, breakerOpenFor time.Duration, onTransition func(from, to breakerState)) (*replica, error) {
+	base = strings.TrimRight(base, "/")
+	u, err := url.Parse(base)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("gateway: replica %d: %q is not an absolute URL", idx, base)
+	}
+	r := &replica{
+		idx:  idx,
+		name: fmt.Sprintf("replica%d", idx),
+		base: base,
+		br:   newBreaker(breakerFailures, breakerOpenFor, onTransition),
+	}
+	r.probeOK.Store(true)
+	return r, nil
+}
+
+// coolingDown reports whether the replica is inside a Retry-After window.
+func (r *replica) coolingDown(now time.Time) bool {
+	return now.UnixNano() < r.cooldownUntil.Load()
+}
+
+// setCooldown parses a Retry-After header value (whole seconds) and parks
+// the replica for that long, clamped to maxCooldown so an absurd or
+// malicious header cannot black-hole a healthy replica.
+func (r *replica) setCooldown(header string, now time.Time, maxCooldown time.Duration) {
+	d := maxCooldown
+	if secs, err := strconv.Atoi(strings.TrimSpace(header)); err == nil && secs >= 0 {
+		d = time.Duration(secs) * time.Second
+		if d > maxCooldown {
+			d = maxCooldown
+		}
+	}
+	r.cooldownUntil.Store(now.Add(d).UnixNano())
+}
+
+// notePassive records the passive-health headers of any replica response.
+func (r *replica) notePassive(h http.Header) {
+	if v := h.Get("X-GE-Queue-Depth"); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil && n >= 0 {
+			r.queueDepth.Store(n)
+		}
+	}
+}
+
+// eligible reports whether the picker should consider this replica in the
+// preferred pass: actively healthy, not cooling down. Breaker admission is
+// checked separately because Allow has side effects (half-open probes).
+func (r *replica) eligible(now time.Time) bool {
+	return r.probeOK.Load() && !r.coolingDown(now)
+}
+
+// probe runs one active health check against /readyz.
+func (r *replica) probe(ctx context.Context, client *http.Client, timeout time.Duration) bool {
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.base+"/readyz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}

@@ -55,7 +55,7 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 func (s *Server) shedResponse(w http.ResponseWriter, verdict admission) {
 	switch verdict {
 	case shedQueueFull:
-		s.metrics.inc("shed_total")
+		s.metrics.Inc("shed_total")
 		secs := int64(s.cfg.RetryAfter / time.Second)
 		if secs < 1 {
 			secs = 1
@@ -66,10 +66,10 @@ func (s *Server) shedResponse(w http.ResponseWriter, verdict admission) {
 			RetryAfterMS: s.cfg.RetryAfter.Milliseconds(),
 		})
 	case shedDraining:
-		s.metrics.inc("rejected_draining_total")
+		s.metrics.Inc("rejected_draining_total")
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "server draining"})
 	case shedClientGone:
-		s.metrics.inc("client_gone_total")
+		s.metrics.Inc("client_gone_total")
 		// 499-style: the client is gone, but write something valid anyway.
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "client cancelled while queued"})
 	}
@@ -110,15 +110,15 @@ func (s *Server) execute(w http.ResponseWriter, r *http.Request,
 		return
 	}
 	defer release()
-	s.metrics.inc("admitted_total")
-	s.metrics.gaugeSet("inflight", float64(s.InFlight()))
-	defer func() { s.metrics.gaugeSet("inflight", float64(s.InFlight()-1)) }()
+	s.metrics.Inc("admitted_total")
+	s.metrics.GaugeSet("inflight", float64(s.InFlight()))
+	defer func() { s.metrics.GaugeSet("inflight", float64(s.InFlight()-1)) }()
 
 	ctx, cancel := s.runContext(r)
 	defer cancel()
 	payload, err := run(ctx)
 	if err != nil {
-		s.metrics.inc("run_err_total")
+		s.metrics.Inc("run_err_total")
 		// goodenough.RunContext reports cancellation as a partial result,
 		// not an error, so an error here is a config/trace problem — except
 		// with substituted RunFuncs, which may surface the context error
@@ -130,7 +130,7 @@ func (s *Server) execute(w http.ResponseWriter, r *http.Request,
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 		return
 	}
-	s.metrics.inc("run_ok_total")
+	s.metrics.Inc("run_ok_total")
 	writeJSON(w, http.StatusOK, payload)
 }
 
@@ -157,7 +157,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			return nil, err
 		}
 		if res.Cancelled {
-			s.metrics.inc("run_cancelled_total")
+			s.metrics.Inc("run_cancelled_total")
 		}
 		return runResponse{Result: res}, nil
 	})
@@ -200,7 +200,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 			return nil, err
 		}
 		if res.Cancelled {
-			s.metrics.inc("run_cancelled_total")
+			s.metrics.Inc("run_cancelled_total")
 		}
 		return runResponse{Result: res}, nil
 	})
@@ -276,7 +276,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 					return nil, err
 				}
 				if res.Cancelled {
-					s.metrics.inc("run_cancelled_total")
+					s.metrics.Inc("run_cancelled_total")
 					resp.Cancelled = true
 					resp.Points = append(resp.Points, sweepPoint{Rate: rate, Seed: seed, Result: res})
 					return resp, nil
@@ -303,12 +303,12 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	fmt.Fprintln(w, "ready")
-	_ = s.metrics.writeText(w)
+	_ = s.metrics.WriteText(w)
 }
 
 func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	_ = s.metrics.writeText(w)
+	_ = s.metrics.WriteText(w)
 }
 
 // errIsCancel reports whether err is a context cancellation.

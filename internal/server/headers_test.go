@@ -1,0 +1,88 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// requireLoadHeaders parses the passive-health headers a gateway reads off
+// every /v1/* reply, failing if either is missing or malformed.
+func requireLoadHeaders(t *testing.T, h http.Header) (inflight, queued int) {
+	t.Helper()
+	for _, name := range []string{"X-GE-Inflight", "X-GE-Queue-Depth"} {
+		if h.Get(name) == "" {
+			t.Fatalf("reply missing %s header", name)
+		}
+	}
+	inflight, err := strconv.Atoi(h.Get("X-GE-Inflight"))
+	if err != nil {
+		t.Fatalf("X-GE-Inflight %q not an integer", h.Get("X-GE-Inflight"))
+	}
+	queued, err = strconv.Atoi(h.Get("X-GE-Queue-Depth"))
+	if err != nil {
+		t.Fatalf("X-GE-Queue-Depth %q not an integer", h.Get("X-GE-Queue-Depth"))
+	}
+	if inflight < 0 || queued < 0 {
+		t.Fatalf("negative load headers: inflight=%d queued=%d", inflight, queued)
+	}
+	return inflight, queued
+}
+
+// TestPassiveHealthHeaders: every /v1/* reply — success, config error, and
+// shed alike — carries X-GE-Inflight / X-GE-Queue-Depth so the gateway's
+// picker can weigh replicas without scraping metricz.
+func TestPassiveHealthHeaders(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	code, header, body := postJSON(t, ts.Client(), ts.URL+"/v1/run", tinyBody)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	requireLoadHeaders(t, header)
+
+	// Config errors are instrumented too.
+	code, header, _ = postJSON(t, ts.Client(), ts.URL+"/v1/run", `{"Cores":-1}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("bad config: status %d", code)
+	}
+	requireLoadHeaders(t, header)
+}
+
+// TestPassiveHealthHeadersUnderLoad: with the worker slot pinned, shed
+// replies report the true queue pressure the admission layer saw.
+func TestPassiveHealthHeadersUnderLoad(t *testing.T) {
+	started := make(chan struct{}, 8)
+	s, ts := newTestServer(t, Config{
+		MaxConcurrent: 1,
+		QueueDepth:    1,
+		Run:           blockUntilCancelled(started),
+	})
+
+	// Pin the only worker slot, then fill the one queue seat.
+	errc := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			_, err := ts.Client().Post(ts.URL+"/v1/run", "application/json", strings.NewReader(tinyBody))
+			errc <- err
+		}()
+	}
+	<-started // the first request is executing; the second is queued
+	waitFor(t, func() bool { return s.QueueDepth() == 1 }, "second request never queued")
+
+	// The third request is shed — and its 429 still reports load honestly.
+	code, header, _ := postJSON(t, ts.Client(), ts.URL+"/v1/run", tinyBody)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429 with a full queue", code)
+	}
+	inflight, queued := requireLoadHeaders(t, header)
+	if inflight != 1 || queued != 1 {
+		t.Fatalf("shed reply reports inflight=%d queued=%d, want 1/1", inflight, queued)
+	}
+
+	// Unblock: cancel the pinned runs by draining the server.
+	s.cancelRuns()
+	for i := 0; i < 2; i++ {
+		<-errc
+	}
+}

@@ -7,7 +7,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/debug"
-	"sync"
+	"strconv"
 	"time"
 
 	"goodenough/internal/obs"
@@ -20,20 +20,11 @@ var latencyBounds = []float64{
 	0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
 }
 
-// metrics wraps the simulator's obs.Registry for concurrent use. The
-// registry itself is single-threaded by design (one registry per simulation
-// run); the serving layer multiplexes many requests onto one registry, so
-// every touch goes through the mutex.
-type metrics struct {
-	mu      sync.Mutex
-	reg     *obs.Registry
-	latency *obs.Histogram
-}
-
-func newMetrics() *metrics {
-	reg := obs.NewRegistry()
-	// Pre-create everything so /metricz shows zeros instead of absences.
-	for _, name := range []string{
+// newMetrics builds the server's concurrent registry with every metric
+// pre-created so /metricz shows zeros instead of absences.
+func newMetrics() *obs.SyncRegistry {
+	m := obs.NewSyncRegistry()
+	m.Preset([]string{
 		"requests_total",
 		"admitted_total",
 		"shed_total",
@@ -43,42 +34,15 @@ func newMetrics() *metrics {
 		"run_err_total",
 		"run_cancelled_total",
 		"panics_total",
-	} {
-		reg.Counter(name)
-	}
-	reg.Gauge("queue_depth")
-	reg.Gauge("inflight")
-	latency, err := reg.Histogram("request_seconds", latencyBounds)
-	if err != nil {
+	}, []string{
+		"queue_depth",
+		"inflight",
+	})
+	if err := m.NewHistogram("request_seconds", latencyBounds); err != nil {
 		// Static bounds; unreachable unless latencyBounds is edited badly.
 		panic(err)
 	}
-	return &metrics{reg: reg, latency: latency}
-}
-
-func (m *metrics) inc(name string) {
-	m.mu.Lock()
-	m.reg.Counter(name).Inc()
-	m.mu.Unlock()
-}
-
-func (m *metrics) gaugeSet(name string, v float64) {
-	m.mu.Lock()
-	m.reg.Gauge(name).Set(v)
-	m.mu.Unlock()
-}
-
-func (m *metrics) observeLatency(d time.Duration) {
-	m.mu.Lock()
-	m.latency.Observe(d.Seconds())
-	m.mu.Unlock()
-}
-
-// writeText renders the registry snapshot to w under the lock.
-func (m *metrics) writeText(w io.Writer) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.reg.WriteText(w)
+	return m
 }
 
 // recoverPanics converts a panicking handler — most importantly a panic
@@ -92,7 +56,7 @@ func (s *Server) recoverPanics(next http.Handler) http.Handler {
 					// The net/http contract for aborted responses.
 					panic(p)
 				}
-				s.metrics.inc("panics_total")
+				s.metrics.Inc("panics_total")
 				// Best effort: if the handler already wrote a partial
 				// body, the client sees a truncated response; for
 				// simulation panics nothing has been written yet, so this
@@ -111,13 +75,18 @@ func (s *Server) recoverPanics(next http.Handler) http.Handler {
 // debugWriter receives recovered panic stacks; tests may silence it.
 var debugWriter io.Writer = os.Stderr
 
-// instrument counts requests and records end-to-end latency plus the
-// in-flight gauge around the run endpoints.
+// instrument counts requests, records end-to-end latency, and stamps the
+// passive-health headers on every /v1/* reply: X-GE-Inflight and
+// X-GE-Queue-Depth report the load observed at admission time, so a
+// gateway in front can read replica pressure from ordinary responses
+// without scraping /metricz.
 func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		s.metrics.inc("requests_total")
+		s.metrics.Inc("requests_total")
+		w.Header().Set("X-GE-Inflight", strconv.Itoa(s.InFlight()))
+		w.Header().Set("X-GE-Queue-Depth", strconv.Itoa(s.QueueDepth()))
 		start := time.Now()
 		next.ServeHTTP(w, r)
-		s.metrics.observeLatency(time.Since(start))
+		s.metrics.Observe("request_seconds", time.Since(start).Seconds())
 	})
 }

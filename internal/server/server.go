@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"goodenough"
+	"goodenough/internal/obs"
 )
 
 // RunFunc executes one simulation. It exists so tests can substitute
@@ -117,7 +118,7 @@ type Server struct {
 	runCtx     context.Context
 	cancelRuns context.CancelFunc
 
-	metrics *metrics
+	metrics *obs.SyncRegistry
 	started time.Time
 }
 
@@ -181,13 +182,13 @@ func (s *Server) acquire(ctx context.Context) (release func(), verdict admission
 		return nil, shedQueueFull
 	}
 	s.queued++
-	s.metrics.gaugeSet("queue_depth", float64(s.queued))
+	s.metrics.GaugeSet("queue_depth", float64(s.queued))
 	s.mu.Unlock()
 
 	defer func() {
 		s.mu.Lock()
 		s.queued--
-		s.metrics.gaugeSet("queue_depth", float64(s.queued))
+		s.metrics.GaugeSet("queue_depth", float64(s.queued))
 		s.mu.Unlock()
 	}()
 	select {
@@ -223,6 +224,14 @@ func (s *Server) Draining() bool {
 
 // InFlight returns the number of simulations currently executing.
 func (s *Server) InFlight() int { return len(s.slots) }
+
+// QueueDepth returns the number of admitted requests waiting for a worker
+// slot — the passive-health signal exported as X-GE-Queue-Depth.
+func (s *Server) QueueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queued
+}
 
 // Drain gracefully shuts the serving layer down: admission stops
 // immediately (new requests get 503, queued waiters are woken and shed),

@@ -1,0 +1,134 @@
+#!/bin/sh
+# End-to-end chaos smoke of the fleet tier: build geserve + gegate +
+# gechaos + geload, boot three replicas with one of them behind a chaos
+# proxy that black-holes 1s in for 4s, drive open-loop load through the
+# gateway across the outage, and require zero client-visible failures plus
+# a nonzero hedge-won counter in the gateway's metricz. SIGTERM everything
+# and require clean exits. Used by `make chaos-smoke` and the CI
+# chaos-smoke job.
+set -eu
+
+GATE_ADDR=${GATE_ADDR:-127.0.0.1:8370}
+R1_ADDR=127.0.0.1:8381
+R2_ADDR=127.0.0.1:8382
+R3_ADDR=127.0.0.1:8383
+CHAOS_ADDR=127.0.0.1:8391
+BASE="http://$GATE_ADDR"
+TMP=$(mktemp -d)
+
+PIDS=""
+cleanup() {
+    for pid in $PIDS; do
+        kill "$pid" 2>/dev/null || true
+    done
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+go build -o "$TMP/geserve" ./cmd/geserve
+go build -o "$TMP/gegate" ./cmd/gegate
+go build -o "$TMP/gechaos" ./cmd/gechaos
+go build -o "$TMP/geload" ./cmd/geload
+
+for addr in "$R1_ADDR" "$R2_ADDR" "$R3_ADDR"; do
+    "$TMP/geserve" -addr "$addr" -concurrency 2 -queue 4 \
+        -timeout 10s -drain-timeout 2s 2>"$TMP/geserve-$addr.log" &
+    PIDS="$PIDS $!"
+done
+
+# Every replica must come up before the clock starts.
+for addr in "$R1_ADDR" "$R2_ADDR" "$R3_ADDR"; do
+    i=0
+    until curl -fsS "http://$addr/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -ge 50 ]; then
+            echo "chaos-smoke: replica $addr never became healthy" >&2
+            exit 1
+        fi
+        sleep 0.2
+    done
+done
+echo "chaos-smoke: 3 replicas healthy"
+
+# The chaos proxy fronts replica 1 and goes dark at t=1s for 4s — the
+# schedule clock starts when the proxy does.
+"$TMP/gechaos" -listen "$CHAOS_ADDR" -target "$R1_ADDR" \
+    -spec '[{"at":1,"kind":"blackhole","duration":4}]' \
+    2>"$TMP/gechaos.log" &
+CHAOS_PID=$!
+PIDS="$PIDS $CHAOS_PID"
+
+"$TMP/gegate" -addr "$GATE_ADDR" \
+    -replicas "http://$CHAOS_ADDR,http://$R2_ADDR,http://$R3_ADDR" \
+    -probe-interval 300ms -probe-timeout 500ms \
+    -breaker-failures 2 -breaker-open 2s \
+    -hedge-min 50ms -max-attempts 3 -retry-burst 100 -timeout 30s \
+    2>"$TMP/gegate.log" &
+GATE_PID=$!
+PIDS="$PIDS $GATE_PID"
+
+i=0
+until curl -fsS "$BASE/readyz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "chaos-smoke: gegate never became ready" >&2
+        cat "$TMP/gegate.log" >&2 || true
+        exit 1
+    fi
+    sleep 0.2
+done
+echo "chaos-smoke: gegate ready"
+
+# ~5s of open-loop traffic spans the 1s..5s blackhole window. The gateway —
+# hedges, breakers, probes — must hide the outage entirely: no shed, no
+# errors at the client.
+"$TMP/geload" -url "$BASE" -mode open -rate 20 -requests 100 \
+    -run-duration 0.3 -retries 2 -backoff 100ms -csv >"$TMP/load.csv"
+cat "$TMP/load.csv"
+
+OK=$(awk -F, 'NR==2{print $3}' "$TMP/load.csv")
+SHED=$(awk -F, 'NR==2{print $5}' "$TMP/load.csv")
+ERRORS=$(awk -F, 'NR==2{print $6}' "$TMP/load.csv")
+if [ "$OK" != "100" ] || [ "$SHED" != "0" ] || [ "$ERRORS" != "0" ]; then
+    echo "chaos-smoke: client saw the outage: ok=$OK shed=$SHED errors=$ERRORS" >&2
+    echo "--- gegate log ---" >&2
+    cat "$TMP/gegate.log" >&2 || true
+    echo "--- gechaos log ---" >&2
+    cat "$TMP/gechaos.log" >&2 || true
+    exit 1
+fi
+echo "chaos-smoke: 100/100 requests ok across the blackhole"
+
+curl -fsS "$BASE/metricz" >"$TMP/metricz"
+HEDGES_WON=$(awk '$1=="counter" && $2=="hedges_won_total"{print $3}' "$TMP/metricz")
+if [ -z "$HEDGES_WON" ] || [ "$HEDGES_WON" -lt 1 ]; then
+    echo "chaos-smoke: hedges_won_total=$HEDGES_WON, want >= 1" >&2
+    cat "$TMP/metricz" >&2
+    exit 1
+fi
+for metric in breaker_open_total hedges_fired_total retry_budget_tokens replica0_probe_ok; do
+    grep -q " $metric " "$TMP/metricz" || {
+        echo "chaos-smoke: metricz missing $metric" >&2
+        exit 1
+    }
+done
+echo "chaos-smoke: metricz shows hedges_won_total=$HEDGES_WON and breaker metrics"
+
+curl -fsS "$BASE/replicaz"
+
+# Graceful teardown: gegate and gechaos must both exit 0 on SIGTERM.
+kill -TERM "$GATE_PID"
+if wait "$GATE_PID"; then
+    echo "chaos-smoke: gegate drained cleanly"
+else
+    echo "chaos-smoke: gegate exited non-zero on SIGTERM" >&2
+    exit 1
+fi
+kill -TERM "$CHAOS_PID"
+if wait "$CHAOS_PID"; then
+    echo "chaos-smoke: gechaos exited cleanly"
+else
+    echo "chaos-smoke: gechaos exited non-zero on SIGTERM" >&2
+    exit 1
+fi
+echo "chaos-smoke: PASS"
