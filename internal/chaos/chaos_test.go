@@ -1,8 +1,10 @@
 package chaos
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
@@ -177,6 +179,47 @@ func TestProxyTransparentWhenQuiet(t *testing.T) {
 		if resp.StatusCode != 200 || string(body) != "pong" {
 			t.Fatalf("request %d: %d %q", i, resp.StatusCode, body)
 		}
+	}
+}
+
+// flakyListener fails its first Accept with a transient error, mimicking
+// ECONNABORTED/EMFILE, then delegates to the real listener.
+type flakyListener struct {
+	net.Listener
+	failures int
+}
+
+func (l *flakyListener) Accept() (net.Conn, error) {
+	if l.failures > 0 {
+		l.failures--
+		return nil, errors.New("accept tcp: too many open files")
+	}
+	return l.Listener.Accept()
+}
+
+// TestProxyAcceptRetriesTransientErrors: a transient Accept failure must not
+// end the accept loop — that would silently black-hole every later
+// connection while the proxy process keeps running.
+func TestProxyAcceptRetriesTransientErrors(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(echoOK))
+	t.Cleanup(backend.Close)
+	sched, _ := New(nil)
+	p, err := NewProxy("127.0.0.1:0", strings.TrimPrefix(backend.URL, "http://"), sched, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = p.Close() })
+	p.ln = &flakyListener{Listener: p.ln, failures: 1} // before Start: no racing Accept yet
+	p.Start()
+	client := freshClient(5 * time.Second)
+	resp, err := client.Get("http://" + p.Addr() + "/ping")
+	if err != nil {
+		t.Fatalf("request after transient accept error: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || string(body) != "pong" {
+		t.Fatalf("got %d %q through the proxy, want 200 pong", resp.StatusCode, body)
 	}
 }
 

@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"strings"
@@ -103,9 +104,20 @@ func (p *Proxy) Start() {
 				case <-p.closed:
 					return
 				default:
-					p.Logf("gechaos: accept: %v", err)
+				}
+				if errors.Is(err, net.ErrClosed) {
 					return
 				}
+				// Transient accept failure (ECONNABORTED, EMFILE, ...): back
+				// off briefly and keep serving. Returning here would silently
+				// turn the proxy into a black hole for the rest of the run.
+				p.Logf("gechaos: accept (retrying): %v", err)
+				select {
+				case <-p.closed:
+					return
+				case <-time.After(pollInterval):
+				}
+				continue
 			}
 			p.track(c, true)
 			p.wg.Add(1)

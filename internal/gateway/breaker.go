@@ -119,6 +119,20 @@ func (b *breaker) Success() {
 	}
 }
 
+// Neutral records a completed attempt whose outcome neither vouches for nor
+// indicts the replica: 429 shedding (overloaded, not sick) and attempts the
+// gateway cancelled itself (hedge losers, client disconnects). Its only job
+// is to release a half-open trial slot — without it a 429'd or cancelled
+// trial would leave probing set forever and Allow would refuse the replica
+// until restart.
+func (b *breaker) Neutral() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerHalfOpen {
+		b.probing = false
+	}
+}
+
 // Failure records a completed attempt that failed in a way that indicts the
 // replica (5xx, connection error, timeout — not 429 shedding).
 func (b *breaker) Failure() {

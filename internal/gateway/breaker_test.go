@@ -124,6 +124,36 @@ func TestBreakerHalfOpenFailureReopens(t *testing.T) {
 	}
 }
 
+// TestBreakerNeutralReleasesHalfOpenTrial: a half-open trial that resolves
+// neutrally (429 shedding, or an attempt the gateway cancelled itself) must
+// release the single-probe slot so a later trial can be admitted — without
+// closing the breaker or re-opening the window. Regression: a 429'd trial
+// used to leave probing set forever, permanently refusing the replica.
+func TestBreakerNeutralReleasesHalfOpenTrial(t *testing.T) {
+	b, clk, _ := newTestBreaker(2, time.Second)
+	b.Failure()
+	b.Neutral() // closed: no-op, must not reset the failure streak
+	b.Failure()
+	if b.State() != breakerOpen {
+		t.Fatalf("state %v, want open: Neutral must not interrupt the streak", b.State())
+	}
+	clk.advance(1100 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("no half-open trial admitted after openFor")
+	}
+	b.Neutral() // the trial came back 429 or was cancelled by the gateway
+	if b.State() != breakerHalfOpen {
+		t.Fatalf("state %v after neutral trial, want still half-open", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("breaker refused a fresh trial after the previous one resolved neutrally")
+	}
+	b.Success()
+	if b.State() != breakerClosed {
+		t.Fatalf("state %v, want closed after the second trial succeeded", b.State())
+	}
+}
+
 // TestBreakerStragglerOutcomesWhileOpen verifies late results from attempts
 // admitted before the trip do not corrupt the open state.
 func TestBreakerStragglerOutcomesWhileOpen(t *testing.T) {

@@ -29,6 +29,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -168,6 +169,11 @@ type Gateway struct {
 type errorBody struct {
 	Error string `json:"error"`
 }
+
+// maxRelayBytes caps how much of an upstream response body the gateway will
+// buffer and relay. Responses over the cap fail the attempt rather than being
+// silently truncated.
+const maxRelayBytes = 64 << 20
 
 // latencyBounds are the request-latency histogram buckets in seconds.
 var latencyBounds = []float64{
@@ -369,6 +375,15 @@ func (a attemptResult) retryable() bool {
 	return a.status >= 500 || a.status == http.StatusTooManyRequests
 }
 
+// selfInflicted reports whether an attempt error was caused by the gateway
+// cancelling the attempt itself (hedge loser, client disconnect, request
+// deadline) rather than by the replica. Such errors must not feed the
+// breaker: a healthy-but-slower replica that keeps losing hedge races would
+// otherwise accumulate spurious strikes until its breaker opened.
+func (g *Gateway) selfInflicted(ctx context.Context, err error) bool {
+	return ctx.Err() != nil || errors.Is(err, context.Canceled)
+}
+
 // doAttempt executes one upstream POST and classifies the outcome, feeding
 // the replica's breaker and passive signals.
 func (g *Gateway) doAttempt(ctx context.Context, rep *replica, path string, body []byte, hedged bool) attemptResult {
@@ -387,17 +402,42 @@ func (g *Gateway) doAttempt(ctx context.Context, rep *replica, path string, body
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := g.client.Do(req)
 	if err != nil {
+		if g.selfInflicted(ctx, err) {
+			// A hedge loser's cancel or a client disconnect, not a replica
+			// verdict: no breaker strike, no error metric, but release any
+			// half-open trial slot this attempt was holding.
+			rep.br.Neutral()
+			return attemptResult{rep: rep, hedged: hedged, err: err, latency: time.Since(start)}
+		}
 		rep.br.Failure()
 		g.metrics.Inc(rep.name + "_errs_total")
 		g.cfg.Logf("gegate: %s attempt: %v", rep.name, err)
 		return attemptResult{rep: rep, hedged: hedged, err: err, latency: time.Since(start)}
 	}
 	defer resp.Body.Close()
-	respBody, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	respBody, err := io.ReadAll(io.LimitReader(resp.Body, maxRelayBytes+1))
 	if err != nil {
+		if g.selfInflicted(ctx, err) {
+			rep.br.Neutral()
+			return attemptResult{rep: rep, hedged: hedged, err: err, latency: time.Since(start)}
+		}
 		rep.br.Failure()
 		g.metrics.Inc(rep.name + "_errs_total")
 		return attemptResult{rep: rep, hedged: hedged, err: err, latency: time.Since(start)}
+	}
+	if int64(len(respBody)) > maxRelayBytes {
+		// The replica answered but the body exceeds what the gateway will
+		// buffer; relaying a truncated body with the original status would
+		// corrupt the response, so fail the attempt instead. The replica
+		// isn't sick — no breaker strike — but any half-open trial resolves.
+		rep.br.Neutral()
+		g.metrics.Inc(rep.name + "_errs_total")
+		g.cfg.Logf("gegate: %s response exceeds %d-byte relay cap", rep.name, int64(maxRelayBytes))
+		return attemptResult{
+			rep: rep, hedged: hedged,
+			err:     fmt.Errorf("%s response exceeds %d-byte relay cap", rep.name, int64(maxRelayBytes)),
+			latency: time.Since(start),
+		}
 	}
 	res := attemptResult{
 		rep: rep, hedged: hedged,
@@ -407,7 +447,10 @@ func (g *Gateway) doAttempt(ctx context.Context, rep *replica, path string, body
 	rep.notePassive(resp.Header)
 	switch {
 	case resp.StatusCode == http.StatusTooManyRequests:
-		// Overloaded, not sick: cooldown instead of a breaker strike.
+		// Overloaded, not sick: cooldown instead of a breaker strike. Still
+		// resolve any half-open trial, or the probing flag would stay set and
+		// Allow would refuse this replica forever.
+		rep.br.Neutral()
 		rep.setCooldown(resp.Header.Get("Retry-After"), time.Now(), g.cfg.CooldownCap)
 	case resp.StatusCode >= 500:
 		rep.br.Failure()

@@ -171,6 +171,49 @@ func TestBreakerRecoversThroughHalfOpen(t *testing.T) {
 	}
 }
 
+// TestHalfOpenTrialSurvives429: a replica that recovers from an outage into
+// overload answers its half-open trial with 429. That must resolve the trial
+// (cooldown, no strike) so a later trial can close the breaker — not wedge
+// the replica out of the pool until gateway restart.
+func TestHalfOpenTrialSurvives429(t *testing.T) {
+	var mode atomic.Int32 // 0: 500s, 1: 429s, 2: healthy
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch mode.Load() {
+		case 0:
+			http.Error(w, `{"error":"down"}`, http.StatusInternalServerError)
+		case 1:
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, `{"error":"overloaded"}`, http.StatusTooManyRequests)
+		default:
+			fmt.Fprint(w, `{"result":{}}`)
+		}
+	}))
+	t.Cleanup(flaky.Close)
+	g, front := newPoolGateway(t, Config{
+		BreakerFailures:  1,
+		BreakerOpenFor:   50 * time.Millisecond,
+		RetryBudgetBurst: 100,
+		MaxAttempts:      1,
+		DisableHedging:   true,
+	}, flaky)
+
+	postRun(t, front.URL) // 500 trips the breaker open
+	mode.Store(1)
+	time.Sleep(60 * time.Millisecond) // open window lapses
+	if resp, body := postRun(t, front.URL); resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("half-open trial: status %d body %s, want 429 passthrough", resp.StatusCode, body)
+	}
+	mode.Store(2)
+	// The 429 trial must have released the probe slot: the next request is
+	// admitted as a fresh trial and closes the breaker.
+	if resp, body := postRun(t, front.URL); resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-429 trial: status %d body %s, want 200", resp.StatusCode, body)
+	}
+	if st := g.replicas[0].br.State(); st != breakerClosed {
+		t.Fatalf("breaker %v after recovery, want closed", st)
+	}
+}
+
 // TestHedgeWinsOverSlowReplica: the primary stalls, the hedge goes to the
 // fast replica and wins, and the slow attempt is cancelled.
 func TestHedgeWinsOverSlowReplica(t *testing.T) {
@@ -223,6 +266,81 @@ func TestHedgeWinsOverSlowReplica(t *testing.T) {
 	case <-slowCancelled:
 	case <-time.After(2 * time.Second):
 		t.Fatal("slow attempt was never cancelled after losing the hedge race")
+	}
+}
+
+// TestHedgeLoserCancelDoesNotTripBreaker: a healthy-but-slower replica that
+// keeps losing hedge races gets its attempts cancelled by the gateway; those
+// self-inflicted cancellations must not feed its breaker or error metrics.
+func TestHedgeLoserCancelDoesNotTripBreaker(t *testing.T) {
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.Copy(io.Discard, r.Body)
+		select {
+		case <-time.After(5 * time.Second):
+			fmt.Fprint(w, `{"result":{}}`)
+		case <-r.Context().Done():
+		}
+	}))
+	t.Cleanup(slow.Close)
+	fast := okBackend(t, nil, 0)
+	g, front := newPoolGateway(t, Config{
+		HedgeMinDelay:    10 * time.Millisecond,
+		BreakerFailures:  2,
+		RetryBudgetBurst: 100,
+	}, slow, fast)
+
+	for i := 0; i < 8; i++ {
+		resp, body := postRun(t, front.URL)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d body %s", i, resp.StatusCode, body)
+		}
+	}
+	// Let the last losing attempt observe its cancellation before asserting.
+	waitFor(t, func() bool { return g.replicas[0].inflight.Load() == 0 },
+		"slow replica attempt never unwound")
+	if st := g.replicas[0].br.State(); st != breakerClosed {
+		t.Fatalf("hedge-loser cancellations tripped the slow replica's breaker (state %v)", st)
+	}
+	if n := g.Metrics().CounterValue("replica0_errs_total"); n != 0 {
+		t.Fatalf("replica0_errs_total = %d: gateway-cancelled attempts counted as replica errors", n)
+	}
+}
+
+// TestOversizeResponseFailsOver: a response larger than the relay cap must
+// fail the attempt (and fail over to a replica whose answer fits), never be
+// silently truncated and relayed with a 200.
+func TestOversizeResponseFailsOver(t *testing.T) {
+	big := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.Copy(io.Discard, r.Body)
+		chunk := make([]byte, 1<<20)
+		for written := int64(0); written <= maxRelayBytes; written += int64(len(chunk)) {
+			if _, err := w.Write(chunk); err != nil {
+				return
+			}
+		}
+	}))
+	t.Cleanup(big.Close)
+	good := okBackend(t, nil, 0)
+	g, front := newPoolGateway(t, Config{
+		RetryBudgetBurst: 100,
+		DisableHedging:   true,
+	}, big, good)
+
+	for i := 0; i < 3; i++ {
+		resp, body := postRun(t, front.URL)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d, want failover to 200", i, resp.StatusCode)
+		}
+		if rep := resp.Header.Get("X-GE-Replica"); rep != "replica1" {
+			t.Fatalf("request %d: a %d-byte truncated body was relayed from %s", i, len(body), rep)
+		}
+	}
+	if n := g.Metrics().CounterValue("replica0_errs_total"); n < 1 {
+		t.Fatal("oversize responses were never counted as attempt errors")
+	}
+	// Oversize is a relay-policy failure, not replica sickness.
+	if st := g.replicas[0].br.State(); st != breakerClosed {
+		t.Fatalf("oversize responses tripped the breaker (state %v)", st)
 	}
 }
 
