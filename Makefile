@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench smoke chaos-smoke sweep sweep-fast fuzz cover clean
+.PHONY: all build test race vet bench bench-baseline bench-check smoke chaos-smoke sweep sweep-fast fuzz cover clean
 
 all: build vet test
 
@@ -32,6 +32,17 @@ chaos-smoke:
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x .
 
+# Refresh the committed hot-path baseline (BENCH_BASELINE.json) in place,
+# preserving its "previous" (pre-optimization) section.
+bench-baseline:
+	sh scripts/bench_baseline.sh
+
+# Re-measure into bench_candidate.json and gate against the committed
+# baseline: >15% ns/op growth or any allocs/op above baseline fails.
+bench-check:
+	OUT=bench_candidate.json sh scripts/bench_baseline.sh
+	$(GO) run ./cmd/gebench -check -baseline BENCH_BASELINE.json -candidate bench_candidate.json
+
 # Regenerate every figure at paper scale (600 s per sweep point).
 sweep:
 	$(GO) run ./cmd/gesweep -duration 600 -out results
@@ -52,5 +63,5 @@ cover:
 	$(GO) tool cover -func=cover.out | tail -1
 
 clean:
-	rm -f cover.out
+	rm -f cover.out bench_candidate.json
 	rm -rf results-fast

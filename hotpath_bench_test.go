@@ -1,0 +1,63 @@
+// BenchmarkQuantum* measures the full scheduler hot path — sim kernel →
+// sched.Runner → GE policy → cutting/distribution/water-filling — as
+// events/sec over a complete run. Unlike BenchmarkFig* (which sweep whole
+// figures), these isolate the per-quantum cost the allocation-free kernel
+// targets; scripts/bench_baseline.sh records them into BENCH_BASELINE.json
+// and `make bench-check` gates regressions.
+package goodenough
+
+import (
+	"testing"
+
+	"goodenough/internal/core"
+	"goodenough/internal/sched"
+	"goodenough/internal/workload"
+)
+
+// quantumRun executes one GE run at the given rate and returns events
+// delivered, so events/sec aggregates across b.N runs.
+func quantumRun(b *testing.B, rate float64, seed uint64) int64 {
+	b.Helper()
+	cfg := sched.Defaults()
+	spec := workload.Spec{
+		ArrivalRate: rate,
+		ParetoAlpha: 3,
+		Xmin:        130,
+		Xmax:        1000,
+		Window:      0.15,
+		Duration:    5,
+		Seed:        seed,
+	}
+	r, err := sched.NewRunner(cfg, core.NewGE(cfg.QGE), spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := r.Run(); err != nil {
+		b.Fatal(err)
+	}
+	return r.EventsProcessed()
+}
+
+// BenchmarkQuantumCritical runs GE at the critical load (154 req/s), the
+// regime where the hybrid policy straddles light/heavy and both water-
+// filling and equal-share paths are exercised.
+func BenchmarkQuantumCritical(b *testing.B) {
+	b.ReportAllocs()
+	var events int64
+	for i := 0; i < b.N; i++ {
+		events += quantumRun(b, 154, 2017)
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkQuantumOverload runs GE at 2× critical load: deep waiting
+// queues, counter triggers, and heavy job cutting — the worst-case
+// per-quantum sort and cut volume.
+func BenchmarkQuantumOverload(b *testing.B) {
+	b.ReportAllocs()
+	var events int64
+	for i := 0; i < b.N; i++ {
+		events += quantumRun(b, 308, 2017)
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+}

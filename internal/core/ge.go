@@ -82,6 +82,46 @@ type GE struct {
 	// ES↔WF crossings can be emitted as EventDistSwitch.
 	lastHeavy bool
 	heavySet  bool
+
+	// scratch holds every buffer the pipeline needs per trigger, reused
+	// across Schedule calls so the steady-state hot path allocates nothing.
+	// Contents are only valid within one call. A GE is not goroutine-safe
+	// (it never was — inAES and the assigner are per-instance state), so
+	// per-instance scratch is safe: parallel seed runs construct one policy
+	// per runner.
+	scratch struct {
+		eligible []int
+		batch    []*job.Job
+		loads    []float64
+		perCore  [][]*job.Job
+		all      []*job.Job
+		edf      []*job.Job
+		demands  []float64
+		peaks    []float64
+		free     []int
+		compact  []float64
+		alloc    []float64
+		chosen   []float64
+		entries  []machine.Entry
+		plan     []yds.Assignment
+		snap     []float64
+		budgets  []float64
+		cutter   cut.Cutter
+		filler   dist.Filler
+	}
+}
+
+// growFloats resizes buf to n zeroed entries, reallocating only while the
+// high-water mark grows.
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		buf = make([]float64, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
 }
 
 type monitorSnap struct {
@@ -152,6 +192,11 @@ func (g *GE) Reset() {
 	g.lastHeavy = false
 	g.heavySet = false
 	g.opts.Assigner.Reset()
+	// Drop the job-pointer-holding scratch so a finished run's jobs are not
+	// pinned across runs; the float buffers are harmless to keep.
+	sc := &g.scratch
+	sc.batch, sc.all, sc.edf, sc.perCore = nil, nil, nil, nil
+	sc.entries, sc.plan = nil, nil
 }
 
 // Schedule implements sched.Policy — the full GE pipeline, degraded
@@ -169,13 +214,16 @@ func (g *GE) Schedule(ctx *sched.Context) {
 	// 2. Batch-assign everything that is waiting, over the surviving
 	// cores only. With no healthy core the batch stays queued (it will be
 	// shed or expire).
-	eligible := make([]int, 0, cfg.Cores)
+	sc := &g.scratch
+	eligible := sc.eligible[:0]
 	for _, c := range ctx.Server.Cores {
 		if c.Healthy() {
 			eligible = append(eligible, c.Index)
 		}
 	}
-	batch := ctx.Waiting.Drain()
+	sc.eligible = eligible
+	batch := ctx.Waiting.AppendDrain(sc.batch[:0])
+	sc.batch = batch[:0]
 	if len(batch) > 0 {
 		if len(eligible) == 0 {
 			for _, j := range batch {
@@ -183,7 +231,8 @@ func (g *GE) Schedule(ctx *sched.Context) {
 			}
 			batch = nil
 		} else {
-			g.opts.Assigner.Assign(batch, eligible, ctx.Server.Loads())
+			sc.loads = ctx.Server.AppendLoads(sc.loads[:0])
+			g.opts.Assigner.Assign(batch, eligible, sc.loads)
 			if ctx.Observer != nil {
 				for _, j := range batch {
 					ctx.Observer.Observe(obs.Event{Time: now, Type: obs.EventJobAssign,
@@ -192,9 +241,18 @@ func (g *GE) Schedule(ctx *sched.Context) {
 			}
 		}
 	}
-	perCore := make([][]*job.Job, cfg.Cores)
+	if cap(sc.perCore) < cfg.Cores {
+		perCore := make([][]*job.Job, cfg.Cores)
+		copy(perCore, sc.perCore)
+		sc.perCore = perCore
+	}
+	perCore := sc.perCore[:cfg.Cores]
+	sc.perCore = perCore
+	for i := range perCore {
+		perCore[i] = perCore[i][:0]
+	}
 	for _, c := range ctx.Server.Cores {
-		perCore[c.Index] = c.Queue()
+		perCore[c.Index] = c.AppendQueue(perCore[c.Index])
 	}
 	for _, j := range batch {
 		perCore[j.Core] = append(perCore[j.Core], j)
@@ -207,13 +265,14 @@ func (g *GE) Schedule(ctx *sched.Context) {
 	// 4. Cut (AES) or restore (BQ) — per core by default, or jointly over
 	// the whole machine with the GlobalCut option.
 	if g.opts.GlobalCut {
-		var all []*job.Job
+		all := sc.all[:0]
 		for i := range perCore {
 			all = append(all, perCore[i]...)
 		}
+		sc.all = all
 		if g.inAES {
-			before := snapTargets(ctx, all)
-			cut.LongestFirst(all, cfg.Quality, g.opts.Target)
+			before := g.snapTargets(ctx, all)
+			sc.cutter.LongestFirst(all, cfg.Quality, g.opts.Target)
 			emitCuts(ctx, now, all, before)
 		} else {
 			cut.Restore(all)
@@ -224,8 +283,8 @@ func (g *GE) Schedule(ctx *sched.Context) {
 				continue
 			}
 			if g.inAES {
-				before := snapTargets(ctx, perCore[i])
-				cut.LongestFirst(perCore[i], cfg.Quality, g.opts.Target)
+				before := g.snapTargets(ctx, perCore[i])
+				sc.cutter.LongestFirst(perCore[i], cfg.Quality, g.opts.Target)
 				emitCuts(ctx, now, perCore[i], before)
 			} else {
 				cut.Restore(perCore[i])
@@ -245,8 +304,9 @@ func (g *GE) Schedule(ctx *sched.Context) {
 	if g.opts.BudgetOverride > 0 && g.opts.BudgetOverride < budget {
 		budget = g.opts.BudgetOverride
 	}
-	demands := make([]float64, cfg.Cores)
-	peaks := make([]float64, cfg.Cores)
+	demands := growFloats(sc.demands, cfg.Cores)
+	peaks := growFloats(sc.peaks, cfg.Cores)
+	sc.demands, sc.peaks = demands, peaks
 	stuckDraw := 0.0
 	for i := range perCore {
 		coreModel := cfg.ModelFor(i)
@@ -265,19 +325,20 @@ func (g *GE) Schedule(ctx *sched.Context) {
 		if g.opts.SpeedCap > 0 && g.opts.SpeedCap < maxSpeed {
 			maxSpeed = g.opts.SpeedCap
 		}
-		peak := yds.PeakSpeed(now, perCore[i])
+		peak := g.peakSpeed(now, perCore[i])
 		if peak > maxSpeed {
 			peak = maxSpeed
 		}
 		peaks[i] = peak
 		demands[i] = coreModel.Power(peak)
 	}
-	free := make([]int, 0, len(eligible))
+	free := sc.free[:0]
 	for _, i := range eligible {
 		if ctx.Server.Cores[i].StuckSpeed() <= 0 {
 			free = append(free, i)
 		}
 	}
+	sc.free = free
 	distributable := budget - stuckDraw
 	if distributable < 0 {
 		distributable = 0
@@ -288,12 +349,14 @@ func (g *GE) Schedule(ctx *sched.Context) {
 			Core: -1, Job: -1, Value: ctx.ArrivalRate, Flag: heavy})
 	}
 	g.lastHeavy, g.heavySet = heavy, true
-	compact := make([]float64, len(free))
+	compact := growFloats(sc.compact, len(free))
+	sc.compact = compact
 	for k, i := range free {
 		compact[k] = demands[i]
 	}
-	compactAlloc := dist.Distribute(g.opts.Dist, distributable, compact, heavy)
-	alloc := make([]float64, cfg.Cores)
+	compactAlloc := sc.filler.Distribute(g.opts.Dist, distributable, compact, heavy)
+	alloc := growFloats(sc.alloc, cfg.Cores)
+	sc.alloc = alloc
 	for k, i := range free {
 		alloc[i] = compactAlloc[k]
 	}
@@ -302,7 +365,8 @@ func (g *GE) Schedule(ctx *sched.Context) {
 	// ladder (paper §IV-A5), lowest allocation first.
 	var discSpeeds []float64
 	if cfg.Ladder != nil {
-		chosen := make([]float64, cfg.Cores)
+		chosen := growFloats(sc.chosen, cfg.Cores)
+		sc.chosen = chosen
 		for i := range chosen {
 			s := model.Speed(alloc[i])
 			if peaks[i] < s {
@@ -310,7 +374,7 @@ func (g *GE) Schedule(ctx *sched.Context) {
 			}
 			chosen[i] = model.Power(s)
 		}
-		discSpeeds, _ = dist.RectifyDiscrete(model, cfg.Ladder, budget, chosen)
+		discSpeeds, _ = sc.filler.RectifyDiscrete(model, cfg.Ladder, budget, chosen)
 	}
 
 	// 6. Per-core second cut + Energy-OPT plan. Dead cores keep an empty
@@ -332,36 +396,44 @@ func (g *GE) Schedule(ctx *sched.Context) {
 		if s := c.StuckSpeed(); s > 0 {
 			speedCap = s
 		}
+		// One EDF-sorted copy of the core's jobs serves the peak query,
+		// the Quality-OPT cut, and the plan layout. Stable-sorting a copy
+		// yields exactly the order the per-call sorts used to produce, so
+		// the schedule is bit-identical to the allocating path.
+		edf := append(sc.edf[:0], jobs...)
+		job.SortEDF(edf)
+		sc.edf = edf
+		entries := sc.entries[:0]
 		if speedCap <= 0 {
 			// No power granted: park the jobs; they expire at deadlines.
-			entries := make([]machine.Entry, len(jobs))
-			sortEDF(jobs)
-			for k, j := range jobs {
-				entries[k] = machine.Entry{Job: j, Speed: 0}
+			for _, j := range edf {
+				entries = append(entries, machine.Entry{Job: j, Speed: 0})
 			}
-			c.SetPlan(entries)
+			sc.entries = entries
+			c.SetPlan(entries) // SetPlan copies; entries stays reusable
 			continue
 		}
-		if yds.PeakSpeed(now, jobs) > speedCap*(1+1e-9) {
-			before := snapTargets(ctx, jobs)
-			qopt.Allocate(now, jobs, power.Rate(speedCap), cfg.Quality)
+		// snapTargets/emitCuts walk `jobs` (queue order), not `edf`: the
+		// emission order of EventJobCut within one trigger is part of the
+		// golden trace.
+		if yds.PeakSpeedEDF(now, edf) > speedCap*(1+1e-9) {
+			before := g.snapTargets(ctx, jobs)
+			_, sc.budgets = qopt.AllocateEDF(now, edf, power.Rate(speedCap), cfg.Quality, sc.budgets)
 			emitCuts(ctx, now, jobs, before)
 		}
-		var entries []machine.Entry
 		if cfg.Ladder != nil {
 			// Core-level constant discrete speed, EDF order.
-			sortEDF(jobs)
-			entries = make([]machine.Entry, len(jobs))
-			for k, j := range jobs {
-				entries[k] = machine.Entry{Job: j, Speed: speedCap}
+			for _, j := range edf {
+				entries = append(entries, machine.Entry{Job: j, Speed: speedCap})
 			}
 		} else {
-			plan := yds.PlanCommonRelease(now, jobs, speedCap)
-			entries = make([]machine.Entry, len(plan))
-			for k, a := range plan {
-				entries[k] = machine.Entry{Job: a.Job, Speed: a.Speed}
+			plan := yds.AppendPlanCommonRelease(sc.plan[:0], now, edf, speedCap)
+			sc.plan = plan
+			for _, a := range plan {
+				entries = append(entries, machine.Entry{Job: a.Job, Speed: a.Speed})
 			}
 		}
+		sc.entries = entries
 		c.SetPlan(entries)
 	}
 }
@@ -405,16 +477,30 @@ func (g *GE) monitoredQuality(ctx *sched.Context) float64 {
 // InAES reports the current mode (tests and diagnostics).
 func (g *GE) InAES() bool { return g.inAES }
 
-func sortEDF(jobs []*job.Job) { job.SortEDF(jobs) }
+// peakSpeed is yds.PeakSpeed via the scratch EDF buffer: copy, stable-sort,
+// query — no per-call allocation.
+func (g *GE) peakSpeed(now float64, jobs []*job.Job) float64 {
+	if len(jobs) == 0 {
+		return 0
+	}
+	edf := append(g.scratch.edf[:0], jobs...)
+	job.SortEDF(edf)
+	g.scratch.edf = edf
+	return yds.PeakSpeedEDF(now, edf)
+}
 
 // snapTargets records the jobs' targets before a cutting pass so the diffs
 // can be emitted as EventJobCut. Returns nil (and emitCuts no-ops) when no
-// observer is attached, keeping the hot path allocation-free.
-func snapTargets(ctx *sched.Context, jobs []*job.Job) []float64 {
+// observer is attached, keeping the hot path allocation-free. The returned
+// slice is GE-owned scratch: consume it (emitCuts) before the next snap.
+func (g *GE) snapTargets(ctx *sched.Context, jobs []*job.Job) []float64 {
 	if ctx.Observer == nil || len(jobs) == 0 {
 		return nil
 	}
-	ts := make([]float64, len(jobs))
+	if cap(g.scratch.snap) < len(jobs) {
+		g.scratch.snap = make([]float64, len(jobs))
+	}
+	ts := g.scratch.snap[:len(jobs)]
 	for i, j := range jobs {
 		ts[i] = j.Target
 	}

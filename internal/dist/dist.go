@@ -24,20 +24,59 @@ package dist
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"goodenough/internal/power"
 )
 
+// Filler owns the scratch buffers (sort pairs, allocation vectors) the
+// distribution policies need, so a scheduler distributing power every
+// trigger allocates nothing in steady state. Returned slices are owned by
+// the Filler and valid until its next call — copy them out to keep them.
+// A Filler is not goroutine-safe; give each scheduler its own (the zero
+// value is ready to use).
+type Filler struct {
+	pairs  []wfPair
+	order  []int
+	alloc  []float64
+	speeds []float64
+	draw   []float64
+}
+
+// wfPair is one core's (index, demand) for the water-filling sort.
+type wfPair struct {
+	idx    int
+	demand float64
+}
+
+// grow resizes f.alloc to m zeroed entries without reallocating once the
+// high-water mark is reached.
+func (f *Filler) grow(m int) []float64 {
+	if cap(f.alloc) < m {
+		f.alloc = make([]float64, m)
+	}
+	f.alloc = f.alloc[:m]
+	for i := range f.alloc {
+		f.alloc[i] = 0
+	}
+	return f.alloc
+}
+
 // EqualShare returns each of m cores' share of budget H: H/m each.
 func EqualShare(h float64, m int) []float64 {
+	var f Filler
+	return f.EqualShare(h, m)
+}
+
+// EqualShare is EqualShare on the Filler's reused buffer.
+func (f *Filler) EqualShare(h float64, m int) []float64 {
 	if m <= 0 {
 		return nil
 	}
 	if h < 0 {
 		h = 0
 	}
-	shares := make([]float64, m)
+	shares := f.grow(m)
 	per := h / float64(m)
 	for i := range shares {
 		shares[i] = per
@@ -53,23 +92,40 @@ func EqualShare(h float64, m int) []float64 {
 // matching the physical model where a core has no use for power beyond
 // what finishes its work at the required speed.
 func WaterFill(h float64, demands []float64) []float64 {
+	var f Filler
+	return f.WaterFill(h, demands)
+}
+
+// WaterFill is WaterFill on the Filler's reused buffers: the (index,
+// demand) pairs are sorted in scratch instead of a per-call allocation.
+// The arithmetic — level walk, split of the residual budget — is identical
+// to the stand-alone form, bit for bit.
+func (f *Filler) WaterFill(h float64, demands []float64) []float64 {
 	m := len(demands)
-	alloc := make([]float64, m)
+	alloc := f.grow(m)
 	if m == 0 || h <= 0 {
 		return alloc
 	}
-	type core struct {
-		idx    int
-		demand float64
-	}
-	cores := make([]core, m)
+	f.pairs = f.pairs[:0]
 	for i, d := range demands {
 		if d < 0 {
 			d = 0
 		}
-		cores[i] = core{idx: i, demand: d}
+		f.pairs = append(f.pairs, wfPair{idx: i, demand: d})
 	}
-	sort.SliceStable(cores, func(a, b int) bool { return cores[a].demand < cores[b].demand })
+	cores := f.pairs
+	// Stable: equal demands keep index order, like the original
+	// sort.SliceStable this replaces.
+	slices.SortStableFunc(cores, func(a, b wfPair) int {
+		switch {
+		case a.demand < b.demand:
+			return -1
+		case a.demand > b.demand:
+			return 1
+		default:
+			return 0
+		}
+	})
 
 	remaining := h
 	for i := 0; i < m; i++ {
@@ -135,8 +191,14 @@ func (p Policy) String() string {
 // Proportional splits H proportionally to the demands. Zero total demand
 // falls back to equal sharing.
 func Proportional(h float64, demands []float64) []float64 {
+	var f Filler
+	return f.Proportional(h, demands)
+}
+
+// Proportional is Proportional on the Filler's reused buffer.
+func (f *Filler) Proportional(h float64, demands []float64) []float64 {
 	m := len(demands)
-	alloc := make([]float64, m)
+	alloc := f.grow(m)
 	if m == 0 || h <= 0 {
 		return alloc
 	}
@@ -147,7 +209,7 @@ func Proportional(h float64, demands []float64) []float64 {
 		}
 	}
 	if total <= 0 {
-		return EqualShare(h, m)
+		return f.EqualShare(h, m)
 	}
 	for i, d := range demands {
 		if d > 0 {
@@ -160,18 +222,24 @@ func Proportional(h float64, demands []float64) []float64 {
 // Distribute applies the policy. `heavy` tells Hybrid which regime the
 // system is in (load >= critical load).
 func Distribute(p Policy, h float64, demands []float64, heavy bool) []float64 {
+	var f Filler
+	return f.Distribute(p, h, demands, heavy)
+}
+
+// Distribute is Distribute on the Filler's reused buffers.
+func (f *Filler) Distribute(p Policy, h float64, demands []float64, heavy bool) []float64 {
 	switch p {
 	case PolicyES:
-		return EqualShare(h, len(demands))
+		return f.EqualShare(h, len(demands))
 	case PolicyWF:
-		return WaterFill(h, demands)
+		return f.WaterFill(h, demands)
 	case PolicyProportional:
-		return Proportional(h, demands)
+		return f.Proportional(h, demands)
 	case PolicyHybrid:
 		if heavy {
-			return WaterFill(h, demands)
+			return f.WaterFill(h, demands)
 		}
-		return EqualShare(h, len(demands))
+		return f.EqualShare(h, len(demands))
 	default:
 		panic(fmt.Sprintf("dist: unknown policy %d", int(p)))
 	}
@@ -184,9 +252,23 @@ func Distribute(p Policy, h float64, demands []float64, heavy bool) []float64 {
 // it, otherwise the next lower level. Cores with zero allocation stay
 // idle. It returns the chosen speeds (GHz) and the implied power draw.
 func RectifyDiscrete(model power.Model, ladder *power.Ladder, h float64, alloc []float64) (speeds, draw []float64) {
+	var f Filler
+	return f.RectifyDiscrete(model, ladder, h, alloc)
+}
+
+// RectifyDiscrete is RectifyDiscrete on the Filler's reused buffers: the
+// visiting order is sorted in scratch and the speed/draw vectors are
+// reused across calls.
+func (f *Filler) RectifyDiscrete(model power.Model, ladder *power.Ladder, h float64, alloc []float64) (speeds, draw []float64) {
 	m := len(alloc)
-	speeds = make([]float64, m)
-	draw = make([]float64, m)
+	if cap(f.speeds) < m {
+		f.speeds = make([]float64, m)
+		f.draw = make([]float64, m)
+	}
+	speeds, draw = f.speeds[:m], f.draw[:m]
+	for i := range speeds {
+		speeds[i], draw[i] = 0, 0
+	}
 	if ladder == nil || m == 0 {
 		for i, p := range alloc {
 			speeds[i] = model.Speed(p)
@@ -194,11 +276,23 @@ func RectifyDiscrete(model power.Model, ladder *power.Ladder, h float64, alloc [
 		}
 		return speeds, draw
 	}
-	order := make([]int, m)
-	for i := range order {
-		order[i] = i
+	f.order = f.order[:0]
+	for i := 0; i < m; i++ {
+		f.order = append(f.order, i)
 	}
-	sort.SliceStable(order, func(a, b int) bool { return alloc[order[a]] < alloc[order[b]] })
+	order := f.order
+	// Stable: equal allocations visit in core order, like the original
+	// sort.SliceStable this replaces.
+	slices.SortStableFunc(order, func(a, b int) int {
+		switch {
+		case alloc[a] < alloc[b]:
+			return -1
+		case alloc[a] > alloc[b]:
+			return 1
+		default:
+			return 0
+		}
+	})
 
 	used := 0.0
 	for _, idx := range order {

@@ -8,7 +8,7 @@ package job
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // State tracks a job's position in its lifecycle.
@@ -176,48 +176,73 @@ func (j *Job) String() string {
 		j.ID, j.Release, j.Deadline, j.Demand, j.Target, j.Processed, j.State)
 }
 
+// The comparators below are total orders (unique IDs break every tie), so
+// a stable sort and an unstable one agree; SortStableFunc is used because
+// it sorts in place with a static comparator — no closure or interface
+// allocations, unlike sort.SliceStable.
+
+// CompareEDF orders by deadline, breaking ties by release then ID.
+func CompareEDF(a, b *Job) int {
+	switch {
+	case a.Deadline < b.Deadline:
+		return -1
+	case a.Deadline > b.Deadline:
+		return 1
+	case a.Release < b.Release:
+		return -1
+	case a.Release > b.Release:
+		return 1
+	default:
+		return a.ID - b.ID
+	}
+}
+
 // SortEDF orders jobs by deadline, breaking ties by release then ID. This
 // is the execution order on every core (paper: EDF, non-preemptive).
 func SortEDF(jobs []*Job) {
-	sort.SliceStable(jobs, func(a, b int) bool {
-		if jobs[a].Deadline != jobs[b].Deadline {
-			return jobs[a].Deadline < jobs[b].Deadline
-		}
-		if jobs[a].Release != jobs[b].Release {
-			return jobs[a].Release < jobs[b].Release
-		}
-		return jobs[a].ID < jobs[b].ID
-	})
+	slices.SortStableFunc(jobs, CompareEDF)
 }
 
 // SortByRelease orders jobs by arrival (FCFS order).
 func SortByRelease(jobs []*Job) {
-	sort.SliceStable(jobs, func(a, b int) bool {
-		if jobs[a].Release != jobs[b].Release {
-			return jobs[a].Release < jobs[b].Release
+	slices.SortStableFunc(jobs, func(a, b *Job) int {
+		switch {
+		case a.Release < b.Release:
+			return -1
+		case a.Release > b.Release:
+			return 1
+		default:
+			return a.ID - b.ID
 		}
-		return jobs[a].ID < jobs[b].ID
 	})
 }
 
 // SortByDemandDesc orders jobs longest-first (LJF order and the LF cutting
 // order).
 func SortByDemandDesc(jobs []*Job) {
-	sort.SliceStable(jobs, func(a, b int) bool {
-		if jobs[a].Demand != jobs[b].Demand {
-			return jobs[a].Demand > jobs[b].Demand
+	slices.SortStableFunc(jobs, func(a, b *Job) int {
+		switch {
+		case a.Demand > b.Demand:
+			return -1
+		case a.Demand < b.Demand:
+			return 1
+		default:
+			return a.ID - b.ID
 		}
-		return jobs[a].ID < jobs[b].ID
 	})
 }
 
 // SortByDemandAsc orders jobs shortest-first (SJF order).
 func SortByDemandAsc(jobs []*Job) {
-	sort.SliceStable(jobs, func(a, b int) bool {
-		if jobs[a].Demand != jobs[b].Demand {
-			return jobs[a].Demand < jobs[b].Demand
+	slices.SortStableFunc(jobs, func(a, b *Job) int {
+		switch {
+		case a.Demand < b.Demand:
+			return -1
+		case a.Demand > b.Demand:
+			return 1
+		default:
+			return a.ID - b.ID
 		}
-		return jobs[a].ID < jobs[b].ID
 	})
 }
 
@@ -250,11 +275,26 @@ func (q *FIFO) Push(j *Job) { q.jobs = append(q.jobs, j) }
 // Len returns the number of queued jobs.
 func (q *FIFO) Len() int { return len(q.jobs) }
 
-// Drain removes and returns all queued jobs in arrival order.
+// Drain removes and returns all queued jobs in arrival order. The queue
+// gives up its backing array; callers on a hot path should prefer
+// AppendDrain, which keeps it.
 func (q *FIFO) Drain() []*Job {
 	out := q.jobs
 	q.jobs = nil
 	return out
+}
+
+// AppendDrain appends every queued job to dst in arrival order, empties the
+// queue, and returns the extended slice. Unlike Drain, the queue keeps its
+// backing array, so alternating AppendDrain/Push cycles stop allocating
+// once both slices reach their high-water marks.
+func (q *FIFO) AppendDrain(dst []*Job) []*Job {
+	dst = append(dst, q.jobs...)
+	for i := range q.jobs {
+		q.jobs[i] = nil
+	}
+	q.jobs = q.jobs[:0]
+	return dst
 }
 
 // Peek returns the queued jobs without removing them. The caller must not
@@ -265,6 +305,31 @@ func (q *FIFO) Peek() []*Job { return q.jobs }
 func (q *FIFO) PopWhere(pred func(*Job) bool) *Job {
 	for i, j := range q.jobs {
 		if pred(j) {
+			q.jobs = append(q.jobs[:i], q.jobs[i+1:]...)
+			return j
+		}
+	}
+	return nil
+}
+
+// PopJob removes and returns the given job if it is queued, or nil. It is
+// PopWhere specialized to pointer identity so hot callers need no closure.
+func (q *FIFO) PopJob(target *Job) *Job {
+	for i, j := range q.jobs {
+		if j == target {
+			q.jobs = append(q.jobs[:i], q.jobs[i+1:]...)
+			return j
+		}
+	}
+	return nil
+}
+
+// PopExpired removes and returns the first job whose deadline has passed at
+// time t, or nil. It is PopWhere specialized for the runner's expiry sweep,
+// which runs on every delivered event and must not allocate.
+func (q *FIFO) PopExpired(t float64) *Job {
+	for i, j := range q.jobs {
+		if j.Expired(t) {
 			q.jobs = append(q.jobs[:i], q.jobs[i+1:]...)
 			return j
 		}

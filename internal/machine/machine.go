@@ -127,6 +127,16 @@ func (c *Core) Queue() []*job.Job {
 	return out
 }
 
+// AppendQueue appends the planned jobs to dst in plan order and returns the
+// extended slice — the allocation-free form of Queue for hot callers that
+// own a reusable buffer.
+func (c *Core) AppendQueue(dst []*job.Job) []*job.Job {
+	for _, e := range c.entries {
+		dst = append(dst, e.Job)
+	}
+	return dst
+}
+
 // QueueLen returns the number of planned jobs.
 func (c *Core) QueueLen() int { return len(c.entries) }
 
@@ -547,6 +557,15 @@ func (s *Server) Loads() []float64 {
 		loads[i] = c.Load()
 	}
 	return loads
+}
+
+// AppendLoads appends each core's remaining work to dst and returns the
+// extended slice — the allocation-free form of Loads.
+func (s *Server) AppendLoads(dst []float64) []float64 {
+	for _, c := range s.Cores {
+		dst = append(dst, c.Load())
+	}
+	return dst
 }
 
 // TotalLoad sums the per-core remaining work.

@@ -58,9 +58,17 @@ func (m Model) Validate() error {
 
 // Power returns the dynamic power in watts drawn by a core at speed s GHz.
 // The static term is NOT included; use TotalPower for that.
+//
+// The Beta == 2 fast path is bit-identical to math.Pow: Pow's integer-
+// exponent path computes the square with one correctly-rounded
+// multiplication, exactly like s*s, so the paper-default quadratic model
+// skips the general pow machinery without perturbing a single ULP.
 func (m Model) Power(s float64) float64 {
 	if s <= 0 {
 		return 0
+	}
+	if m.Beta == 2 {
+		return m.A * (s * s)
 	}
 	return m.A * math.Pow(s, m.Beta)
 }
@@ -70,11 +78,19 @@ func (m Model) TotalPower(s float64) float64 { return m.Power(s) + m.Static }
 
 // Speed returns the highest speed in GHz sustainable within a dynamic power
 // allowance of p watts, respecting MaxSpeed when set.
+//
+// The Beta == 2 fast path is bit-identical to the general form because
+// math.Pow(x, 0.5) is specified (and implemented) as math.Sqrt(x).
 func (m Model) Speed(p float64) float64 {
 	if p <= 0 {
 		return 0
 	}
-	s := math.Pow(p/m.A, 1/m.Beta)
+	var s float64
+	if m.Beta == 2 {
+		s = math.Sqrt(p / m.A)
+	} else {
+		s = math.Pow(p/m.A, 1/m.Beta)
+	}
 	if m.MaxSpeed > 0 && s > m.MaxSpeed {
 		s = m.MaxSpeed
 	}

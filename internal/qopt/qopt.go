@@ -41,16 +41,31 @@ func Allocate(now float64, jobs []*job.Job, rate float64, f quality.Function) fl
 	}
 	sorted := append([]*job.Job(nil), jobs...)
 	job.SortEDF(sorted)
+	total, _ := AllocateEDF(now, sorted, rate, f, nil)
+	return total
+}
 
+// AllocateEDF is Allocate for jobs already in EDF order (job.SortEDF),
+// using scratch as the prefix-budget buffer. It returns the total work
+// scheduled and the (possibly grown) scratch slice for the caller to hold
+// on to — passing it back next call makes steady-state allocation zero.
+// The job order is read, never mutated; budgets are consumed in place.
+func AllocateEDF(now float64, sorted []*job.Job, rate float64, f quality.Function, scratch []float64) (float64, []float64) {
+	if len(sorted) == 0 {
+		return 0, scratch
+	}
 	if rate <= 0 {
 		for _, j := range sorted {
 			j.SetTarget(j.Processed)
 		}
-		return 0
+		return 0, scratch
 	}
 
 	// Prefix budgets in units of *additional* work.
-	budgets := make([]float64, len(sorted))
+	if cap(scratch) < len(sorted) {
+		scratch = make([]float64, len(sorted))
+	}
+	budgets := scratch[:len(sorted)]
 	for k, j := range sorted {
 		w := j.Deadline - now
 		if w < 0 {
@@ -67,7 +82,7 @@ func Allocate(now float64, jobs []*job.Job, rate float64, f quality.Function) fl
 
 	total := 0.0
 	allocateSegment(sorted, budgets, f, &total)
-	return total
+	return total, scratch
 }
 
 // allocateSegment solves the nested-constraint water-fill recursively:

@@ -38,6 +38,14 @@ type Function interface {
 }
 
 // Exponential is the paper's Eq. 1 quality function.
+//
+// Performance contract: Value/Inverse sit on the scheduler's per-trigger
+// hot path (one evaluation per job per cutting pass), so the normalizer
+// 1 − e^{−C·XMax} is computed once at construction and cached in norm —
+// every Value call costs a single exp. The other per-trigger invariant,
+// the batch denominator Σf(p_j), is memoized one level up by cut.Cutter,
+// which evaluates f once per job and reuses the values across the level
+// walk, the uncut tail, and the achieved-quality sum.
 type Exponential struct {
 	// C is the concavity multiplier (paper default 0.003). Larger C makes
 	// early units of work more valuable.

@@ -22,7 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"goodenough/internal/faults"
 	"goodenough/internal/job"
@@ -309,6 +309,13 @@ type Runner struct {
 	queueExpired int64
 	responses    []float64 // completed jobs' response times
 
+	// nextArrival is the one job whose KindArrival event is outstanding —
+	// the kernel carries no payloads, so the runner holds the pointer.
+	nextArrival *job.Job
+	// faultEvents is the materialized fault schedule; KindCoreFail etc.
+	// events carry an index (sim.Event.Ref) into this table.
+	faultEvents []faults.Event
+
 	// Fault accounting.
 	requeued int64
 	shed     int64
@@ -323,8 +330,17 @@ type Runner struct {
 	aesEnergy    float64
 	bqEnergy     float64
 
-	// Per-core pending idle events (cancel-on-replan).
-	idleEvents []*sim.Event
+	// Per-core pending idle events (cancel-on-replan); 0 means none.
+	idleEvents []sim.EventID
+
+	// pctx is the Context handed to the policy, reused across triggers so
+	// the per-quantum path allocates nothing; shedCands is the shedLoad
+	// scratch. Policies must not retain the Context past Schedule.
+	pctx      Context
+	shedCands []shedCandidate
+	// finalizeFn is the bound finalize method, captured once — taking
+	// r.finalize as a value allocates a closure every time otherwise.
+	finalizeFn machine.FinalizeFunc
 
 	lastEventTime float64
 
@@ -424,9 +440,10 @@ func newRunner(cfg Config, policy Policy, src workload.Source) (*Runner, error) 
 		gen:        src,
 		server:     server,
 		acc:        quality.NewAccumulator(cfg.Quality),
-		idleEvents: make([]*sim.Event, cfg.Cores),
+		idleEvents: make([]sim.EventID, cfg.Cores),
 	}
 	server.SetBudget(cfg.PowerBudget)
+	r.finalizeFn = r.finalize
 	r.engine = sim.NewEngine(r.handle)
 	return r, nil
 }
@@ -440,15 +457,16 @@ func (r *Runner) Run() (Result, error) {
 	if err := r.scheduleNextArrival(); err != nil {
 		return Result{}, err
 	}
-	if _, err := r.engine.Schedule(r.cfg.QuantumSec, sim.KindQuantum, nil); err != nil {
+	if _, err := r.engine.Schedule(r.cfg.QuantumSec, sim.KindQuantum); err != nil {
 		return Result{}, err
 	}
-	for _, fe := range r.cfg.Faults.Events() {
+	r.faultEvents = r.cfg.Faults.Events()
+	for i, fe := range r.faultEvents {
 		kind, ok := simFaultKind(fe.Kind)
 		if !ok {
 			return Result{}, fmt.Errorf("sched: fault schedule has unmapped kind %v", fe.Kind)
 		}
-		if _, err := r.engine.ScheduleWithPriority(fe.At, kind, fe, -1); err != nil {
+		if _, err := r.engine.ScheduleWithPriority(fe.At, kind, i, -1); err != nil {
 			return Result{}, err
 		}
 	}
@@ -527,7 +545,7 @@ func (r *Runner) handle(e *sim.Event) error {
 	// Bring the machine to the present; completions/expiries feed the
 	// quality monitor. Energy consumed over the advanced interval belongs
 	// to the mode that was active while it ran.
-	if err := r.server.Advance(now, r.finalize); err != nil {
+	if err := r.server.Advance(now, r.finalizeFn); err != nil {
 		return err
 	}
 	if delta := r.server.Energy() - r.lastEnergy; delta > 0 {
@@ -543,14 +561,15 @@ func (r *Runner) handle(e *sim.Event) error {
 
 	switch e.Kind {
 	case sim.KindArrival:
-		j := e.Payload.(*job.Job)
+		j := r.nextArrival
+		r.nextArrival = nil
 		r.wait.Push(j)
 		r.jobs++
 		r.noteArrival(now)
 		obs.Emit(r.obs, obs.Event{Time: now, Type: obs.EventJobArrive,
 			Core: -1, Job: j.ID, Value: j.Demand, Aux: j.Deadline})
 		// Every job gets a deadline event so expiry is observed promptly.
-		if _, err := r.engine.Schedule(j.Deadline, sim.KindDeadline, j); err != nil {
+		if _, err := r.engine.Schedule(j.Deadline, sim.KindDeadline); err != nil {
 			return err
 		}
 		if err := r.scheduleNextArrival(); err != nil {
@@ -565,14 +584,14 @@ func (r *Runner) handle(e *sim.Event) error {
 	case sim.KindQuantum:
 		r.invoke(now, TriggerQuantum)
 		if !r.finished() {
-			if _, err := r.engine.Schedule(now+r.cfg.QuantumSec, sim.KindQuantum, nil); err != nil {
+			if _, err := r.engine.Schedule(now+r.cfg.QuantumSec, sim.KindQuantum); err != nil {
 				return err
 			}
 		}
 
 	case sim.KindCoreIdle:
-		core := e.Payload.(int)
-		r.idleEvents[core] = nil
+		core := e.Core
+		r.idleEvents[core] = 0
 		if r.server.Cores[core].Idle() && r.server.Cores[core].Healthy() {
 			r.invoke(now, TriggerIdleCore)
 		}
@@ -582,13 +601,13 @@ func (r *Runner) handle(e *sim.Event) error {
 		// due; nothing further. The event exists to make expiry timely.
 
 	case sim.KindCoreFail:
-		fe := e.Payload.(faults.Event)
+		fe := r.faultEvents[e.Ref]
 		obs.Emit(r.obs, fe.Obs())
 		r.failCore(now, fe.Core)
 		r.invoke(now, TriggerFault)
 
 	case sim.KindCoreRecover:
-		fe := e.Payload.(faults.Event)
+		fe := r.faultEvents[e.Ref]
 		obs.Emit(r.obs, fe.Obs())
 		if fe.Core >= 0 && fe.Core < len(r.server.Cores) {
 			r.server.Cores[fe.Core].Recover(now)
@@ -596,7 +615,7 @@ func (r *Runner) handle(e *sim.Event) error {
 		r.invoke(now, TriggerFault)
 
 	case sim.KindBudgetChange:
-		fe := e.Payload.(faults.Event)
+		fe := r.faultEvents[e.Ref]
 		fev := fe.Obs()
 		if fe.Kind == faults.BudgetCap {
 			r.server.SetBudget(fe.Watts)
@@ -608,7 +627,7 @@ func (r *Runner) handle(e *sim.Event) error {
 		r.invoke(now, TriggerFault)
 
 	case sim.KindSpeedStuck:
-		fe := e.Payload.(faults.Event)
+		fe := r.faultEvents[e.Ref]
 		obs.Emit(r.obs, fe.Obs())
 		if fe.Core >= 0 && fe.Core < len(r.server.Cores) {
 			r.server.Cores[fe.Core].SetStuck(fe.Speed)
@@ -616,7 +635,7 @@ func (r *Runner) handle(e *sim.Event) error {
 		r.invoke(now, TriggerFault)
 
 	case sim.KindSpeedFree:
-		fe := e.Payload.(faults.Event)
+		fe := r.faultEvents[e.Ref]
 		obs.Emit(r.obs, fe.Obs())
 		if fe.Core >= 0 && fe.Core < len(r.server.Cores) {
 			r.server.Cores[fe.Core].SetStuck(0)
@@ -641,9 +660,9 @@ func (r *Runner) failCore(now float64, core int) {
 		return
 	}
 	orphans := c.Fail(now)
-	if ev := r.idleEvents[core]; ev != nil {
-		r.engine.Cancel(ev)
-		r.idleEvents[core] = nil
+	if id := r.idleEvents[core]; id != 0 {
+		r.engine.Cancel(id)
+		r.idleEvents[core] = 0
 	}
 	for _, e := range orphans {
 		j := e.Job
@@ -676,7 +695,7 @@ func (r *Runner) invoke(now float64, trig Trigger) {
 	}
 	obs.Emit(r.obs, obs.Event{Time: now, Type: obs.EventBatch, Core: -1, Job: -1,
 		Value: float64(r.wait.Len()), Aux: float64(trig)})
-	ctx := &Context{
+	r.pctx = Context{
 		Now:         now,
 		Trigger:     trig,
 		Cfg:         &r.cfg,
@@ -685,11 +704,11 @@ func (r *Runner) invoke(now float64, trig Trigger) {
 		Waiting:     &r.wait,
 		Monitor:     r.acc,
 		ArrivalRate: r.estimateRate(now),
-		Finalize:    r.finalize,
+		Finalize:    r.finalizeFn,
 		Observer:    r.obs,
 		runner:      r,
 	}
-	r.policy.Schedule(ctx)
+	r.policy.Schedule(&r.pctx)
 	r.refreshIdleEvents(now)
 }
 
@@ -700,6 +719,13 @@ func (r *Runner) degraded() bool {
 		return true
 	}
 	return r.server.Healthy() < len(r.server.Cores)
+}
+
+// shedCandidate pairs a waiting job with its marginal quality for the
+// shedLoad ordering.
+type shedCandidate struct {
+	j        *job.Job
+	marginal float64
 }
 
 // shedLoad is the graceful-degradation admission control: when the
@@ -749,31 +775,37 @@ func (r *Runner) shedLoad(now float64) {
 	}
 	// Shed lowest marginal quality first: the quality the job would add if
 	// fully served, per unit of required rate. Ties break by ID so equal
-	// runs shed identically.
-	type candidate struct {
-		j        *job.Job
-		marginal float64
-	}
-	cands := make([]candidate, 0, len(waiting))
+	// runs shed identically. The candidate buffer is Runner-owned scratch
+	// so repeated degraded-mode triggers don't allocate.
+	cands := r.shedCands[:0]
 	for _, j := range waiting {
 		req := rate(j)
 		m := 0.0
 		if !math.IsInf(req, 1) && req > 0 {
 			m = r.cfg.Quality.Value(j.Target) / req
 		}
-		cands = append(cands, candidate{j: j, marginal: m})
+		cands = append(cands, shedCandidate{j: j, marginal: m})
 	}
-	sort.SliceStable(cands, func(a, b int) bool {
-		if cands[a].marginal != cands[b].marginal {
-			return cands[a].marginal < cands[b].marginal
+	r.shedCands = cands
+	slices.SortStableFunc(cands, func(a, b shedCandidate) int {
+		switch {
+		case a.marginal < b.marginal:
+			return -1
+		case a.marginal > b.marginal:
+			return 1
+		case a.j.ID < b.j.ID:
+			return -1
+		case a.j.ID > b.j.ID:
+			return 1
+		default:
+			return 0
 		}
-		return cands[a].j.ID < cands[b].j.ID
 	})
 	for _, c := range cands {
 		if need <= capacity {
 			break
 		}
-		j := r.wait.PopWhere(func(x *job.Job) bool { return x == c.j })
+		j := r.wait.PopJob(c.j)
 		if j == nil {
 			continue
 		}
@@ -809,7 +841,7 @@ func (r *Runner) finalize(j *job.Job, reason machine.Reason) {
 // ever being assigned — pure quality loss.
 func (r *Runner) expireWaiting(now float64) {
 	for {
-		j := r.wait.PopWhere(func(j *job.Job) bool { return j.Expired(now) })
+		j := r.wait.PopExpired(now)
 		if j == nil {
 			return
 		}
@@ -831,11 +863,14 @@ func (r *Runner) scheduleNextArrival() error {
 		r.genDone = true
 		return nil
 	}
-	if _, err := r.engine.Schedule(j.Release, sim.KindArrival, j); err != nil {
+	if _, err := r.engine.Schedule(j.Release, sim.KindArrival); err != nil {
 		// A malformed source emitted an out-of-order release; surface it
 		// as a diagnosable error instead of crashing the process.
 		return fmt.Errorf("sched: job source emitted job %d out of order: %w", j.ID, err)
 	}
+	// At most one arrival event is ever outstanding, so the runner holds
+	// the job itself; the handler picks it up when the event fires.
+	r.nextArrival = j
 	return nil
 }
 
@@ -866,9 +901,9 @@ func (r *Runner) anyIdleCore() bool {
 // projected drain time. Failed cores have no plan and get no events.
 func (r *Runner) refreshIdleEvents(now float64) {
 	for i, c := range r.server.Cores {
-		if ev := r.idleEvents[i]; ev != nil {
-			r.engine.Cancel(ev)
-			r.idleEvents[i] = nil
+		if id := r.idleEvents[i]; id != 0 {
+			r.engine.Cancel(id)
+			r.idleEvents[i] = 0
 		}
 		if c.Idle() || !c.Healthy() {
 			continue
@@ -879,9 +914,9 @@ func (r *Runner) refreshIdleEvents(now float64) {
 		}
 		// Tiny epsilon so the advance at the event time crosses the
 		// completion boundary.
-		ev, err := r.engine.Schedule(at+1e-9, sim.KindCoreIdle, i)
+		id, err := r.engine.ScheduleCore(at+1e-9, sim.KindCoreIdle, i)
 		if err == nil {
-			r.idleEvents[i] = ev
+			r.idleEvents[i] = id
 		}
 	}
 }
@@ -933,6 +968,11 @@ func (r *Runner) setMode(now float64, aes bool) {
 
 // Monitor exposes the quality accumulator for tests.
 func (r *Runner) Monitor() *quality.Accumulator { return r.acc }
+
+// EventsProcessed reports how many kernel events the run delivered —
+// the numerator of the events/sec throughput metric in the benchmark
+// suite (scripts/bench_baseline.sh).
+func (r *Runner) EventsProcessed() int64 { return r.engine.Processed }
 
 // Server exposes the machine for tests.
 func (r *Runner) Server() *machine.Server { return r.server }

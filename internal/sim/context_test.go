@@ -18,12 +18,12 @@ func TestContextCancelStopsRun(t *testing.T) {
 			cancel()
 		}
 		// Keep the queue alive forever: self-perpetuating ticks.
-		_, err := e.Schedule(ev.Time+1, KindQuantum, nil)
+		_, err := e.Schedule(ev.Time+1, KindQuantum)
 		return err
 	})
 	e.SetContext(ctx)
 	for i := 0; i < 4; i++ {
-		if _, err := e.Schedule(float64(i), KindQuantum, nil); err != nil {
+		if _, err := e.Schedule(float64(i), KindQuantum); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -47,7 +47,7 @@ func TestContextPreCancelled(t *testing.T) {
 		return nil
 	})
 	e.SetContext(ctx)
-	if _, err := e.Schedule(0, KindQuantum, nil); err != nil {
+	if _, err := e.Schedule(0, KindQuantum); err != nil {
 		t.Fatal(err)
 	}
 	if err := e.Run(); !errors.Is(err, context.Canceled) {
@@ -64,7 +64,7 @@ func TestNilContextUnchanged(t *testing.T) {
 	n := 0
 	e := NewEngine(func(ev *Event) error { n++; return nil })
 	for i := 0; i < 5; i++ {
-		if _, err := e.Schedule(float64(i), KindQuantum, nil); err != nil {
+		if _, err := e.Schedule(float64(i), KindQuantum); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -1,0 +1,236 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// This file checks the index-addressable 4-ary heap against an independent
+// reference model built on container/heap — the implementation the kernel
+// replaced. Both sides receive the identical operation stream (schedule,
+// cancel, deliver) and must produce the identical delivery sequence under
+// the (time, priority, seq) total order. The fuzz target explores
+// cancel-heavy interleavings; TestKernelVsReferenceRandom replays fixed
+// pseudorandom streams on every plain `go test` run.
+
+// refEvent mirrors one scheduled event in the reference model.
+type refEvent struct {
+	time      float64
+	priority  int
+	seq       uint64
+	kind      Kind
+	core      int
+	cancelled bool
+}
+
+// refHeap is a container/heap min-heap over (time, priority, seq).
+type refHeap []*refEvent
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	if h[i].priority != h[j].priority {
+		return h[i].priority < h[j].priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)        { *h = append(*h, x.(*refEvent)) }
+func (h *refHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// kernelHarness drives an Engine and the reference model in lockstep.
+type kernelHarness struct {
+	t    *testing.T
+	eng  *Engine
+	ref  refHeap
+	live []struct {
+		id EventID
+		ev *refEvent
+	}
+	seq       uint64
+	delivered Event // engine handler output, consumed by step()
+	gotEvent  bool
+}
+
+func newKernelHarness(t *testing.T) *kernelHarness {
+	h := &kernelHarness{t: t}
+	h.eng = NewEngine(func(e *Event) error {
+		h.delivered = *e
+		h.gotEvent = true
+		return nil
+	})
+	return h
+}
+
+// schedule adds one event to both sides. A negative priority argument means
+// "use the kind default", matching Schedule/ScheduleCore.
+func (h *kernelHarness) schedule(dt float64, kind Kind, core, priority int) {
+	t := h.eng.Now() + dt
+	var id EventID
+	var err error
+	prio := priority
+	if priority < 0 {
+		prio = int(kind)
+		if core >= 0 {
+			id, err = h.eng.ScheduleCore(t, kind, core)
+		} else {
+			core = -1 // plain Schedule carries no core payload
+			id, err = h.eng.Schedule(t, kind)
+		}
+	} else {
+		core = -1 // ScheduleWithPriority carries a ref, not a core
+		id, err = h.eng.ScheduleWithPriority(t, kind, -1, priority)
+	}
+	if err != nil {
+		h.t.Fatalf("schedule(%v, %v): %v", t, kind, err)
+	}
+	ev := &refEvent{time: t, priority: prio, seq: h.seq, kind: kind, core: core}
+	h.seq++
+	heap.Push(&h.ref, ev)
+	h.live = append(h.live, struct {
+		id EventID
+		ev *refEvent
+	}{id, ev})
+}
+
+// cancel removes live entry k from both sides.
+func (h *kernelHarness) cancel(k int) {
+	entry := h.live[k]
+	if !h.eng.Cancel(entry.id) {
+		h.t.Fatalf("Cancel(%v) of a live event returned false", entry.id)
+	}
+	if h.eng.Cancel(entry.id) {
+		h.t.Fatalf("double Cancel(%v) returned true", entry.id)
+	}
+	entry.ev.cancelled = true
+	h.live = append(h.live[:k], h.live[k+1:]...)
+}
+
+// step delivers one event on both sides and compares them.
+func (h *kernelHarness) step() {
+	// Drop lazily-deleted reference events.
+	for len(h.ref) > 0 && h.ref[0].cancelled {
+		heap.Pop(&h.ref)
+	}
+	if len(h.ref) == 0 {
+		if h.eng.Pending() != 0 {
+			h.t.Fatalf("reference empty but engine has %d pending", h.eng.Pending())
+		}
+		return
+	}
+	want := heap.Pop(&h.ref).(*refEvent)
+	h.gotEvent = false
+	more, err := h.eng.Step()
+	if err != nil {
+		h.t.Fatalf("Step: %v", err)
+	}
+	_ = more
+	if !h.gotEvent {
+		h.t.Fatalf("reference delivers (t=%v kind=%v) but engine delivered nothing", want.time, want.kind)
+	}
+	got := h.delivered
+	if got.Time != want.time || got.Kind != want.kind || got.Core != want.core {
+		h.t.Fatalf("delivery mismatch: engine (t=%v kind=%v core=%d), reference (t=%v kind=%v core=%d, seq=%d)",
+			got.Time, got.Kind, got.Core, want.time, want.kind, want.core, want.seq)
+	}
+	// Retire the delivered event from the live set; its handle must now be
+	// stale on the engine side too.
+	for k, entry := range h.live {
+		if entry.ev == want {
+			if h.eng.Cancel(entry.id) {
+				h.t.Fatalf("Cancel of already-delivered event %v returned true", entry.id)
+			}
+			h.live = append(h.live[:k], h.live[k+1:]...)
+			break
+		}
+	}
+}
+
+func (h *kernelHarness) liveCount() int {
+	return len(h.live)
+}
+
+// run interprets a byte stream as an operation program. The op mix is
+// deliberately cancel-heavy (2 schedule : 2 cancel : 2 step in expectation,
+// with cancel falling through to step when nothing is live) because
+// cancellation is where slot reuse, swap-removal, and generation tagging
+// can go wrong.
+func runKernelProgram(t *testing.T, data []byte) {
+	h := newKernelHarness(t)
+	kinds := []Kind{KindArrival, KindDeadline, KindCoreIdle, KindQuantum, KindUser}
+	i := 0
+	next := func() byte {
+		if i >= len(data) {
+			return 0
+		}
+		b := data[i]
+		i++
+		return b
+	}
+	for i < len(data) {
+		op := next() % 6
+		switch {
+		case op < 2: // schedule
+			dt := float64(next()%64) * 0.125
+			kind := kinds[int(next())%len(kinds)]
+			core := int(next()%8) - 1 // -1 means plain Schedule
+			priority := -1
+			if next()%4 == 0 {
+				priority = int(next()%16) - 8
+			}
+			h.schedule(dt, kind, core, priority)
+		case op < 4: // cancel a live event, else fall through to step
+			if n := h.liveCount(); n > 0 {
+				h.cancel(int(next()) % n)
+			} else {
+				h.step()
+			}
+		default:
+			h.step()
+		}
+	}
+	// Drain: every remaining event must come out in the reference order.
+	for h.liveCount() > 0 {
+		h.step()
+	}
+	if h.eng.Pending() != 0 {
+		t.Fatalf("drained reference but engine still has %d pending", h.eng.Pending())
+	}
+}
+
+// FuzzKernelVsReference is the fuzz entry point: any byte string is a valid
+// program, and the engine must agree with container/heap on all of them.
+func FuzzKernelVsReference(f *testing.F) {
+	f.Add([]byte{0, 8, 1, 2, 4, 0, 16, 3, 0, 2, 5, 5})
+	f.Add([]byte{0, 0, 0, 0, 0, 1, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5})
+	f.Add([]byte{1, 63, 4, 7, 0, 12, 2, 0, 1, 1, 2, 0, 1, 200, 3, 3, 2, 1, 5})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4096 {
+			data = data[:4096]
+		}
+		runKernelProgram(t, data)
+	})
+}
+
+// TestKernelVsReferenceRandom replays fixed pseudorandom programs on every
+// test run, so the model check does not depend on anyone invoking -fuzz.
+func TestKernelVsReferenceRandom(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		data := make([]byte, 8192)
+		for i := range data {
+			data[i] = byte(rng.Intn(256))
+		}
+		runKernelProgram(t, data)
+	}
+}

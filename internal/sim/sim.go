@@ -2,13 +2,20 @@
 // event queue, a monotonic clock, and a run loop.
 //
 // The kernel is deliberately minimal — events carry a kind, a timestamp, and
-// an opaque payload; the scheduler under test registers a handler and drives
-// the machine model from it. Determinism is guaranteed by a total order on
-// events: (time, priority, sequence).
+// two small typed payload fields (a core index and an opaque reference); the
+// scheduler under test registers a handler and drives the machine model from
+// it. Determinism is guaranteed by a total order on events: (time, priority,
+// sequence).
+//
+// The queue is engineered for zero steady-state allocations: events live in
+// a value-typed slab indexed by a 4-ary min-heap of slot numbers, and a
+// free-list recycles slots so Schedule/Cancel never touch the garbage
+// collector once the slab has grown to the run's high-water mark. Handles
+// (EventID) carry a generation counter so a stale Cancel of an already
+// delivered — and possibly reused — slot is a harmless no-op.
 package sim
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 	"math"
@@ -75,66 +82,61 @@ func (k Kind) String() string {
 	}
 }
 
-// Event is a scheduled occurrence. Payload is interpreted by the handler.
+// Event is a delivered occurrence as seen by the handler. Core and Ref are
+// the typed payload fields: Core is a core index (KindCoreIdle and the
+// kernel tests), Ref an opaque reference the scheduler resolves against its
+// own tables (fault-schedule indices). Both are -1 when unused. The pointer
+// passed to the handler aliases engine-owned scratch — copy the value if it
+// must outlive the handler call.
 type Event struct {
-	Time    float64
-	Kind    Kind
-	Payload any
+	Time float64
+	Kind Kind
+	Core int
+	Ref  int
+}
 
-	// priority breaks simultaneous-event ties deterministically: lower
-	// runs first. Defaults to the Kind's ordinal so that, at equal times,
-	// arrivals are observed before quantum ticks, and KindEnd runs last.
-	priority int
+// EventID is a cancellation handle: slot number in the low 32 bits, slot
+// generation in the high 32. The zero value is never issued, so a zeroed
+// field safely means "no pending event".
+type EventID uint64
+
+const noEvent = -1
+
+// node is one slab entry. pos is the slot's position in the heap order, or
+// -1 while the slot is free. gen increments every time the slot is released
+// (delivered or cancelled), invalidating outstanding EventIDs; it starts at
+// 1 so EventID 0 stays invalid forever.
+type node struct {
+	time     float64
 	seq      uint64
-	index    int // heap index, -1 once popped or removed
-}
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(a, b int) bool {
-	if h[a].Time != h[b].Time {
-		return h[a].Time < h[b].Time
-	}
-	if h[a].priority != h[b].priority {
-		return h[a].priority < h[b].priority
-	}
-	return h[a].seq < h[b].seq
-}
-
-func (h eventHeap) Swap(a, b int) {
-	h[a], h[b] = h[b], h[a]
-	h[a].index = a
-	h[b].index = b
-}
-
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+	gen      uint32
+	pos      int32
+	priority int32
+	kind     Kind
+	core     int32
+	ref      int32
 }
 
 // Handler processes one event. It may schedule further events on the
 // engine. Returning an error aborts the run.
 type Handler func(e *Event) error
 
-// Engine owns the clock and the pending-event heap.
+// Engine owns the clock and the pending-event queue.
 type Engine struct {
-	now     float64
-	queue   eventHeap
+	now float64
+
+	// nodes is the event slab; heap holds slot numbers in 4-ary min-heap
+	// order (children of i at 4i+1..4i+4); free lists recyclable slots.
+	nodes []node
+	heap  []int32
+	free  []int32
+
 	seq     uint64
 	handler Handler
+	// cur is the handler's view of the event being delivered — engine-owned
+	// scratch so delivery never allocates.
+	cur Event
+
 	// Processed counts delivered events (diagnostics).
 	Processed int64
 	// Horizon, when positive, hard-stops the run at that time even if
@@ -184,11 +186,11 @@ func (e *Engine) interrupted() error {
 }
 
 // observe mirrors one delivery onto the bus.
-func (e *Engine) observe(ev *Event) {
+func (e *Engine) observe(t float64, kind Kind) {
 	if e.obs != nil {
 		e.obs.Observe(obs.Event{
-			Time: ev.Time, Type: obs.EventKernel, Core: -1, Job: -1,
-			Value: float64(ev.Kind), Aux: float64(len(e.queue)),
+			Time: t, Type: obs.EventKernel, Core: -1, Job: -1,
+			Value: float64(kind), Aux: float64(len(e.heap)),
 		})
 	}
 }
@@ -202,38 +204,192 @@ func NewEngine(handler Handler) *Engine {
 func (e *Engine) Now() float64 { return e.now }
 
 // Pending returns the number of events not yet delivered.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return len(e.heap) }
 
-// Schedule enqueues an event at time t with the default priority (the
-// Kind's ordinal). It panics on NaN times and rejects events scheduled in
-// the past, which would silently corrupt causality.
-func (e *Engine) Schedule(t float64, kind Kind, payload any) (*Event, error) {
-	return e.ScheduleWithPriority(t, kind, payload, int(kind))
+// less orders two slab slots by the kernel's total order.
+func (e *Engine) less(a, b int32) bool {
+	na, nb := &e.nodes[a], &e.nodes[b]
+	if na.time != nb.time {
+		return na.time < nb.time
+	}
+	if na.priority != nb.priority {
+		return na.priority < nb.priority
+	}
+	return na.seq < nb.seq
 }
 
-// ScheduleWithPriority is Schedule with an explicit tie-break priority.
-func (e *Engine) ScheduleWithPriority(t float64, kind Kind, payload any, priority int) (*Event, error) {
+// siftUp restores heap order after inserting at position i.
+func (e *Engine) siftUp(i int32) {
+	slot := e.heap[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !e.less(slot, e.heap[parent]) {
+			break
+		}
+		e.heap[i] = e.heap[parent]
+		e.nodes[e.heap[i]].pos = i
+		i = parent
+	}
+	e.heap[i] = slot
+	e.nodes[slot].pos = i
+}
+
+// siftDown restores heap order after replacing position i with a larger
+// element.
+func (e *Engine) siftDown(i int32) {
+	n := int32(len(e.heap))
+	slot := e.heap[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if e.less(e.heap[c], e.heap[best]) {
+				best = c
+			}
+		}
+		if !e.less(e.heap[best], slot) {
+			break
+		}
+		e.heap[i] = e.heap[best]
+		e.nodes[e.heap[i]].pos = i
+		i = best
+	}
+	e.heap[i] = slot
+	e.nodes[slot].pos = i
+}
+
+// alloc takes a slot from the free-list (or grows the slab) and fills it.
+func (e *Engine) alloc(t float64, kind Kind, core, ref, priority int) int32 {
+	var slot int32
+	if n := len(e.free); n > 0 {
+		slot = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		e.nodes = append(e.nodes, node{gen: 1})
+		slot = int32(len(e.nodes) - 1)
+	}
+	nd := &e.nodes[slot]
+	nd.time = t
+	nd.seq = e.seq
+	nd.priority = int32(priority)
+	nd.kind = kind
+	nd.core = int32(core)
+	nd.ref = int32(ref)
+	e.seq++
+	return slot
+}
+
+// release invalidates a slot's outstanding handles and recycles it.
+func (e *Engine) release(slot int32) {
+	e.nodes[slot].pos = noEvent
+	e.nodes[slot].gen++
+	e.free = append(e.free, slot)
+}
+
+// push inserts a filled slot into the heap.
+func (e *Engine) push(slot int32) {
+	e.heap = append(e.heap, slot)
+	e.siftUp(int32(len(e.heap) - 1))
+}
+
+// pop removes and returns the minimum slot. The caller must release it.
+func (e *Engine) pop() int32 {
+	slot := e.heap[0]
+	n := len(e.heap) - 1
+	last := e.heap[n]
+	e.heap = e.heap[:n]
+	if n > 0 {
+		e.heap[0] = last
+		e.nodes[last].pos = 0
+		e.siftDown(0)
+	}
+	return slot
+}
+
+// Schedule enqueues a payload-free event at time t with the default
+// priority (the Kind's ordinal). It panics on NaN times and rejects events
+// scheduled in the past, which would silently corrupt causality.
+func (e *Engine) Schedule(t float64, kind Kind) (EventID, error) {
+	return e.schedule(t, kind, noEvent, noEvent, int(kind))
+}
+
+// ScheduleCore is Schedule carrying a core index payload (KindCoreIdle).
+func (e *Engine) ScheduleCore(t float64, kind Kind, core int) (EventID, error) {
+	return e.schedule(t, kind, core, noEvent, int(kind))
+}
+
+// ScheduleWithPriority is Schedule with an explicit tie-break priority and
+// an opaque reference payload the handler resolves against its own tables
+// (pass -1 when unused).
+func (e *Engine) ScheduleWithPriority(t float64, kind Kind, ref, priority int) (EventID, error) {
+	return e.schedule(t, kind, noEvent, ref, priority)
+}
+
+func (e *Engine) schedule(t float64, kind Kind, core, ref, priority int) (EventID, error) {
 	if math.IsNaN(t) {
 		panic("sim: scheduling event at NaN time")
 	}
 	if t < e.now {
-		return nil, fmt.Errorf("sim: event %v scheduled at %v, before now %v", kind, t, e.now)
+		return 0, fmt.Errorf("sim: event %v scheduled at %v, before now %v", kind, t, e.now)
 	}
-	ev := &Event{Time: t, Kind: kind, Payload: payload, priority: priority, seq: e.seq}
-	e.seq++
-	heap.Push(&e.queue, ev)
-	return ev, nil
+	slot := e.alloc(t, kind, core, ref, priority)
+	e.push(slot)
+	return EventID(uint64(e.nodes[slot].gen)<<32 | uint64(uint32(slot))), nil
 }
 
-// Cancel removes a pending event. Cancelling an already-delivered or
-// already-cancelled event is a harmless no-op (returns false).
-func (e *Engine) Cancel(ev *Event) bool {
-	if ev == nil || ev.index < 0 || ev.index >= len(e.queue) || e.queue[ev.index] != ev {
+// Cancel removes a pending event. Cancelling an already-delivered,
+// already-cancelled, or zero handle is a harmless no-op (returns false).
+func (e *Engine) Cancel(id EventID) bool {
+	slot := int32(uint32(id))
+	gen := uint32(id >> 32)
+	if gen == 0 || int(slot) >= len(e.nodes) {
 		return false
 	}
-	heap.Remove(&e.queue, ev.index)
-	ev.index = -1
+	nd := &e.nodes[slot]
+	if nd.gen != gen || nd.pos < 0 {
+		return false
+	}
+	// Remove from the middle of the heap: swap the last element in, then
+	// restore order in whichever direction it violates.
+	i := nd.pos
+	n := len(e.heap) - 1
+	last := e.heap[n]
+	e.heap = e.heap[:n]
+	if int(i) < n {
+		e.heap[i] = last
+		e.nodes[last].pos = i
+		e.siftDown(i)
+		e.siftUp(e.nodes[last].pos)
+	}
+	e.release(slot)
 	return true
+}
+
+// deliver pops the minimum event into e.cur, releases its slot, and hands
+// it to the handler. Returns (stop, err).
+func (e *Engine) deliver() (bool, error) {
+	slot := e.pop()
+	nd := &e.nodes[slot]
+	e.cur = Event{Time: nd.time, Kind: nd.kind, Core: int(nd.core), Ref: int(nd.ref)}
+	e.release(slot)
+	ev := &e.cur
+	if ev.Time < e.now {
+		return true, fmt.Errorf("sim: time went backwards: %v -> %v", e.now, ev.Time)
+	}
+	e.now = ev.Time
+	e.Processed++
+	e.observe(ev.Time, ev.Kind)
+	if err := e.handler(ev); err != nil {
+		return true, err
+	}
+	return ev.Kind == KindEnd, nil
 }
 
 // Run delivers events in order until the queue empties, a KindEnd event is
@@ -244,27 +400,22 @@ func (e *Engine) Run() error {
 	if err := e.interrupted(); err != nil {
 		return err
 	}
-	for len(e.queue) > 0 {
+	for len(e.heap) > 0 {
 		if e.Processed%ctxStride == 0 {
 			if err := e.interrupted(); err != nil {
 				return err
 			}
 		}
-		ev := heap.Pop(&e.queue).(*Event)
-		if e.Horizon > 0 && ev.Time > e.Horizon {
+		if e.Horizon > 0 && e.nodes[e.heap[0]].time > e.Horizon {
+			e.release(e.pop())
 			e.now = e.Horizon
 			return nil
 		}
-		if ev.Time < e.now {
-			return fmt.Errorf("sim: time went backwards: %v -> %v", e.now, ev.Time)
-		}
-		e.now = ev.Time
-		e.Processed++
-		e.observe(ev)
-		if err := e.handler(ev); err != nil {
+		stop, err := e.deliver()
+		if err != nil {
 			return err
 		}
-		if ev.Kind == KindEnd {
+		if stop {
 			return nil
 		}
 	}
@@ -277,17 +428,10 @@ func (e *Engine) Step() (bool, error) {
 	if err := e.interrupted(); err != nil {
 		return false, err
 	}
-	if len(e.queue) == 0 {
+	if len(e.heap) == 0 {
 		return false, nil
 	}
-	ev := heap.Pop(&e.queue).(*Event)
-	if ev.Time < e.now {
-		return false, fmt.Errorf("sim: time went backwards: %v -> %v", e.now, ev.Time)
-	}
-	e.now = ev.Time
-	e.Processed++
-	e.observe(ev)
-	if err := e.handler(ev); err != nil {
+	if _, err := e.deliver(); err != nil {
 		return false, err
 	}
 	return true, nil
@@ -296,8 +440,8 @@ func (e *Engine) Step() (bool, error) {
 // PeekTime returns the timestamp of the next pending event, or +Inf when
 // the queue is empty.
 func (e *Engine) PeekTime() float64 {
-	if len(e.queue) == 0 {
+	if len(e.heap) == 0 {
 		return math.Inf(1)
 	}
-	return e.queue[0].Time
+	return e.nodes[e.heap[0]].time
 }

@@ -17,7 +17,7 @@ func TestEventOrdering(t *testing.T) {
 	})
 	times := []float64{0.5, 0.1, 0.9, 0.3, 0.3, 0.0}
 	for _, tm := range times {
-		if _, err := eng.Schedule(tm, KindUser, nil); err != nil {
+		if _, err := eng.Schedule(tm, KindUser); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -43,9 +43,9 @@ func TestSimultaneousPriority(t *testing.T) {
 		got = append(got, e.Kind)
 		return nil
 	})
-	eng.Schedule(1.0, KindEnd, nil)
-	eng.Schedule(1.0, KindQuantum, nil)
-	eng.Schedule(1.0, KindArrival, nil)
+	eng.Schedule(1.0, KindEnd)
+	eng.Schedule(1.0, KindQuantum)
+	eng.Schedule(1.0, KindArrival)
 	if err := eng.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -58,14 +58,15 @@ func TestSimultaneousPriority(t *testing.T) {
 }
 
 func TestSimultaneousSeqStable(t *testing.T) {
-	// Equal time and priority: insertion order wins.
+	// Equal time and priority: insertion order wins. The core payload
+	// carries the insertion index through delivery.
 	var got []int
 	eng := NewEngine(func(e *Event) error {
-		got = append(got, e.Payload.(int))
+		got = append(got, e.Core)
 		return nil
 	})
 	for i := 0; i < 10; i++ {
-		eng.Schedule(2.0, KindUser, i)
+		eng.ScheduleCore(2.0, KindUser, i)
 	}
 	if err := eng.Run(); err != nil {
 		t.Fatal(err)
@@ -80,12 +81,12 @@ func TestSimultaneousSeqStable(t *testing.T) {
 func TestScheduleInPastRejected(t *testing.T) {
 	var eng *Engine
 	eng = NewEngine(func(e *Event) error {
-		if _, err := eng.Schedule(e.Time-0.5, KindUser, nil); err == nil {
+		if _, err := eng.Schedule(e.Time-0.5, KindUser); err == nil {
 			return errors.New("past event accepted")
 		}
 		return nil
 	})
-	eng.Schedule(1.0, KindUser, nil)
+	eng.Schedule(1.0, KindUser)
 	if err := eng.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestScheduleNaNPanics(t *testing.T) {
 			t.Fatal("NaN time did not panic")
 		}
 	}()
-	NewEngine(func(*Event) error { return nil }).Schedule(math.NaN(), KindUser, nil)
+	NewEngine(func(*Event) error { return nil }).Schedule(math.NaN(), KindUser)
 }
 
 func TestEndStopsRun(t *testing.T) {
@@ -106,8 +107,8 @@ func TestEndStopsRun(t *testing.T) {
 		delivered++
 		return nil
 	})
-	eng.Schedule(1.0, KindEnd, nil)
-	eng.Schedule(2.0, KindUser, nil) // must never be delivered
+	eng.Schedule(1.0, KindEnd)
+	eng.Schedule(2.0, KindUser) // must never be delivered
 	if err := eng.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -126,8 +127,8 @@ func TestHorizonStopsRun(t *testing.T) {
 		return nil
 	})
 	eng.Horizon = 5
-	eng.Schedule(1, KindUser, nil)
-	eng.Schedule(10, KindUser, nil)
+	eng.Schedule(1, KindUser)
+	eng.Schedule(10, KindUser)
 	if err := eng.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -142,8 +143,8 @@ func TestHorizonStopsRun(t *testing.T) {
 func TestHandlerErrorAborts(t *testing.T) {
 	boom := errors.New("boom")
 	eng := NewEngine(func(e *Event) error { return boom })
-	eng.Schedule(1, KindUser, nil)
-	eng.Schedule(2, KindUser, nil)
+	eng.Schedule(1, KindUser)
+	eng.Schedule(2, KindUser)
 	if err := eng.Run(); !errors.Is(err, boom) {
 		t.Fatalf("Run error = %v, want boom", err)
 	}
@@ -155,20 +156,20 @@ func TestHandlerErrorAborts(t *testing.T) {
 func TestCancel(t *testing.T) {
 	var got []int
 	eng := NewEngine(func(e *Event) error {
-		got = append(got, e.Payload.(int))
+		got = append(got, e.Core)
 		return nil
 	})
-	ev1, _ := eng.Schedule(1, KindUser, 1)
-	eng.Schedule(2, KindUser, 2)
-	ev3, _ := eng.Schedule(3, KindUser, 3)
+	ev1, _ := eng.ScheduleCore(1, KindUser, 1)
+	eng.ScheduleCore(2, KindUser, 2)
+	ev3, _ := eng.ScheduleCore(3, KindUser, 3)
 	if !eng.Cancel(ev1) {
 		t.Fatal("cancel of pending event failed")
 	}
 	if eng.Cancel(ev1) {
 		t.Fatal("double cancel should report false")
 	}
-	if eng.Cancel(nil) {
-		t.Fatal("cancel of nil should report false")
+	if eng.Cancel(0) {
+		t.Fatal("cancel of the zero handle should report false")
 	}
 	if !eng.Cancel(ev3) {
 		t.Fatal("cancel of last event failed")
@@ -182,17 +183,33 @@ func TestCancel(t *testing.T) {
 }
 
 func TestCancelAfterDelivery(t *testing.T) {
-	var delivered *Event
-	eng := NewEngine(func(e *Event) error {
-		delivered = e
-		return nil
-	})
-	eng.Schedule(1, KindUser, nil)
+	eng := NewEngine(func(e *Event) error { return nil })
+	id, _ := eng.Schedule(1, KindUser)
 	if err := eng.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if eng.Cancel(delivered) {
+	if eng.Cancel(id) {
 		t.Fatal("cancelling a delivered event should be a no-op")
+	}
+}
+
+func TestCancelStaleHandleAfterSlotReuse(t *testing.T) {
+	// A handle must stay dead even after its slab slot is recycled for a
+	// new event — the generation counter is what prevents the ABA cancel.
+	eng := NewEngine(func(e *Event) error { return nil })
+	old, _ := eng.Schedule(1, KindUser)
+	if err := eng.Run(); err != nil { // delivers and frees the slot
+		t.Fatal(err)
+	}
+	fresh, _ := eng.Schedule(2, KindUser) // reuses the freed slot
+	if eng.Cancel(old) {
+		t.Fatal("stale handle cancelled a recycled slot")
+	}
+	if eng.Pending() != 1 {
+		t.Fatalf("pending = %d, the fresh event must survive", eng.Pending())
+	}
+	if !eng.Cancel(fresh) {
+		t.Fatal("fresh handle should cancel")
 	}
 }
 
@@ -202,8 +219,8 @@ func TestStep(t *testing.T) {
 		count++
 		return nil
 	})
-	eng.Schedule(1, KindUser, nil)
-	eng.Schedule(2, KindUser, nil)
+	eng.Schedule(1, KindUser)
+	eng.Schedule(2, KindUser)
 	ok, err := eng.Step()
 	if err != nil || !ok {
 		t.Fatalf("step 1: ok=%v err=%v", ok, err)
@@ -232,13 +249,13 @@ func TestReentrantScheduling(t *testing.T) {
 	eng = NewEngine(func(e *Event) error {
 		got = append(got, e.Time)
 		if e.Time < 0.5 {
-			if _, err := eng.Schedule(e.Time+0.1, KindUser, nil); err != nil {
+			if _, err := eng.Schedule(e.Time+0.1, KindUser); err != nil {
 				return err
 			}
 		}
 		return nil
 	})
-	eng.Schedule(0.1, KindUser, nil)
+	eng.Schedule(0.1, KindUser)
 	if err := eng.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -271,7 +288,7 @@ func TestOrderingProperty(t *testing.T) {
 			return nil
 		})
 		for _, r := range raw {
-			eng.Schedule(float64(r)/100, KindUser, nil)
+			eng.Schedule(float64(r)/100, KindUser)
 		}
 		if err := eng.Run(); err != nil {
 			return false
@@ -287,7 +304,7 @@ func BenchmarkScheduleRun(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		eng := NewEngine(func(e *Event) error { return nil })
 		for k := 0; k < 1000; k++ {
-			eng.Schedule(float64(k%97), KindUser, nil)
+			eng.Schedule(float64(k%97), KindUser)
 		}
 		if err := eng.Run(); err != nil {
 			b.Fatal(err)
@@ -300,8 +317,8 @@ func TestStepTimeBackwardsGuard(t *testing.T) {
 	// public API, so exercise Step's normal paths instead: deliver two
 	// events stepwise and confirm clock monotonicity.
 	eng := NewEngine(func(e *Event) error { return nil })
-	eng.Schedule(1, KindUser, nil)
-	eng.Schedule(2, KindUser, nil)
+	eng.Schedule(1, KindUser)
+	eng.Schedule(2, KindUser)
 	t1 := 0.0
 	for {
 		ok, err := eng.Step()
@@ -321,7 +338,7 @@ func TestStepTimeBackwardsGuard(t *testing.T) {
 func TestStepHandlerError(t *testing.T) {
 	boom := errors.New("boom")
 	eng := NewEngine(func(e *Event) error { return boom })
-	eng.Schedule(1, KindUser, nil)
+	eng.Schedule(1, KindUser)
 	if _, err := eng.Step(); !errors.Is(err, boom) {
 		t.Fatalf("Step error = %v", err)
 	}
@@ -332,8 +349,8 @@ func TestPendingCount(t *testing.T) {
 	if eng.Pending() != 0 {
 		t.Fatal("fresh engine pending != 0")
 	}
-	eng.Schedule(1, KindUser, nil)
-	eng.Schedule(2, KindUser, nil)
+	eng.Schedule(1, KindUser)
+	eng.Schedule(2, KindUser)
 	if eng.Pending() != 2 {
 		t.Fatalf("pending = %d", eng.Pending())
 	}

@@ -50,9 +50,18 @@ func PeakSpeed(now float64, jobs []*job.Job) float64 {
 	}
 	sorted := append([]*job.Job(nil), jobs...)
 	job.SortEDF(sorted)
+	return PeakSpeedEDF(now, sorted)
+}
+
+// PeakSpeedEDF is PeakSpeed for jobs already in EDF order (job.SortEDF).
+// It allocates nothing, so schedulers that keep an EDF-sorted scratch can
+// query peak demand on every trigger for free. The caller's ordering
+// contract matters: an unsorted slice gives a wrong (not merely different)
+// peak.
+func PeakSpeedEDF(now float64, jobs []*job.Job) float64 {
 	peak := 0.0
 	cum := 0.0
-	for _, j := range sorted {
+	for _, j := range jobs {
 		cum += j.Remaining()
 		if cum <= 0 {
 			continue
@@ -85,8 +94,19 @@ func PlanCommonRelease(now float64, jobs []*job.Job, speedCap float64) []Assignm
 	}
 	sorted := append([]*job.Job(nil), jobs...)
 	job.SortEDF(sorted)
+	return AppendPlanCommonRelease(make([]Assignment, 0, len(sorted)), now, sorted, speedCap)
+}
 
-	plan := make([]Assignment, 0, len(sorted))
+// AppendPlanCommonRelease is PlanCommonRelease for jobs already in EDF
+// order, appending the assignments to dst (which may be a reused scratch
+// slice with length 0) and returning the extended slice. The input order is
+// read, never mutated. This is the allocation-free form the scheduler hot
+// path uses.
+func AppendPlanCommonRelease(dst []Assignment, now float64, sorted []*job.Job, speedCap float64) []Assignment {
+	if len(sorted) == 0 {
+		return dst
+	}
+	plan := dst
 	t := now
 	i := 0
 	for i < len(sorted) {
