@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-baseline bench-check smoke chaos-smoke sweep sweep-fast fuzz cover clean
+.PHONY: all build test race vet bench bench-baseline bench-check smoke chaos-smoke fleet-smoke sweep sweep-fast fuzz cover clean
 
 all: build vet test
 
@@ -27,6 +27,12 @@ smoke:
 # mid-run, geload must see zero failures and the gateway nonzero hedge wins.
 chaos-smoke:
 	sh scripts/chaos_smoke.sh
+
+# Fleet-simulation smoke: the committed 10-machine chaos scenario through
+# gefleet under every dispatch policy — zero lost-forever jobs, byte-stable
+# reruns.
+fleet-smoke:
+	sh scripts/fleet_smoke.sh
 
 # One benchmark iteration per paper figure + ablations (fast, shape-level).
 bench:
@@ -57,6 +63,7 @@ fuzz:
 	$(GO) test -fuzz FuzzWaterFill -fuzztime 30s ./internal/dist/
 	$(GO) test -fuzz FuzzReadTrace -fuzztime 30s ./internal/workload/
 	$(GO) test -fuzz FuzzGenerate -fuzztime 30s ./internal/faults/
+	$(GO) test -fuzz FuzzGenerateCluster -fuzztime 30s ./internal/faults/
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...

@@ -1,0 +1,66 @@
+// BenchmarkFleet* measures the fleet hot path — N machines on one shared
+// event clock behind the global dispatcher — as events/sec over a complete
+// run, with and without machine chaos. scripts/bench_baseline.sh records
+// them into BENCH_BASELINE.json and `make bench-check` gates regressions.
+package goodenough
+
+import (
+	"testing"
+
+	"goodenough/internal/cluster"
+)
+
+// fleetBenchConfig is the common benchmark fleet: 4 machines at the
+// per-machine critical load for a short horizon.
+func fleetBenchConfig() FleetConfig {
+	fc := DefaultFleetConfig()
+	fc.DurationSec = 5
+	return fc
+}
+
+// fleetRun executes one fleet run and returns events delivered, so
+// events/sec aggregates across b.N runs.
+func fleetRun(b *testing.B, fc FleetConfig) int64 {
+	b.Helper()
+	ccfg, err := fc.lower()
+	if err != nil {
+		b.Fatal(err)
+	}
+	fleet, err := cluster.New(ccfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := fleet.Run(); err != nil {
+		b.Fatal(err)
+	}
+	return fleet.EventsProcessed()
+}
+
+// BenchmarkFleetDispatch runs a fault-free 4-machine fleet under p2c: the
+// pure dispatch + shared-clock overhead on top of the single-machine path.
+func BenchmarkFleetDispatch(b *testing.B) {
+	b.ReportAllocs()
+	var events int64
+	for i := 0; i < b.N; i++ {
+		events += fleetRun(b, fleetBenchConfig())
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkFleetChaos layers a crash, a partition, and a degradation onto
+// the same fleet: the fault-handling path (orphan wipe, re-dispatch,
+// pending-queue drain) is on the measured path.
+func BenchmarkFleetChaos(b *testing.B) {
+	fc := fleetBenchConfig()
+	fc.MachineFaults = []MachineFaultSpec{
+		{AtSec: 1, Kind: "crash", Machine: 1, DurationSec: 2},
+		{AtSec: 2, Kind: "partition", Machine: 2, DurationSec: 1.5},
+		{AtSec: 2.5, Kind: "slow", Machine: 3, DurationSec: 2, Factor: 0.5},
+	}
+	b.ReportAllocs()
+	var events int64
+	for i := 0; i < b.N; i++ {
+		events += fleetRun(b, fc)
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+}

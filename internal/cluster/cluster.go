@@ -1,0 +1,901 @@
+// Package cluster scales the simulator from one multicore server to a fleet:
+// N machines — each a full scheduler/machine/power stack — driven by one
+// shared event clock and fronted by a global dispatcher that routes every
+// arriving request to a machine.
+//
+// Failure handling is the point. Machines crash (all cores halt, in-flight
+// progress is wiped, queued work is stranded), partition from the dispatcher
+// (they keep serving what they hold but receive nothing new), and degrade to
+// a fraction of their power budget; each fault kind has a paired recovery.
+// The fleet re-dispatches lost and stranded jobs with retry accounting, and
+// health-aware dispatch policies route around machines that are down or
+// unreachable. A run is deterministic: the same seed and fault schedule
+// yield byte-identical event streams and results.
+//
+// The design deliberately reuses the single-machine building blocks — the
+// sim kernel's (time, priority, seq) total order, machine.Server's exact
+// energy accounting, sched.Policy for per-node scheduling — so fleet runs
+// inherit every invariant the single-machine path already enforces.
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"goodenough/internal/faults"
+	"goodenough/internal/job"
+	"goodenough/internal/machine"
+	"goodenough/internal/obs"
+	"goodenough/internal/quality"
+	"goodenough/internal/sched"
+	"goodenough/internal/sim"
+	"goodenough/internal/stats"
+	"goodenough/internal/workload"
+)
+
+// DefaultRedispatchLimit caps how many times one job is re-routed after
+// machine faults before the fleet drops it (still finalized and accounted —
+// never silently lost).
+const DefaultRedispatchLimit = 3
+
+// Config describes a fleet run.
+type Config struct {
+	// Machines is the fleet size N.
+	Machines int
+	// Node is the per-machine configuration (cores, budget, quality, QGE,
+	// triggers). Every machine runs the same configuration; Node.Faults
+	// must be nil — fleet fault injection is machine-scoped (Faults below).
+	Node sched.Config
+	// NewPolicy builds one scheduling policy instance per machine (policies
+	// carry state, so they cannot be shared).
+	NewPolicy func() sched.Policy
+	// Dispatch is the global routing policy.
+	Dispatch Dispatcher
+	// Workload is the fleet-wide arrival stream, routed job by job.
+	Workload workload.Spec
+	// Faults, when non-nil, injects machine-scoped fault events (crash,
+	// partition, degrade, and their recoveries).
+	Faults *faults.ClusterSchedule
+	// RedispatchLimit caps per-job re-dispatches (0 means
+	// DefaultRedispatchLimit).
+	RedispatchLimit int
+	// Observer, when non-nil, receives the structured event stream:
+	// fleet-level events (dispatch, re-dispatch, machine health) carry the
+	// machine index in Core; per-core events are remapped to globally
+	// unique core IDs machine*cores+core.
+	Observer obs.Observer
+}
+
+// Validate reports whether the configuration is runnable.
+func (c Config) Validate() error {
+	if c.Machines <= 0 {
+		return fmt.Errorf("cluster: machines must be positive, got %d", c.Machines)
+	}
+	if err := c.Node.Validate(); err != nil {
+		return fmt.Errorf("cluster: node config: %w", err)
+	}
+	if c.Node.Faults != nil {
+		return fmt.Errorf("cluster: node config carries a per-core fault schedule; fleet faults are machine-scoped (Config.Faults)")
+	}
+	if c.NewPolicy == nil {
+		return fmt.Errorf("cluster: NewPolicy factory required")
+	}
+	if c.Dispatch == nil {
+		return fmt.Errorf("cluster: dispatch policy required")
+	}
+	if err := c.Workload.Validate(); err != nil {
+		return err
+	}
+	if err := c.Faults.Validate(c.Machines); err != nil {
+		return fmt.Errorf("cluster: fault schedule: %w", err)
+	}
+	if c.RedispatchLimit < 0 {
+		return fmt.Errorf("cluster: redispatch limit must be non-negative, got %d", c.RedispatchLimit)
+	}
+	return nil
+}
+
+// MachineResult summarizes one machine's run.
+type MachineResult struct {
+	// Energy is the machine's dynamic energy in joules.
+	Energy float64
+	// Quality is the batch quality over jobs finalized on this machine.
+	Quality float64
+	// Completed and Expired count jobs finalized on this machine's cores.
+	Completed int64
+	Expired   int64
+	// Crashes counts machine-level crash events.
+	Crashes int64
+	// DownTime is the total time the machine spent crashed.
+	DownTime float64
+	// AESFraction is the fraction of the machine's time in AES mode.
+	AESFraction float64
+}
+
+// Result summarizes a fleet run.
+type Result struct {
+	// Dispatch and Scheduler name the routing and per-node policies.
+	Dispatch  string
+	Scheduler string
+	// Machines is the fleet size.
+	Machines int
+	// Jobs is the number of requests generated; every one of them is
+	// finalized exactly once (completed, expired, or dropped) — LostForever
+	// is the count that escaped accounting and must be zero.
+	Jobs        int
+	Completed   int64
+	Expired     int64
+	Dropped     int64
+	LostForever int
+	// Quality is Σf(processed)/Σf(demand) over every generated job.
+	Quality float64
+	// Energy totals dynamic energy across the fleet; AESEnergy/BQEnergy
+	// split it by the execution mode active while it was consumed.
+	Energy    float64
+	AESEnergy float64
+	BQEnergy  float64
+	// AESFraction is the machine-time-weighted AES fraction.
+	AESFraction float64
+	// MeanResponse, P95Response, P99Response summarize completed jobs'
+	// response times in seconds.
+	MeanResponse float64
+	P95Response  float64
+	P99Response  float64
+	// Fault accounting. Crashes/Partitions/Degrades count onset events;
+	// Redispatches counts re-routes of lost and stranded jobs; LostWork is
+	// the in-flight processing (units) wiped by crashes; PendingExpired
+	// counts jobs that died parked at the dispatcher with no machine
+	// eligible.
+	Crashes        int64
+	Partitions     int64
+	Degrades       int64
+	Redispatches   int64
+	LostWork       float64
+	PendingExpired int64
+	// Availability is the time-weighted fraction of machine-time up.
+	Availability float64
+	// SimTime is the span actually simulated.
+	SimTime float64
+	// PerMachine holds one entry per machine.
+	PerMachine []MachineResult
+}
+
+// node is one simulated machine inside the fleet: a server plus the per-node
+// slice of the runner state (waiting queue, quality monitor, mode and energy
+// accounting, idle events).
+type node struct {
+	idx    int
+	server *machine.Server
+	wait   job.FIFO
+	policy sched.Policy
+	acc    *quality.Accumulator
+
+	// Health. up==false means crashed; partitioned machines keep serving
+	// but are unreachable from the dispatcher; slowFactor in (0,1) caps the
+	// budget while degraded (0 = nominal).
+	up          bool
+	partitioned bool
+	slowFactor  float64
+	downSince   float64
+	downTime    float64
+	crashes     int64
+
+	arrivalTimes []float64
+	idleEvents   []sim.EventID
+	queueExpired int64
+
+	// Mode accounting (mirrors sched.Runner).
+	modeAES      bool
+	modeSet      bool
+	modeSince    float64
+	aesTime      float64
+	modeSwitches int64
+	lastEnergy   float64
+	aesEnergy    float64
+	bqEnergy     float64
+
+	pctx       sched.Context
+	finalizeFn machine.FinalizeFunc
+	obsWrap    obs.Observer
+
+	fleet *Fleet
+}
+
+// RecordMode implements sched.ModeSink for this machine.
+func (n *node) RecordMode(now float64, aes bool) {
+	if n.modeSet {
+		if n.modeAES {
+			n.aesTime += now - n.modeSince
+		}
+		if aes != n.modeAES {
+			n.modeSwitches++
+			obs.Emit(n.obsWrap, obs.Event{Time: now, Type: obs.EventModeSwitch,
+				Core: -1, Job: -1, Flag: aes})
+		}
+	} else {
+		obs.Emit(n.obsWrap, obs.Event{Time: now, Type: obs.EventModeSwitch,
+			Core: -1, Job: -1, Flag: aes})
+	}
+	n.modeAES = aes
+	n.modeSet = true
+	n.modeSince = now
+}
+
+// finalize records a job leaving this machine into both the node's quality
+// monitor (the policy's compensation signal) and the fleet's global
+// accumulator.
+func (n *node) finalize(j *job.Job, r machine.Reason) {
+	n.acc.Add(j.Processed, j.Demand)
+	f := n.fleet
+	f.acc.Add(j.Processed, j.Demand)
+	f.finalized++
+	if r == machine.ReasonCompleted {
+		f.responses = append(f.responses, j.Finish-j.Release)
+		obs.Emit(n.obsWrap, obs.Event{Time: j.Finish, Type: obs.EventJobComplete,
+			Core: j.Core, Job: j.ID, Value: j.Processed, Aux: j.Finish - j.Release})
+	} else {
+		obs.Emit(n.obsWrap, obs.Event{Time: j.Finish, Type: obs.EventJobExpire,
+			Core: j.Core, Job: j.ID, Value: j.Processed, Aux: j.Demand})
+	}
+}
+
+func (n *node) noteArrival(now float64, window float64) {
+	n.arrivalTimes = append(n.arrivalTimes, now)
+	cutoff := now - window
+	i := 0
+	for i < len(n.arrivalTimes) && n.arrivalTimes[i] < cutoff {
+		i++
+	}
+	if i > 0 {
+		n.arrivalTimes = append(n.arrivalTimes[:0], n.arrivalTimes[i:]...)
+	}
+}
+
+func (n *node) estimateRate(now, window float64) float64 {
+	cutoff := now - window
+	i := 0
+	for i < len(n.arrivalTimes) && n.arrivalTimes[i] < cutoff {
+		i++
+	}
+	if i > 0 {
+		n.arrivalTimes = append(n.arrivalTimes[:0], n.arrivalTimes[i:]...)
+	}
+	w := math.Min(window, math.Max(now, 1e-3))
+	return float64(len(n.arrivalTimes)) / w
+}
+
+func (n *node) anyIdleCore() bool {
+	for _, c := range n.server.Cores {
+		if c.Idle() && c.Healthy() {
+			return true
+		}
+	}
+	return false
+}
+
+// coreObserver remaps per-core events onto globally unique core IDs
+// (machine*cores + core) so fleet JSONL and Chrome exports keep machines
+// apart without changing the obs.Event wire format.
+type coreObserver struct {
+	sink obs.Observer
+	base int
+}
+
+// Observe implements obs.Observer.
+func (o coreObserver) Observe(e obs.Event) {
+	if e.Core >= 0 {
+		e.Core += o.base
+	}
+	o.sink.Observe(e)
+}
+
+// Fleet is a runnable fleet simulation. Build with New, execute with Run.
+type Fleet struct {
+	cfg     Config
+	nodeCfg sched.Config
+	engine  *sim.Engine
+	nodes   []*node
+	gen     workload.Source
+	pending job.FIFO // jobs parked at the dispatcher: no machine eligible
+	acc     *quality.Accumulator
+	obs     obs.Observer
+
+	faultEvents []faults.MachineEvent
+	nextArrival *job.Job
+	genDone     bool
+
+	jobs           int
+	finalized      int
+	dropped        int64
+	redispatches   int64
+	lostWork       float64
+	pendingExpired int64
+	partitions     int64
+	degrades       int64
+	responses      []float64
+	limit          int
+}
+
+// New builds a fleet from the configuration.
+func New(cfg Config) (*Fleet, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	f := &Fleet{
+		cfg:     cfg,
+		nodeCfg: cfg.Node,
+		gen:     workload.NewGenerator(cfg.Workload),
+		acc:     quality.NewAccumulator(cfg.Node.Quality),
+		obs:     cfg.Observer,
+		limit:   cfg.RedispatchLimit,
+	}
+	if f.limit == 0 {
+		f.limit = DefaultRedispatchLimit
+	}
+	f.nodes = make([]*node, cfg.Machines)
+	for m := range f.nodes {
+		var server *machine.Server
+		var err error
+		if cfg.Node.Heterogeneous() {
+			server, err = machine.NewHeterogeneousServer(cfg.Node.PerCoreModels)
+		} else {
+			server, err = machine.NewServer(cfg.Node.Cores, cfg.Node.Model)
+		}
+		if err != nil {
+			return nil, err
+		}
+		server.SetBudget(cfg.Node.PowerBudget)
+		n := &node{
+			idx:        m,
+			server:     server,
+			policy:     cfg.NewPolicy(),
+			acc:        quality.NewAccumulator(cfg.Node.Quality),
+			up:         true,
+			idleEvents: make([]sim.EventID, cfg.Node.Cores),
+			fleet:      f,
+		}
+		if n.policy == nil {
+			return nil, fmt.Errorf("cluster: NewPolicy returned nil for machine %d", m)
+		}
+		n.finalizeFn = n.finalize
+		if f.obs != nil {
+			n.obsWrap = coreObserver{sink: f.obs, base: m * cfg.Node.Cores}
+			server.SetObserver(n.obsWrap)
+		}
+		f.nodes[m] = n
+	}
+	f.engine = sim.NewEngine(f.handle)
+	return f, nil
+}
+
+// --- View implementation (the dispatcher's window) ---
+
+// Machines implements View.
+func (f *Fleet) Machines() int { return len(f.nodes) }
+
+// Eligible implements View: up and reachable.
+func (f *Fleet) Eligible(m int) bool {
+	n := f.nodes[m]
+	return n.up && !n.partitioned
+}
+
+// QueuedWork implements View: remaining work waiting plus planned.
+func (f *Fleet) QueuedWork(m int) float64 {
+	n := f.nodes[m]
+	sum := n.server.TotalLoad()
+	for _, j := range n.wait.Peek() {
+		sum += j.Remaining()
+	}
+	return sum
+}
+
+// HasIdleCore implements View.
+func (f *Fleet) HasIdleCore(m int) bool { return f.nodes[m].anyIdleCore() }
+
+// Capacity implements View: the machine's sustainable processing rate under
+// its current (possibly degraded) budget.
+func (f *Fleet) Capacity(m int) float64 { return capacityAt(f.nodes[m].server) }
+
+// --- event loop ---
+
+// Run executes the fleet simulation to completion.
+func (f *Fleet) Run() (Result, error) {
+	f.cfg.Dispatch.Reset()
+	for _, n := range f.nodes {
+		n.policy.Reset()
+	}
+	if in, ok := f.cfg.Dispatch.(idleNotifier); ok {
+		for m := range f.nodes {
+			in.NoteIdle(m)
+		}
+	}
+	if err := f.scheduleNextArrival(); err != nil {
+		return Result{}, err
+	}
+	if _, err := f.engine.Schedule(f.nodeCfg.QuantumSec, sim.KindQuantum); err != nil {
+		return Result{}, err
+	}
+	// Machine fault events get priority -1 so a crash at time t is observed
+	// before any arrival or quantum tick at the same instant.
+	f.faultEvents = f.cfg.Faults.Events()
+	for i, fe := range f.faultEvents {
+		if _, err := f.engine.ScheduleWithPriority(fe.At, sim.KindMachineFault, i, -1); err != nil {
+			return Result{}, err
+		}
+	}
+	if err := f.engine.Run(); err != nil {
+		return Result{}, err
+	}
+	return f.result(), nil
+}
+
+// syncAll brings every machine to the present: advance servers (finalizing
+// completions/expiries), split the energy delta by execution mode, and drop
+// deadline-passed jobs from node queues and the dispatcher's pending queue.
+// Iteration is in machine index order, so the event stream stays
+// deterministic.
+func (f *Fleet) syncAll(now float64) error {
+	for _, n := range f.nodes {
+		if err := n.server.Advance(now, n.finalizeFn); err != nil {
+			return fmt.Errorf("cluster: machine %d: %w", n.idx, err)
+		}
+		if delta := n.server.Energy() - n.lastEnergy; delta > 0 {
+			if n.modeAES {
+				n.aesEnergy += delta
+			} else {
+				n.bqEnergy += delta
+			}
+			n.lastEnergy = n.server.Energy()
+		}
+		f.expireWaiting(n, now)
+	}
+	f.expirePending(now)
+	return nil
+}
+
+// expireWaiting finalizes a node's queued jobs whose deadlines passed
+// unserved.
+func (f *Fleet) expireWaiting(n *node, now float64) {
+	for {
+		j := n.wait.PopExpired(now)
+		if j == nil {
+			return
+		}
+		j.State = job.StateFinalized
+		j.Finish = j.Deadline
+		n.queueExpired++
+		n.acc.Add(j.Processed, j.Demand)
+		f.acc.Add(j.Processed, j.Demand)
+		f.finalized++
+		obs.Emit(n.obsWrap, obs.Event{Time: now, Type: obs.EventJobExpire,
+			Core: -1, Job: j.ID, Value: j.Processed, Aux: j.Demand})
+	}
+}
+
+// expirePending finalizes jobs that died parked at the dispatcher — the
+// whole fleet was unreachable for their entire remaining window.
+func (f *Fleet) expirePending(now float64) {
+	for {
+		j := f.pending.PopExpired(now)
+		if j == nil {
+			return
+		}
+		j.State = job.StateFinalized
+		j.Finish = j.Deadline
+		f.pendingExpired++
+		f.acc.Add(j.Processed, j.Demand)
+		f.finalized++
+		obs.Emit(f.obs, obs.Event{Time: now, Type: obs.EventJobExpire,
+			Core: -1, Job: j.ID, Value: j.Processed, Aux: j.Demand})
+	}
+}
+
+// handle is the shared-clock event dispatcher.
+func (f *Fleet) handle(e *sim.Event) error {
+	now := e.Time
+	if err := f.syncAll(now); err != nil {
+		return err
+	}
+	switch e.Kind {
+	case sim.KindArrival:
+		j := f.nextArrival
+		f.nextArrival = nil
+		f.jobs++
+		obs.Emit(f.obs, obs.Event{Time: now, Type: obs.EventJobArrive,
+			Core: -1, Job: j.ID, Value: j.Demand, Aux: j.Deadline})
+		// Every job gets a deadline event so expiry is observed promptly
+		// wherever the job ends up (a node queue, a core, or pending).
+		if _, err := f.engine.Schedule(j.Deadline, sim.KindDeadline); err != nil {
+			return err
+		}
+		if err := f.scheduleNextArrival(); err != nil {
+			return err
+		}
+		f.dispatch(j, now, false)
+
+	case sim.KindQuantum:
+		for _, n := range f.nodes {
+			if n.up {
+				f.invoke(n, now, sched.TriggerQuantum)
+			}
+		}
+		if !f.finished() {
+			if _, err := f.engine.Schedule(now+f.nodeCfg.QuantumSec, sim.KindQuantum); err != nil {
+				return err
+			}
+		}
+
+	case sim.KindCoreIdle:
+		// Core carries the core index, Ref the machine index.
+		n := f.nodes[e.Ref]
+		n.idleEvents[e.Core] = 0
+		if n.up && n.server.Cores[e.Core].Idle() && n.server.Cores[e.Core].Healthy() {
+			f.invoke(n, now, sched.TriggerIdleCore)
+			f.noteIdle(n)
+		}
+
+	case sim.KindDeadline:
+		// syncAll already finalized whatever was due.
+
+	case sim.KindMachineFault:
+		f.applyMachineFault(now, f.faultEvents[e.Ref])
+	}
+	return nil
+}
+
+// invoke runs one machine's scheduling policy and re-arms its idle events.
+func (f *Fleet) invoke(n *node, now float64, trig sched.Trigger) {
+	obs.Emit(n.obsWrap, obs.Event{Time: now, Type: obs.EventBatch, Core: -1, Job: -1,
+		Value: float64(n.wait.Len()), Aux: float64(trig)})
+	n.pctx = sched.Context{
+		Now:         now,
+		Trigger:     trig,
+		Cfg:         &f.nodeCfg,
+		Budget:      n.server.Budget(),
+		Server:      n.server,
+		Waiting:     &n.wait,
+		Monitor:     n.acc,
+		ArrivalRate: n.estimateRate(now, f.nodeCfg.RateWindow),
+		Finalize:    n.finalizeFn,
+		Observer:    n.obsWrap,
+		Modes:       n,
+	}
+	n.policy.Schedule(&n.pctx)
+	f.refreshIdleEvents(n, now)
+}
+
+// refreshIdleEvents re-arms a KindCoreIdle event per busy core at its
+// projected drain time, tagged with the machine index in Ref.
+func (f *Fleet) refreshIdleEvents(n *node, now float64) {
+	for i, c := range n.server.Cores {
+		if id := n.idleEvents[i]; id != 0 {
+			f.engine.Cancel(id)
+			n.idleEvents[i] = 0
+		}
+		if c.Idle() || !c.Healthy() {
+			continue
+		}
+		at := c.ProjectedIdle(now)
+		if at < now {
+			at = now
+		}
+		id, err := f.engine.ScheduleCoreRef(at+1e-9, sim.KindCoreIdle, i, n.idx)
+		if err == nil {
+			n.idleEvents[i] = id
+		}
+	}
+}
+
+// noteIdle tells heap-keeping dispatchers this machine has spare capacity.
+func (f *Fleet) noteIdle(n *node) {
+	if !n.up || n.partitioned || !n.anyIdleCore() {
+		return
+	}
+	if in, ok := f.cfg.Dispatch.(idleNotifier); ok {
+		in.NoteIdle(n.idx)
+	}
+}
+
+// dispatch routes one job. With no eligible machine the job parks at the
+// dispatcher until a machine recovers or the job's deadline passes.
+func (f *Fleet) dispatch(j *job.Job, now float64, redisp bool) {
+	m, score, ok := f.cfg.Dispatch.Pick(f)
+	if !ok {
+		f.pending.Push(j)
+		return
+	}
+	n := f.nodes[m]
+	n.wait.Push(j)
+	n.noteArrival(now, f.nodeCfg.RateWindow)
+	if redisp {
+		f.redispatches++
+		obs.Emit(f.obs, obs.Event{Time: now, Type: obs.EventRedispatch,
+			Core: m, Job: j.ID, Value: float64(j.Requeues), Aux: j.Remaining()})
+	} else {
+		eligible := 0
+		for i := range f.nodes {
+			if f.Eligible(i) {
+				eligible++
+			}
+		}
+		obs.Emit(f.obs, obs.Event{Time: now, Type: obs.EventDispatch,
+			Core: m, Job: j.ID, Value: score, Aux: float64(eligible)})
+	}
+	if n.wait.Len() >= f.nodeCfg.CounterTrigger {
+		f.invoke(n, now, sched.TriggerCounter)
+	} else if n.anyIdleCore() {
+		f.invoke(n, now, sched.TriggerIdleCore)
+	}
+}
+
+// redispatch re-routes a job displaced by a machine fault, enforcing the
+// retry cap: beyond the limit the job is dropped — finalized with whatever
+// it achieved (nothing, after a crash wipe) so it never escapes accounting.
+func (f *Fleet) redispatch(j *job.Job, now float64) {
+	if j.Requeues > f.limit {
+		j.State = job.StateFinalized
+		j.Finish = now
+		f.dropped++
+		f.acc.Add(j.Processed, j.Demand)
+		f.finalized++
+		obs.Emit(f.obs, obs.Event{Time: now, Type: obs.EventJobDrop,
+			Core: -1, Job: j.ID, Value: j.Processed, Aux: j.Demand})
+		return
+	}
+	f.dispatch(j, now, true)
+}
+
+// applyMachineFault transitions one machine's health state.
+func (f *Fleet) applyMachineFault(now float64, fe faults.MachineEvent) {
+	n := f.nodes[fe.Machine]
+	switch fe.Kind {
+	case faults.MachineCrash:
+		if !n.up {
+			return
+		}
+		n.up = false
+		n.downSince = now
+		n.crashes++
+		// Halt every core; in-flight progress is wiped — this is the
+		// difference from a core failure, where partial work survives on
+		// the job. The wiped units are the crash's lost work.
+		var displaced []*job.Job
+		orphans := 0
+		wiped := 0.0
+		for i, c := range n.server.Cores {
+			if id := n.idleEvents[i]; id != 0 {
+				f.engine.Cancel(id)
+				n.idleEvents[i] = 0
+			}
+			for _, entry := range c.Fail(now) {
+				j := entry.Job
+				if j.Done() || j.Expired(now) {
+					// Nothing worth re-running elsewhere; finalize in place.
+					j.State = job.StateFinalized
+					j.Finish = now
+					n.queueExpired++
+					n.acc.Add(j.Processed, j.Demand)
+					f.acc.Add(j.Processed, j.Demand)
+					f.finalized++
+					obs.Emit(n.obsWrap, obs.Event{Time: now, Type: obs.EventJobExpire,
+						Core: i, Job: j.ID, Value: j.Processed, Aux: j.Demand})
+					continue
+				}
+				orphans++
+				wiped += j.Processed
+				j.Processed = 0
+				j.Core = -1
+				j.State = job.StateWaiting
+				j.Requeues++
+				displaced = append(displaced, j)
+			}
+		}
+		// Stranded waiting jobs: never started, but the machine holding
+		// them is gone; they re-route with the same retry accounting.
+		for _, j := range n.wait.Drain() {
+			if j.Expired(now) {
+				j.State = job.StateFinalized
+				j.Finish = j.Deadline
+				n.queueExpired++
+				n.acc.Add(j.Processed, j.Demand)
+				f.acc.Add(j.Processed, j.Demand)
+				f.finalized++
+				obs.Emit(n.obsWrap, obs.Event{Time: now, Type: obs.EventJobExpire,
+					Core: -1, Job: j.ID, Value: j.Processed, Aux: j.Demand})
+				continue
+			}
+			j.Requeues++
+			displaced = append(displaced, j)
+		}
+		f.lostWork += wiped
+		obs.Emit(f.obs, obs.Event{Time: now, Type: obs.EventMachineDown,
+			Core: n.idx, Job: -1, Value: float64(orphans), Aux: wiped})
+		for _, j := range displaced {
+			f.redispatch(j, now)
+		}
+
+	case faults.MachineRecover:
+		if n.up {
+			return
+		}
+		n.up = true
+		n.downTime += now - n.downSince
+		for _, c := range n.server.Cores {
+			c.Recover(now)
+		}
+		obs.Emit(f.obs, obs.Event{Time: now, Type: obs.EventMachineUp,
+			Core: n.idx, Job: -1})
+		f.noteIdle(n)
+		f.drainPending(now)
+
+	case faults.MachinePartition:
+		if n.partitioned {
+			return
+		}
+		n.partitioned = true
+		f.partitions++
+		obs.Emit(f.obs, obs.Event{Time: now, Type: obs.EventMachinePartition,
+			Core: n.idx, Job: -1, Flag: true})
+
+	case faults.MachineHeal:
+		if !n.partitioned {
+			return
+		}
+		n.partitioned = false
+		obs.Emit(f.obs, obs.Event{Time: now, Type: obs.EventMachinePartition,
+			Core: n.idx, Job: -1, Flag: false})
+		f.noteIdle(n)
+		f.drainPending(now)
+
+	case faults.MachineSlow:
+		n.slowFactor = fe.Factor
+		n.server.SetBudget(f.nodeCfg.PowerBudget * fe.Factor)
+		f.degrades++
+		obs.Emit(f.obs, obs.Event{Time: now, Type: obs.EventMachineDegrade,
+			Core: n.idx, Job: -1, Flag: true, Value: fe.Factor})
+		if n.up {
+			f.invoke(n, now, sched.TriggerFault)
+		}
+
+	case faults.MachineRestore:
+		n.slowFactor = 0
+		n.server.SetBudget(f.nodeCfg.PowerBudget)
+		obs.Emit(f.obs, obs.Event{Time: now, Type: obs.EventMachineDegrade,
+			Core: n.idx, Job: -1, Flag: false, Value: 1})
+		if n.up {
+			f.invoke(n, now, sched.TriggerFault)
+		}
+	}
+}
+
+// drainPending re-routes jobs parked at the dispatcher once a machine is
+// reachable again, oldest first.
+func (f *Fleet) drainPending(now float64) {
+	for f.pending.Len() > 0 {
+		j := f.pending.Peek()[0]
+		m, score, ok := f.cfg.Dispatch.Pick(f)
+		if !ok {
+			return
+		}
+		f.pending.PopJob(j)
+		n := f.nodes[m]
+		n.wait.Push(j)
+		n.noteArrival(now, f.nodeCfg.RateWindow)
+		obs.Emit(f.obs, obs.Event{Time: now, Type: obs.EventDispatch,
+			Core: m, Job: j.ID, Value: score, Aux: 0})
+		if n.wait.Len() >= f.nodeCfg.CounterTrigger {
+			f.invoke(n, now, sched.TriggerCounter)
+		} else if n.anyIdleCore() {
+			f.invoke(n, now, sched.TriggerIdleCore)
+		}
+	}
+}
+
+func (f *Fleet) scheduleNextArrival() error {
+	if f.genDone {
+		return nil
+	}
+	j := f.gen.Next()
+	if j == nil {
+		f.genDone = true
+		return nil
+	}
+	if _, err := f.engine.Schedule(j.Release, sim.KindArrival); err != nil {
+		return fmt.Errorf("cluster: job source emitted job %d out of order: %w", j.ID, err)
+	}
+	f.nextArrival = j
+	return nil
+}
+
+// finished reports whether quantum ticks can stop: no future arrivals,
+// nothing parked or queued anywhere, every core idle.
+func (f *Fleet) finished() bool {
+	if !f.genDone || f.pending.Len() > 0 {
+		return false
+	}
+	for _, n := range f.nodes {
+		if n.wait.Len() > 0 {
+			return false
+		}
+		for _, c := range n.server.Cores {
+			if !c.Idle() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// result assembles the fleet summary after the event queue drains.
+func (f *Fleet) result() Result {
+	simTime := f.engine.Now()
+	res := Result{
+		Dispatch:       f.cfg.Dispatch.Name(),
+		Scheduler:      f.nodes[0].policy.Name(),
+		Machines:       len(f.nodes),
+		Jobs:           f.jobs,
+		Dropped:        f.dropped,
+		LostForever:    f.jobs - f.finalized,
+		Quality:        f.acc.Quality(),
+		Redispatches:   f.redispatches,
+		LostWork:       f.lostWork,
+		PendingExpired: f.pendingExpired,
+		Partitions:     f.partitions,
+		Degrades:       f.degrades,
+		SimTime:        simTime,
+		PerMachine:     make([]MachineResult, len(f.nodes)),
+	}
+	res.MeanResponse = stats.Mean(f.responses)
+	res.P95Response = stats.Quantile(f.responses, 0.95)
+	res.P99Response = stats.Quantile(f.responses, 0.99)
+	downTotal := 0.0
+	aesTotal := 0.0
+	anyMode := false
+	for i, n := range f.nodes {
+		// Flush the open mode interval and the machine's down interval.
+		if n.modeSet {
+			n.RecordMode(simTime, n.modeAES)
+			anyMode = true
+		}
+		down := n.downTime
+		if !n.up {
+			down += simTime - n.downSince
+		}
+		downTotal += down
+		aesTotal += n.aesTime
+		mr := MachineResult{
+			Energy:    n.server.Energy(),
+			Quality:   n.acc.Quality(),
+			Completed: n.server.Completed(),
+			Expired:   n.server.Expired() + n.queueExpired,
+			Crashes:   n.crashes,
+			DownTime:  down,
+		}
+		if simTime > 0 && n.modeSet {
+			mr.AESFraction = n.aesTime / simTime
+		}
+		res.PerMachine[i] = mr
+		res.Energy += n.server.Energy()
+		res.AESEnergy += n.aesEnergy
+		res.BQEnergy += n.bqEnergy
+		res.Completed += n.server.Completed()
+		res.Expired += n.server.Expired() + n.queueExpired
+		res.Crashes += n.crashes
+	}
+	res.Expired += f.pendingExpired
+	if simTime > 0 {
+		machineTime := simTime * float64(len(f.nodes))
+		res.Availability = 1 - downTotal/machineTime
+		if anyMode {
+			res.AESFraction = aesTotal / machineTime
+		}
+	} else {
+		res.Availability = 1
+	}
+	obs.Emit(f.obs, obs.Event{Time: simTime, Type: obs.EventRunEnd,
+		Core: -1, Job: -1, Value: simTime})
+	return res
+}
+
+// EventsProcessed reports how many kernel events the run delivered.
+func (f *Fleet) EventsProcessed() int64 { return f.engine.Processed }

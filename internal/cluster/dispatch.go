@@ -1,0 +1,250 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"goodenough/internal/machine"
+	"goodenough/internal/power"
+	"goodenough/internal/rng"
+)
+
+// View is the dispatcher's window onto the fleet. Health-aware policies see
+// reachability (up and not partitioned) plus cheap load signals; the
+// omniscient ideal baseline additionally reads the true instantaneous
+// capacity, including degradations a real dispatcher could not observe.
+type View interface {
+	// Machines returns the fleet size.
+	Machines() int
+	// Eligible reports whether machine m can receive work: up and
+	// reachable from the dispatcher.
+	Eligible(m int) bool
+	// QueuedWork returns the remaining processing units queued on machine
+	// m (waiting plus planned), the load signal health-aware policies key
+	// on.
+	QueuedWork(m int) float64
+	// HasIdleCore reports whether machine m has at least one healthy idle
+	// core right now.
+	HasIdleCore(m int) bool
+	// Capacity returns machine m's sustainable processing rate under its
+	// *current* (possibly degraded) power budget — omniscient information
+	// reserved for the ideal baseline.
+	Capacity(m int) float64
+}
+
+// Dispatcher picks the machine a job is routed to. Implementations must be
+// deterministic: the same View state and call sequence yields the same
+// picks (randomized policies draw from a seeded stream).
+type Dispatcher interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Pick returns the chosen machine index and the score it was chosen
+	// on, or ok=false when no machine is eligible (the job parks at the
+	// dispatcher until one recovers).
+	Pick(v View) (m int, score float64, ok bool)
+	// Reset clears cross-run state (cursors, heaps, rng).
+	Reset()
+}
+
+// idleNotifier is implemented by dispatchers that maintain an idle-machine
+// heap; the fleet calls NoteIdle when a machine gains an idle healthy core.
+type idleNotifier interface {
+	NoteIdle(m int)
+}
+
+// Policies lists the accepted dispatch policy names.
+func Policies() []string { return []string{"rr", "least-loaded", "p2c", "ideal"} }
+
+// NewDispatcher builds the named policy. k parameterizes power-of-k-choices
+// (values < 2 default to 2); seed feeds its sampling stream.
+func NewDispatcher(name string, k int, seed uint64) (Dispatcher, error) {
+	switch name {
+	case "rr":
+		return &roundRobin{}, nil
+	case "least-loaded":
+		return &leastLoaded{}, nil
+	case "p2c":
+		if k < 2 {
+			k = 2
+		}
+		return &powerOfK{k: k, seed: seed}, nil
+	case "ideal":
+		return &ideal{}, nil
+	default:
+		return nil, fmt.Errorf("cluster: unknown dispatch policy %q (valid: %v)", name, Policies())
+	}
+}
+
+// roundRobin cycles through the machines, skipping unreachable ones — the
+// fleet analogue of the paper's C-RR core assignment.
+type roundRobin struct {
+	next int
+}
+
+func (r *roundRobin) Name() string { return "rr" }
+func (r *roundRobin) Reset()       { r.next = 0 }
+
+func (r *roundRobin) Pick(v View) (int, float64, bool) {
+	n := v.Machines()
+	for i := 0; i < n; i++ {
+		m := (r.next + i) % n
+		if v.Eligible(m) {
+			r.next = (m + 1) % n
+			return m, v.QueuedWork(m), true
+		}
+	}
+	return -1, 0, false
+}
+
+// leastLoaded routes to the reachable machine with the least queued work,
+// breaking ties by index.
+type leastLoaded struct{}
+
+func (l *leastLoaded) Name() string { return "least-loaded" }
+func (l *leastLoaded) Reset()       {}
+
+func (l *leastLoaded) Pick(v View) (int, float64, bool) {
+	best, bestScore := -1, 0.0
+	for m := 0; m < v.Machines(); m++ {
+		if !v.Eligible(m) {
+			continue
+		}
+		s := v.QueuedWork(m)
+		if best < 0 || s < bestScore {
+			best, bestScore = m, s
+		}
+	}
+	return best, bestScore, best >= 0
+}
+
+// powerOfK is power-of-k-choices over an idle-machine heap: a job goes to
+// the lowest-indexed machine known to have an idle core; only when no
+// machine is idle does the policy sample k reachable machines from its
+// seeded stream and take the least loaded — the classic two-level structure
+// of mine-lb-style dispatchers. The heap is lazily invalidated: entries are
+// re-checked against the live View on pop, so stale idleness never
+// misroutes.
+type powerOfK struct {
+	k    int
+	seed uint64
+	src  *rng.Source
+
+	heap   []int
+	inHeap []bool
+
+	scratch []int
+}
+
+func (p *powerOfK) Name() string { return fmt.Sprintf("p%dc", p.k) }
+
+func (p *powerOfK) Reset() {
+	p.src = rng.New(p.seed ^ 0xd15Fa7c4)
+	p.heap = p.heap[:0]
+	p.inHeap = nil
+}
+
+// NoteIdle implements idleNotifier.
+func (p *powerOfK) NoteIdle(m int) {
+	for len(p.inHeap) <= m {
+		p.inHeap = append(p.inHeap, false)
+	}
+	if p.inHeap[m] {
+		return
+	}
+	p.inHeap[m] = true
+	p.heap = append(p.heap, m)
+	sort.Ints(p.heap) // tiny; keeps pops deterministic by index
+}
+
+func (p *powerOfK) Pick(v View) (int, float64, bool) {
+	// Drain the idle heap first, discarding entries that are no longer
+	// idle or reachable.
+	for len(p.heap) > 0 {
+		m := p.heap[0]
+		p.heap = p.heap[1:]
+		p.inHeap[m] = false
+		if v.Eligible(m) && v.HasIdleCore(m) {
+			return m, 0, true
+		}
+	}
+	// No idle machine known: sample k distinct reachable machines and take
+	// the least loaded.
+	p.scratch = p.scratch[:0]
+	for m := 0; m < v.Machines(); m++ {
+		if v.Eligible(m) {
+			p.scratch = append(p.scratch, m)
+		}
+	}
+	n := len(p.scratch)
+	if n == 0 {
+		return -1, 0, false
+	}
+	k := p.k
+	if k > n {
+		k = n
+	}
+	// Partial Fisher–Yates over the eligible list: the first k entries
+	// become the sample.
+	for i := 0; i < k; i++ {
+		j := i + p.src.Intn(n-i)
+		p.scratch[i], p.scratch[j] = p.scratch[j], p.scratch[i]
+	}
+	best, bestScore := -1, 0.0
+	for _, m := range p.scratch[:k] {
+		s := v.QueuedWork(m)
+		if best < 0 || s < bestScore || (s == bestScore && m < best) {
+			best, bestScore = m, s
+		}
+	}
+	return best, bestScore, true
+}
+
+// ideal is the omniscient baseline: it weighs each reachable machine's
+// queued work against its true current capacity — including degradations
+// the dispatcher could not actually see — and routes to the machine with
+// the shortest expected drain time. No deployable policy has this
+// information; the gap to ideal is each policy's routing regret.
+type ideal struct{}
+
+func (i *ideal) Name() string { return "ideal" }
+func (i *ideal) Reset()       {}
+
+func (i *ideal) Pick(v View) (int, float64, bool) {
+	best, bestScore := -1, 0.0
+	for m := 0; m < v.Machines(); m++ {
+		if !v.Eligible(m) {
+			continue
+		}
+		cap := v.Capacity(m)
+		var s float64
+		if cap <= 0 {
+			s = inf
+		} else {
+			s = v.QueuedWork(m) / cap
+		}
+		if best < 0 || s < bestScore {
+			best, bestScore = m, s
+		}
+	}
+	return best, bestScore, best >= 0
+}
+
+const inf = 1e300
+
+// capacityAt computes a machine's sustainable aggregate processing rate:
+// every healthy core running at its equal share of the current budget.
+func capacityAt(s *machine.Server) float64 {
+	alive := s.Healthy()
+	budget := s.Budget()
+	if alive == 0 || budget <= 0 {
+		return 0
+	}
+	share := budget / float64(alive)
+	sum := 0.0
+	for i, c := range s.Cores {
+		if c.Healthy() {
+			sum += power.Rate(s.ModelFor(i).Speed(share))
+		}
+	}
+	return sum
+}

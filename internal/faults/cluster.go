@@ -1,0 +1,295 @@
+package faults
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"goodenough/internal/rng"
+)
+
+// Machine-scoped fault kinds extend the per-core taxonomy to fleet
+// simulations (internal/cluster): whole machines crash, partition from the
+// global dispatcher, or degrade, and later recover. They live in the same
+// Kind space so schedules and exporters share one vocabulary.
+const (
+	// MachineCrash halts machine Machine: every core fails at once, all
+	// in-flight progress is wiped, and waiting jobs are stranded for the
+	// dispatcher to re-route.
+	MachineCrash Kind = iota + 100
+	// MachineRecover returns a crashed machine to service (empty, healthy).
+	MachineRecover
+	// MachinePartition cuts the machine off from the global dispatcher: it
+	// keeps serving what it has, but receives no new work until the
+	// partition heals.
+	MachinePartition
+	// MachineHeal reconnects a partitioned machine to the dispatcher.
+	MachineHeal
+	// MachineSlow degrades the machine to Factor of its nominal power
+	// budget (a slow or thermally-throttled box).
+	MachineSlow
+	// MachineRestore lifts a MachineSlow degradation.
+	MachineRestore
+)
+
+// machineKindString covers the machine-scoped kinds for Kind.String.
+func machineKindString(k Kind) (string, bool) {
+	switch k {
+	case MachineCrash:
+		return "machine-crash", true
+	case MachineRecover:
+		return "machine-recover", true
+	case MachinePartition:
+		return "machine-partition", true
+	case MachineHeal:
+		return "machine-heal", true
+	case MachineSlow:
+		return "machine-slow", true
+	case MachineRestore:
+		return "machine-restore", true
+	default:
+		return "", false
+	}
+}
+
+// ParseMachineKind maps the string names accepted in fleet configs to the
+// onset Kind.
+func ParseMachineKind(s string) (Kind, error) {
+	switch s {
+	case "crash", "machine-crash":
+		return MachineCrash, nil
+	case "partition", "machine-partition":
+		return MachinePartition, nil
+	case "slow", "degrade", "machine-slow":
+		return MachineSlow, nil
+	default:
+		return 0, fmt.Errorf("faults: unknown machine fault kind %q (crash|partition|slow)", s)
+	}
+}
+
+// machineRecovery returns the Kind that undoes a machine-scoped onset.
+func machineRecovery(k Kind) Kind {
+	switch k {
+	case MachineCrash:
+		return MachineRecover
+	case MachinePartition:
+		return MachineHeal
+	default:
+		return MachineRestore
+	}
+}
+
+// MachineSpec is the user-level description of one machine fault window: an
+// onset and an optional duration after which the paired recovery fires.
+// Duration 0 means the fault is permanent.
+type MachineSpec struct {
+	// At is the onset time in seconds.
+	At float64
+	// Kind must be an onset kind: MachineCrash, MachinePartition, or
+	// MachineSlow.
+	Kind Kind
+	// Machine is the target machine index.
+	Machine int
+	// Duration, when positive, schedules the paired recovery at
+	// At+Duration; zero makes the fault permanent.
+	Duration float64
+	// Factor is the budget multiplier in (0,1) for MachineSlow.
+	Factor float64
+}
+
+// Validate reports whether the spec is well-formed for a fleet of the given
+// size and horizon (horizon <= 0 disables the horizon check). Errors name
+// the offending field so config files diagnose precisely.
+func (s MachineSpec) Validate(machines int, horizon float64) error {
+	if math.IsNaN(s.At) || math.IsInf(s.At, 0) || s.At < 0 {
+		return fmt.Errorf("faults: machine fault At %v must be finite and non-negative", s.At)
+	}
+	if horizon > 0 && s.At >= horizon {
+		return fmt.Errorf("faults: machine fault At %v outside the run horizon [0,%v)", s.At, horizon)
+	}
+	if math.IsNaN(s.Duration) || math.IsInf(s.Duration, 0) || s.Duration < 0 {
+		return fmt.Errorf("faults: machine fault Duration %v must be finite and non-negative", s.Duration)
+	}
+	if s.Machine < 0 || s.Machine >= machines {
+		return fmt.Errorf("faults: Machine %d outside fleet [0,%d)", s.Machine, machines)
+	}
+	switch s.Kind {
+	case MachineCrash, MachinePartition:
+		// No payload.
+	case MachineSlow:
+		if math.IsNaN(s.Factor) || s.Factor <= 0 || s.Factor >= 1 {
+			return fmt.Errorf("faults: MachineSlow Factor %v must lie in (0,1)", s.Factor)
+		}
+	case MachineRecover, MachineHeal, MachineRestore:
+		return fmt.Errorf("faults: %v is a recovery kind; specs carry the onset plus a Duration", s.Kind)
+	default:
+		return fmt.Errorf("faults: Kind %d is not a machine fault kind", int(s.Kind))
+	}
+	return nil
+}
+
+// end returns the exclusive end of the spec's fault window (+Inf when
+// permanent).
+func (s MachineSpec) end() float64 {
+	if s.Duration == 0 {
+		return math.Inf(1)
+	}
+	return s.At + s.Duration
+}
+
+// MachineEvent is one timed machine-fault occurrence, ready for the fleet
+// event queue.
+type MachineEvent struct {
+	// At is the simulation time in seconds.
+	At float64
+	// Kind says what happens.
+	Kind Kind
+	// Machine is the target machine index.
+	Machine int
+	// Factor is the budget multiplier for MachineSlow.
+	Factor float64
+}
+
+// ClusterSchedule is a validated, time-ordered machine-fault event stream.
+type ClusterSchedule struct {
+	events []MachineEvent
+}
+
+// NewCluster expands specs into a time-ordered ClusterSchedule, pairing each
+// bounded fault with its recovery. Beyond per-spec validation, windows on
+// the same machine must not overlap — a machine cannot crash while it is
+// already partitioned — mirroring how the per-core path rejects malformed
+// schedules instead of silently reordering them.
+func NewCluster(specs []MachineSpec, machines int, horizon float64) (*ClusterSchedule, error) {
+	if machines <= 0 {
+		return nil, fmt.Errorf("faults: cluster schedule needs a positive machine count, got %d", machines)
+	}
+	for i, s := range specs {
+		if err := s.Validate(machines, horizon); err != nil {
+			return nil, fmt.Errorf("faults: machine spec %d: %w", i, err)
+		}
+		for k := 0; k < i; k++ {
+			p := specs[k]
+			if p.Machine != s.Machine {
+				continue
+			}
+			if s.At < p.end() && p.At < s.end() {
+				return nil, fmt.Errorf(
+					"faults: machine spec %d (%v at %v) overlaps spec %d (%v at %v) on machine %d",
+					i, s.Kind, s.At, k, p.Kind, p.At, s.Machine)
+			}
+		}
+	}
+	events := make([]MachineEvent, 0, 2*len(specs))
+	for _, s := range specs {
+		events = append(events, MachineEvent{At: s.At, Kind: s.Kind, Machine: s.Machine, Factor: s.Factor})
+		if s.Duration > 0 {
+			events = append(events, MachineEvent{
+				At: s.At + s.Duration, Kind: machineRecovery(s.Kind), Machine: s.Machine})
+		}
+	}
+	sortMachineEvents(events)
+	return &ClusterSchedule{events: events}, nil
+}
+
+// sortMachineEvents orders by time, breaking ties by (kind, machine) so
+// equal-time streams are deterministic regardless of spec order.
+func sortMachineEvents(events []MachineEvent) {
+	sort.SliceStable(events, func(a, b int) bool {
+		if events[a].At != events[b].At {
+			return events[a].At < events[b].At
+		}
+		if events[a].Kind != events[b].Kind {
+			return events[a].Kind < events[b].Kind
+		}
+		return events[a].Machine < events[b].Machine
+	})
+}
+
+// GenerateCluster draws a per-machine alternating crash/repair renewal
+// process: each machine stays up for an Exp(1/mtbf) time, down for an
+// Exp(1/mttr) time, repeating until the horizon. Like Generate, the stream
+// is deterministic for a fixed (seed, machines, horizon, mtbf, mttr) tuple
+// and every crash inside the horizon gets its paired recovery.
+func GenerateCluster(seed uint64, machines int, horizon, mtbf, mttr float64) (*ClusterSchedule, error) {
+	if machines <= 0 {
+		return nil, fmt.Errorf("faults: cluster generator needs a positive machine count, got %d", machines)
+	}
+	if math.IsNaN(horizon) || math.IsInf(horizon, 0) || horizon <= 0 {
+		return nil, fmt.Errorf("faults: cluster generator horizon %v must be finite and positive", horizon)
+	}
+	if math.IsNaN(mtbf) || mtbf <= 0 {
+		return nil, fmt.Errorf("faults: machine MTBF %v must be positive", mtbf)
+	}
+	if math.IsNaN(mttr) || mttr <= 0 {
+		return nil, fmt.Errorf("faults: machine MTTR %v must be positive", mttr)
+	}
+	var events []MachineEvent
+	// A different mix constant than the per-core generator, so a fleet that
+	// layers both never sees correlated streams from one seed.
+	root := rng.New(seed ^ 0xc105e4FA175)
+	for m := 0; m < machines; m++ {
+		src := root.Split()
+		t := 0.0
+		for {
+			t += src.Exp(1 / mtbf)
+			if t >= horizon {
+				break
+			}
+			down := src.Exp(1 / mttr)
+			events = append(events, MachineEvent{At: t, Kind: MachineCrash, Machine: m})
+			events = append(events, MachineEvent{At: t + down, Kind: MachineRecover, Machine: m})
+			t += down
+		}
+	}
+	sortMachineEvents(events)
+	return &ClusterSchedule{events: events}, nil
+}
+
+// Events returns a copy of the ordered event stream.
+func (s *ClusterSchedule) Events() []MachineEvent {
+	if s == nil {
+		return nil
+	}
+	return append([]MachineEvent(nil), s.events...)
+}
+
+// Len returns the number of events.
+func (s *ClusterSchedule) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.events)
+}
+
+// Validate re-checks the event stream against a fleet size, guarding
+// hand-built schedules and machine-count mismatches.
+func (s *ClusterSchedule) Validate(machines int) error {
+	if s == nil {
+		return nil
+	}
+	last := 0.0
+	for i, e := range s.events {
+		if math.IsNaN(e.At) || math.IsInf(e.At, 0) || e.At < 0 {
+			return fmt.Errorf("faults: machine event %d time %v must be finite and non-negative", i, e.At)
+		}
+		if e.At < last {
+			return fmt.Errorf("faults: machine event %d at %v before predecessor at %v", i, e.At, last)
+		}
+		last = e.At
+		if e.Machine < 0 || e.Machine >= machines {
+			return fmt.Errorf("faults: machine event %d machine %d outside fleet [0,%d)", i, e.Machine, machines)
+		}
+		switch e.Kind {
+		case MachineCrash, MachinePartition, MachineRecover, MachineHeal, MachineRestore:
+			// No payload.
+		case MachineSlow:
+			if math.IsNaN(e.Factor) || e.Factor <= 0 || e.Factor >= 1 {
+				return fmt.Errorf("faults: machine event %d slow factor %v must lie in (0,1)", i, e.Factor)
+			}
+		default:
+			return fmt.Errorf("faults: machine event %d has non-machine kind %d", i, int(e.Kind))
+		}
+	}
+	return nil
+}

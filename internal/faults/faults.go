@@ -65,6 +65,9 @@ func (k Kind) String() string {
 	case SpeedFree:
 		return "speed-free"
 	default:
+		if s, ok := machineKindString(k); ok {
+			return s
+		}
 		return fmt.Sprintf("fault(%d)", int(k))
 	}
 }

@@ -61,3 +61,60 @@ func FuzzGenerate(f *testing.F) {
 		}
 	})
 }
+
+// FuzzGenerateCluster asserts the same structural guarantees for the
+// machine-level MTBF/MTTR generator: time-ordered events, every crash paired
+// with a later recovery of the same machine, validation-clean output, and a
+// fixed seed reproducing the stream exactly.
+func FuzzGenerateCluster(f *testing.F) {
+	f.Add(uint64(2017), 10, 60.0, 30.0, 5.0)
+	f.Add(uint64(0), 1, 1.0, 0.001, 0.001)
+	f.Add(uint64(42), 64, 50.0, 5.0, 500.0)
+	f.Fuzz(func(t *testing.T, seed uint64, machines int, horizon, mtbf, mttr float64) {
+		if machines > 256 {
+			machines %= 256
+		}
+		sch, err := GenerateCluster(seed, machines, horizon, mtbf, mttr)
+		if err != nil {
+			return // invalid parameters are rejected, not generated around
+		}
+		events := sch.Events()
+		last := 0.0
+		down := make(map[int]bool)
+		for i, e := range events {
+			if e.At < last {
+				t.Fatalf("event %d at %v before predecessor at %v", i, e.At, last)
+			}
+			last = e.At
+			switch e.Kind {
+			case MachineCrash:
+				if down[e.Machine] {
+					t.Fatalf("machine %d crashed while already down", e.Machine)
+				}
+				down[e.Machine] = true
+			case MachineRecover:
+				if !down[e.Machine] {
+					t.Fatalf("machine %d recovered while up", e.Machine)
+				}
+				down[e.Machine] = false
+			default:
+				t.Fatalf("cluster generator emitted kind %v", e.Kind)
+			}
+		}
+		for m, d := range down {
+			if d {
+				t.Fatalf("machine %d left crashed without a paired recovery", m)
+			}
+		}
+		if err := sch.Validate(machines); err != nil {
+			t.Fatalf("generated cluster schedule fails validation: %v", err)
+		}
+		again, err := GenerateCluster(seed, machines, horizon, mtbf, mttr)
+		if err != nil {
+			t.Fatalf("second generation errored: %v", err)
+		}
+		if !reflect.DeepEqual(events, again.Events()) {
+			t.Fatal("same parameters produced different cluster schedules")
+		}
+	})
+}

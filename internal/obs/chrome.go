@@ -99,6 +99,26 @@ func (t *Tracer) Observe(e Event) {
 	case EventJobDrop:
 		t.event(fmt.Sprintf(`{"ph":"i","pid":1,"tid":0,"ts":%s,"s":"p","name":"drop J%d"}`,
 			us(e.Time), e.Job))
+	case EventMachineDown, EventMachineUp, EventMachinePartition, EventMachineDegrade:
+		// Process-scoped instant markers plus a per-machine health counter
+		// track so fleet chaos timelines read at a glance: 1 up, 0 down,
+		// 0.5 partitioned, the budget factor while degraded.
+		t.event(fmt.Sprintf(`{"ph":"i","pid":1,"tid":0,"ts":%s,"s":"p","name":"%s m%d"}`,
+			us(e.Time), e.Type, e.Core))
+		health := 1.0
+		switch {
+		case e.Type == EventMachineDown:
+			health = 0
+		case e.Type == EventMachinePartition && e.Flag:
+			health = 0.5
+		case e.Type == EventMachineDegrade && e.Flag:
+			health = e.Value
+		}
+		t.event(fmt.Sprintf(`{"ph":"C","pid":1,"ts":%s,"name":"machine %d health","args":{"h":%s}}`,
+			us(e.Time), e.Core, g(health)))
+	case EventRedispatch:
+		t.event(fmt.Sprintf(`{"ph":"i","pid":1,"tid":0,"ts":%s,"s":"p","name":"redispatch J%d -> m%d"}`,
+			us(e.Time), e.Job, e.Core))
 	}
 }
 

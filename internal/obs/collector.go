@@ -118,6 +118,24 @@ func (c *Collector) Observe(e Event) {
 		reg.Counter("sim_events").Inc()
 	case EventRunEnd:
 		reg.Gauge("sim_time_s").Set(e.Value)
+	case EventMachineDown:
+		reg.Counter("machine_crashes").Inc()
+	case EventMachineUp:
+		reg.Counter("machine_recoveries").Inc()
+	case EventMachinePartition:
+		if e.Flag {
+			reg.Counter("machine_partitions").Inc()
+		} else {
+			reg.Counter("machine_heals").Inc()
+		}
+	case EventMachineDegrade:
+		if e.Flag {
+			reg.Counter("machine_degrades").Inc()
+		}
+	case EventDispatch:
+		reg.Counter("dispatches").Inc()
+	case EventRedispatch:
+		reg.Counter("redispatches").Inc()
 	}
 }
 

@@ -91,6 +91,30 @@ const (
 	EventKernel
 	// EventRunEnd: the simulation finished. Value=simulated span (s).
 	EventRunEnd
+	// EventMachineDown: a fleet machine crashed, losing its in-flight work.
+	// Core=machine index, Value=jobs orphaned by the crash, Aux=processing
+	// units of progress wiped.
+	EventMachineDown
+	// EventMachineUp: a crashed machine returned to service (empty,
+	// healthy). Core=machine index.
+	EventMachineUp
+	// EventMachinePartition: a machine's dispatcher link changed. Core=
+	// machine index, Flag=true partitioned (unreachable from the
+	// dispatcher), false healed.
+	EventMachinePartition
+	// EventMachineDegrade: a machine's effective capacity changed. Core=
+	// machine index, Flag=true degraded with Value=the budget factor in
+	// (0,1), false restored to nominal (Value=1).
+	EventMachineDegrade
+	// EventDispatch: the global dispatcher routed a job to a machine.
+	// Job=id, Core=machine index, Value=the policy's score for the chosen
+	// machine (policy-specific; queued work for load-based policies),
+	// Aux=number of machines eligible at the decision.
+	EventDispatch
+	// EventRedispatch: a job lost or stranded by a machine fault was routed
+	// again. Job=id, Core=destination machine index, Value=the job's
+	// re-dispatch count so far, Aux=remaining work being moved.
+	EventRedispatch
 
 	numEventTypes // sentinel; keep last
 )
@@ -139,6 +163,18 @@ func (t EventType) String() string {
 		return "kernel"
 	case EventRunEnd:
 		return "run-end"
+	case EventMachineDown:
+		return "machine-down"
+	case EventMachineUp:
+		return "machine-up"
+	case EventMachinePartition:
+		return "machine-partition"
+	case EventMachineDegrade:
+		return "machine-degrade"
+	case EventDispatch:
+		return "dispatch"
+	case EventRedispatch:
+		return "redispatch"
 	default:
 		return fmt.Sprintf("event(%d)", int(t))
 	}

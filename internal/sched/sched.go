@@ -216,13 +216,26 @@ type Context struct {
 	// distribution switches — through obs.Emit(ctx.Observer, ...).
 	Observer obs.Observer
 
-	runner *Runner
+	// Modes receives the policy's AES/BQ mode reports (SetMode). The
+	// single-machine Runner implements it; fleet simulations plug one sink
+	// per machine so per-node AES time is accounted independently.
+	Modes ModeSink
+}
+
+// ModeSink accounts execution-mode reports from mode-switching policies:
+// the AES-time fraction (Fig. 1) and the AES↔BQ switch count.
+type ModeSink interface {
+	RecordMode(now float64, aes bool)
 }
 
 // SetMode lets mode-switching policies (GE) report whether they are in AES
-// mode so the runner can account the AES-time fraction (Fig. 1) and count
+// mode so the run can account the AES-time fraction (Fig. 1) and count
 // mode switches.
-func (c *Context) SetMode(aes bool) { c.runner.setMode(c.Now, aes) }
+func (c *Context) SetMode(aes bool) {
+	if c.Modes != nil {
+		c.Modes.RecordMode(c.Now, aes)
+	}
+}
 
 // Policy makes all scheduling decisions.
 type Policy interface {
@@ -706,7 +719,7 @@ func (r *Runner) invoke(now float64, trig Trigger) {
 		ArrivalRate: r.estimateRate(now),
 		Finalize:    r.finalizeFn,
 		Observer:    r.obs,
-		runner:      r,
+		Modes:       r,
 	}
 	r.policy.Schedule(&r.pctx)
 	r.refreshIdleEvents(now)
@@ -944,6 +957,9 @@ func (r *Runner) estimateRate(now float64) float64 {
 	window := math.Min(r.cfg.RateWindow, math.Max(now, 1e-3))
 	return float64(len(r.arrivalTimes)) / window
 }
+
+// RecordMode implements ModeSink.
+func (r *Runner) RecordMode(now float64, aes bool) { r.setMode(now, aes) }
 
 // setMode accumulates AES time and counts switches.
 func (r *Runner) setMode(now float64, aes bool) {

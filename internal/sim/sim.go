@@ -50,6 +50,10 @@ const (
 	KindSpeedStuck
 	// KindSpeedFree fires when a stuck core's DVFS is released.
 	KindSpeedFree
+	// KindMachineFault fires on a machine-scoped fault transition in a
+	// fleet simulation (crash, partition, degrade, and their recoveries).
+	// Ref indexes the cluster's fault table.
+	KindMachineFault
 )
 
 // String implements fmt.Stringer.
@@ -77,6 +81,8 @@ func (k Kind) String() string {
 		return "speed-stuck"
 	case KindSpeedFree:
 		return "speed-free"
+	case KindMachineFault:
+		return "machine-fault"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -323,6 +329,14 @@ func (e *Engine) Schedule(t float64, kind Kind) (EventID, error) {
 // ScheduleCore is Schedule carrying a core index payload (KindCoreIdle).
 func (e *Engine) ScheduleCore(t float64, kind Kind, core int) (EventID, error) {
 	return e.schedule(t, kind, core, noEvent, int(kind))
+}
+
+// ScheduleCoreRef is Schedule carrying both payload fields: a core index and
+// an opaque reference. Fleet simulations use the reference for the machine
+// index so one shared engine can drive N machines (KindCoreIdle on machine
+// ref, core core).
+func (e *Engine) ScheduleCoreRef(t float64, kind Kind, core, ref int) (EventID, error) {
+	return e.schedule(t, kind, core, ref, int(kind))
 }
 
 // ScheduleWithPriority is Schedule with an explicit tie-break priority and

@@ -1,0 +1,39 @@
+#!/bin/sh
+# Fleet-simulation smoke: run the committed 10-machine chaos scenario
+# (testdata/fleet_chaos.json — machines crash, partition, and degrade
+# mid-run, all recovering) through gefleet under every dispatch policy, and
+# require each run to finish with zero lost-forever jobs. gefleet exits
+# nonzero itself when any job escapes accounting, so the policy shoot-out
+# doubles as the assertion. A second run of the default policy must produce
+# a byte-identical CSV row (same seed + schedule => same simulation). Used
+# by `make fleet-smoke` and the CI fleet-smoke job.
+set -eu
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+go build -o "$TMP/gefleet" ./cmd/gefleet
+
+echo "fleet-smoke: policy shoot-out over testdata/fleet_chaos.json"
+"$TMP/gefleet" -machines 10 -duration 30 \
+    -chaos @testdata/fleet_chaos.json -compare
+
+echo "fleet-smoke: determinism re-run"
+"$TMP/gefleet" -machines 10 -duration 30 \
+    -chaos @testdata/fleet_chaos.json -csv >"$TMP/a.csv"
+"$TMP/gefleet" -machines 10 -duration 30 \
+    -chaos @testdata/fleet_chaos.json -csv >"$TMP/b.csv"
+if ! cmp -s "$TMP/a.csv" "$TMP/b.csv"; then
+    echo "fleet-smoke: same seed + chaos schedule produced different results" >&2
+    diff "$TMP/a.csv" "$TMP/b.csv" >&2 || true
+    exit 1
+fi
+cat "$TMP/a.csv"
+
+CRASHES=$(awk -F, 'NR==2{print $14}' "$TMP/a.csv")
+REDISP=$(awk -F, 'NR==2{print $17}' "$TMP/a.csv")
+if [ "$CRASHES" != "4" ] || [ "$REDISP" -lt 1 ]; then
+    echo "fleet-smoke: chaos did not land: crashes=$CRASHES redispatches=$REDISP" >&2
+    exit 1
+fi
+echo "fleet-smoke: PASS ($CRASHES crashes, $REDISP re-dispatches, 0 lost)"
