@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-baseline bench-check smoke chaos-smoke fleet-smoke sweep sweep-fast fuzz cover clean
+.PHONY: all build test race vet bench bench-baseline bench-check smoke chaos-smoke fleet-smoke obs-smoke sweep sweep-fast fuzz cover clean
 
 all: build vet test
 
@@ -27,6 +27,12 @@ smoke:
 # mid-run, geload must see zero failures and the gateway nonzero hedge wins.
 chaos-smoke:
 	sh scripts/chaos_smoke.sh
+
+# Observability smoke: traced load through gegate + geserve with -span-log
+# everywhere; span logs must merge into one causal tree per request, and
+# /metricz (Prometheus) + /timeseriez + gestat must all answer.
+obs-smoke:
+	sh scripts/obs_smoke.sh
 
 # Fleet-simulation smoke: the committed 10-machine chaos scenario through
 # gefleet under every dispatch policy — zero lost-forever jobs, byte-stable

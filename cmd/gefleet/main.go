@@ -25,7 +25,9 @@
 //
 // Observability mirrors gesim: -events (JSONL), -trace (Perfetto), -report.
 // Fleet exports remap core events to globally unique IDs machine*cores+core
-// and add machine health tracks.
+// and add machine health tracks. -report also prints the decision summary
+// (dispatches, re-dispatches, sheds) and a per-machine routing table;
+// combined with -compare it shows how each policy spread the load.
 package main
 
 import (
@@ -72,8 +74,10 @@ func parseChaos(arg string) ([]goodenough.MachineFaultSpec, error) {
 }
 
 // compareAll runs every dispatch policy on the same workload and fault
-// schedule and prints one row per policy.
-func compareAll(fc goodenough.FleetConfig) {
+// schedule and prints one row per policy. With report set, each row is
+// followed by the per-machine decision summary — how that policy actually
+// spread (and fault re-routed) the load.
+func compareAll(fc goodenough.FleetConfig, report bool) {
 	fmt.Printf("%-13s %8s %12s %9s %9s %7s %8s %10s %6s %6s\n",
 		"dispatch", "quality", "energy(J)", "p99(ms)", "completed", "expired", "redisp", "lostwork", "drop", "lost")
 	exit := 0
@@ -90,6 +94,12 @@ func compareAll(fc goodenough.FleetConfig) {
 			res.Dispatch, res.Quality, res.Energy, res.P99Response*1000,
 			res.Completed, res.Expired, res.Redispatches, res.LostWork,
 			res.Dropped, res.LostForever)
+		if report {
+			for i, m := range res.PerMachine {
+				fmt.Printf("  machine %-4d dispatches=%-7d redispatches=%-5d completed=%-7d expired=%d\n",
+					i, m.Dispatches, m.Redispatches, m.Completed, m.Expired)
+			}
+		}
 		if res.LostForever != 0 {
 			fmt.Fprintf(os.Stderr, "gefleet: %s: %d jobs lost forever\n", name, res.LostForever)
 			exit = 1
@@ -158,7 +168,7 @@ func main() {
 	}
 
 	if *compare {
-		compareAll(fc)
+		compareAll(fc, *report)
 		return
 	}
 
@@ -222,18 +232,21 @@ func main() {
 	fmt.Printf("expired          %d\n", res.Expired)
 	fmt.Printf("dropped          %d (re-dispatch limit)\n", res.Dropped)
 	fmt.Printf("lost forever     %d\n", res.LostForever)
-	if res.Crashes > 0 || res.Partitions > 0 || res.Degrades > 0 {
-		fmt.Printf("machine faults   %d crashes, %d partitions, %d degrades\n",
-			res.Crashes, res.Partitions, res.Degrades)
-		fmt.Printf("re-dispatches    %d (lost work %.1f units)\n",
-			res.Redispatches, res.LostWork)
-		fmt.Printf("pending expired  %d\n", res.PendingExpired)
-		fmt.Printf("availability     %.4f\n", res.Availability)
-		fmt.Printf("%-8s %12s %9s %10s %9s %8s %9s\n",
-			"machine", "energy(J)", "quality", "completed", "expired", "crashes", "down(s)")
+	if res.Crashes > 0 || res.Partitions > 0 || res.Degrades > 0 || *report {
+		if res.Crashes > 0 || res.Partitions > 0 || res.Degrades > 0 {
+			fmt.Printf("machine faults   %d crashes, %d partitions, %d degrades\n",
+				res.Crashes, res.Partitions, res.Degrades)
+			fmt.Printf("re-dispatches    %d (lost work %.1f units)\n",
+				res.Redispatches, res.LostWork)
+			fmt.Printf("pending expired  %d\n", res.PendingExpired)
+			fmt.Printf("availability     %.4f\n", res.Availability)
+		}
+		fmt.Printf("%-8s %12s %9s %10s %9s %8s %9s %8s %7s\n",
+			"machine", "energy(J)", "quality", "completed", "expired", "crashes", "down(s)", "disp", "redisp")
 		for i, m := range res.PerMachine {
-			fmt.Printf("%-8d %12.1f %9.4f %10d %9d %8d %9.2f\n",
-				i, m.Energy, m.Quality, m.Completed, m.Expired, m.Crashes, m.DownTime)
+			fmt.Printf("%-8d %12.1f %9.4f %10d %9d %8d %9.2f %8d %7d\n",
+				i, m.Energy, m.Quality, m.Completed, m.Expired, m.Crashes, m.DownTime,
+				m.Dispatches, m.Redispatches)
 		}
 	}
 	if *report {

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"goodenough/internal/gateway"
+	"goodenough/internal/obs"
 )
 
 func main() {
@@ -50,8 +51,22 @@ func main() {
 		budgetBurst  = flag.Float64("retry-burst", 16, "retry budget bucket size")
 		timeout      = flag.Duration("timeout", 90*time.Second, "end-to-end deadline per client request")
 		shutdownGr   = flag.Duration("shutdown-grace", 15*time.Second, "drain deadline on SIGTERM")
+		spanLog      = flag.String("span-log", "", "trace proxied requests + attempts to this JSONL file (empty = tracing off)")
 	)
 	flag.Parse()
+
+	var spans *obs.SpanBus
+	if *spanLog != "" {
+		f, err := os.Create(*spanLog)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gegate:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		sink := obs.NewSpanLog(f)
+		defer sink.Flush()
+		spans = obs.NewSpanBus(sink)
+	}
 
 	if *replicas == "" {
 		fmt.Fprintln(os.Stderr, "gegate: -replicas is required (comma-separated geserve URLs)")
@@ -78,6 +93,7 @@ func main() {
 		RetryBudgetRatio: *budgetRatio,
 		RetryBudgetBurst: *budgetBurst,
 		RequestTimeout:   *timeout,
+		Spans:            spans,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},

@@ -37,6 +37,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"goodenough/internal/obs"
 )
 
 type options struct {
@@ -52,7 +54,8 @@ type options struct {
 	seed        int64
 	csv         bool
 
-	body []byte
+	body  []byte
+	spans *obs.SpanBus // nil = tracing off
 }
 
 // tally accumulates outcomes across workers.
@@ -125,15 +128,29 @@ func retryAfterHint(header string, ceiling time.Duration) (d time.Duration, clam
 // exponential backoff. rng is per-worker, so jitter is reproducible under
 // -seed without lock contention.
 func oneRequest(client *http.Client, opt *options, t *tally, rng *rand.Rand) {
+	// One client span covers the whole logical request, shed retries
+	// included; each attempt carries the trace so gegate and geserve spans
+	// join it. Nil bus = all no-ops.
+	span := opt.spans.Start("client./v1/run", obs.SpanClient, obs.SpanContext{})
+	defer opt.spans.Finish(span)
 	backoff := opt.backoff
 	for attempt := 0; ; attempt++ {
 		atomic.AddInt64(&t.attempts, 1)
 		start := time.Now()
-		resp, err := client.Post(opt.url+"/v1/run", "application/json", bytes.NewReader(opt.body))
+		req, rerr := http.NewRequest(http.MethodPost, opt.url+"/v1/run", bytes.NewReader(opt.body))
+		if rerr != nil {
+			span.SetNote("error")
+			t.addErr()
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		span.Context().Inject(req.Header)
+		resp, err := client.Do(req)
 		if err != nil {
 			// Connection-level failure: retry like a shed, the server may
 			// be briefly unreachable mid-drain.
 			if attempt >= opt.retries {
+				span.SetNote("error")
 				t.addErr()
 				return
 			}
@@ -149,12 +166,17 @@ func oneRequest(client *http.Client, opt *options, t *tally, rng *rand.Rand) {
 					}
 				}
 				_ = json.Unmarshal(body, &rr)
+				hedged := resp.Header.Get("X-GE-Hedged") != ""
+				span.SetValue(elapsed.Seconds())
+				span.SetAux(float64(attempt + 1))
+				span.SetFlag(hedged)
 				t.success(elapsed, rr.Result.Cancelled,
-					resp.Header.Get("X-GE-Replica"), resp.Header.Get("X-GE-Hedged") != "")
+					resp.Header.Get("X-GE-Replica"), hedged)
 				return
 			case resp.StatusCode == http.StatusTooManyRequests ||
 				resp.StatusCode == http.StatusServiceUnavailable:
 				if attempt >= opt.retries {
+					span.SetNote("shed")
 					t.addShed()
 					return
 				}
@@ -168,6 +190,7 @@ func oneRequest(client *http.Client, opt *options, t *tally, rng *rand.Rand) {
 			default:
 				// 400 config errors and 500 panics are not retryable.
 				fmt.Fprintf(os.Stderr, "geload: %s: %s\n", resp.Status, bytes.TrimSpace(body))
+				span.SetNote("error")
 				t.addErr()
 				return
 			}
@@ -200,11 +223,23 @@ func main() {
 	flag.DurationVar(&opt.timeout, "timeout", 2*time.Minute, "per-attempt HTTP timeout")
 	flag.Int64Var(&opt.seed, "seed", 1, "jitter RNG seed")
 	flag.BoolVar(&opt.csv, "csv", false, "emit a single CSV row instead of text")
+	var spanLog = flag.String("span-log", "", "originate a trace per request and log client spans to this JSONL file")
 	flag.Parse()
 
 	if opt.requests <= 0 {
 		fmt.Fprintln(os.Stderr, "geload: -requests must be positive")
 		os.Exit(1)
+	}
+	if *spanLog != "" {
+		f, err := os.Create(*spanLog)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "geload:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		sink := obs.NewSpanLog(f)
+		defer sink.Flush()
+		opt.spans = obs.NewSpanBus(sink)
 	}
 	body, err := json.Marshal(map[string]any{
 		"Scheduler":   *scheduler,

@@ -29,6 +29,7 @@ import (
 	"syscall"
 	"time"
 
+	"goodenough/internal/obs"
 	"goodenough/internal/server"
 )
 
@@ -42,8 +43,22 @@ func main() {
 		retryAfter   = flag.Duration("retry-after", time.Second, "backoff hint attached to shed (429) responses")
 		maxBody      = flag.Int64("max-body", 8<<20, "request body cap in bytes")
 		maxSweep     = flag.Int("max-sweep", 64, "max points one sweep request may fan out to")
+		spanLog      = flag.String("span-log", "", "trace request + scheduler spans to this JSONL file (empty = tracing off)")
 	)
 	flag.Parse()
+
+	var spans *obs.SpanBus
+	if *spanLog != "" {
+		f, err := os.Create(*spanLog)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "geserve:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		sink := obs.NewSpanLog(f)
+		defer sink.Flush()
+		spans = obs.NewSpanBus(sink)
+	}
 
 	srv := server.New(server.Config{
 		MaxConcurrent:  *concurrency,
@@ -53,6 +68,7 @@ func main() {
 		RetryAfter:     *retryAfter,
 		MaxBodyBytes:   *maxBody,
 		MaxSweepPoints: *maxSweep,
+		Spans:          spans,
 	})
 	hs := &http.Server{
 		Addr:              *addr,

@@ -18,12 +18,14 @@
 // Observability (structured events, traces, reports, profiles):
 //
 //	gesim -scheduler ge -rate 154 -events run.jsonl -trace run.trace.json
-//	gesim -scheduler ge -rate 154 -report
+//	gesim -scheduler ge -rate 154 -report -decisions run.decisions.jsonl
 //	gesim -scheduler ge -rate 300 -duration 600 -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // The -trace output loads in Perfetto (ui.perfetto.dev) or chrome://tracing
 // with one track per core; -events emits one JSON object per scheduler
-// event for jq/grep analysis.
+// event for jq/grep analysis; -decisions logs one JSON object per
+// admission, shed, mode switch, and DVFS replan with the inputs the
+// choice was made on.
 package main
 
 import (
@@ -90,11 +92,12 @@ func main() {
 		timeline = flag.String("timeline", "", "write a quality/power/mode time series CSV to this file")
 		compare  = flag.Bool("compare", false, "run every scheduler on this workload and print a comparison table")
 
-		traceOut   = flag.String("trace", "", "write a Chrome trace-event file (open in Perfetto) to this file")
-		eventsOut  = flag.String("events", "", "write the structured event stream as JSON Lines to this file")
-		report     = flag.Bool("report", false, "print a plain-text observability report after the run")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
+		traceOut     = flag.String("trace", "", "write a Chrome trace-event file (open in Perfetto) to this file")
+		eventsOut    = flag.String("events", "", "write the structured event stream as JSON Lines to this file")
+		decisionsOut = flag.String("decisions", "", "write the decision stream (admit/shed/mode-switch/replan) as JSON Lines to this file")
+		report       = flag.Bool("report", false, "print a plain-text observability report after the run")
+		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile   = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
 
@@ -209,6 +212,9 @@ func main() {
 	}
 	if *eventsOut != "" {
 		opts.Events = open(*eventsOut)
+	}
+	if *decisionsOut != "" {
+		opts.Decisions = open(*decisionsOut)
 	}
 	if *traceOut != "" {
 		opts.Trace = open(*traceOut)

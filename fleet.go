@@ -95,6 +95,11 @@ type FleetMachineResult struct {
 	DownTime float64
 	// AESFraction is the machine's share of time in AES mode.
 	AESFraction float64
+	// Dispatches and Redispatches count jobs routed (and fault re-routed)
+	// to this machine — the per-machine decision summary behind
+	// gefleet -report.
+	Dispatches   int64
+	Redispatches int64
 }
 
 // FleetResult reports what one fleet simulation achieved.
@@ -185,6 +190,16 @@ func RunFleetWithOptions(fc FleetConfig, opts RunOptions) (FleetResult, error) {
 	}
 	sinks = append(sinks, opts.Observer)
 	ccfg.Observer = obs.Multi(sinks...)
+	var decisions *obs.DecisionLog
+	var dsinks []obs.DecisionSink
+	if opts.Decisions != nil {
+		decisions = obs.NewDecisionLog(opts.Decisions)
+		dsinks = append(dsinks, decisions)
+	}
+	if col != nil {
+		dsinks = append(dsinks, col)
+	}
+	ccfg.Decisions = obs.DecisionSinks(dsinks...)
 
 	fleet, err := cluster.New(ccfg)
 	if err != nil {
@@ -201,6 +216,11 @@ func RunFleetWithOptions(fc FleetConfig, opts RunOptions) (FleetResult, error) {
 	}
 	if tracer != nil {
 		if err := tracer.Flush(); err != nil {
+			return FleetResult{}, err
+		}
+	}
+	if decisions != nil {
+		if err := decisions.Flush(); err != nil {
 			return FleetResult{}, err
 		}
 	}
@@ -307,13 +327,15 @@ func liftFleetResult(res cluster.Result) FleetResult {
 	}
 	for i, m := range res.PerMachine {
 		out.PerMachine[i] = FleetMachineResult{
-			Energy:      m.Energy,
-			Quality:     m.Quality,
-			Completed:   m.Completed,
-			Expired:     m.Expired,
-			Crashes:     m.Crashes,
-			DownTime:    m.DownTime,
-			AESFraction: m.AESFraction,
+			Energy:       m.Energy,
+			Quality:      m.Quality,
+			Completed:    m.Completed,
+			Expired:      m.Expired,
+			Crashes:      m.Crashes,
+			DownTime:     m.DownTime,
+			AESFraction:  m.AESFraction,
+			Dispatches:   m.Dispatches,
+			Redispatches: m.Redispatches,
 		}
 	}
 	return out

@@ -478,6 +478,17 @@ type RunOptions struct {
 	// Observer, when non-nil, additionally receives every structured
 	// event (custom sinks; see internal/obs for the event taxonomy).
 	Observer obs.Observer
+	// Decisions, when non-nil, receives the structured decision stream as
+	// JSON Lines — one record per admission, shed, mode switch, DVFS
+	// replan, and fleet (re)dispatch, carrying the inputs each choice was
+	// made on. Deterministic byte-for-byte for a seeded run.
+	Decisions io.Writer
+	// Spans, when non-nil, wraps the run and each scheduler invocation in
+	// wall-clock trace spans on this bus, parented under SpanParent (pass
+	// the zero SpanContext to root a fresh trace). This is how a serving
+	// tier stitches the scheduler into a request's causal tree.
+	Spans      *obs.SpanBus
+	SpanParent obs.SpanContext
 	// Context, when non-nil, bounds the run: cancelling it or passing its
 	// deadline interrupts the simulation mid-flight and the run returns a
 	// partial Result with Cancelled set instead of an error. Attached
@@ -525,6 +536,17 @@ func RunTraceWithOptions(cfg Config, traceJSON io.Reader, opts RunOptions) (Resu
 func finishWithOptions(runner *sched.Runner, cores int, opts RunOptions) (Result, error) {
 	if opts.Context != nil {
 		runner.SetContext(opts.Context)
+		if opts.Spans == nil {
+			// A serving tier hands its span bus down through the request
+			// context (obs.ContextWithSpan), since the injectable Run
+			// signature predates tracing.
+			if bus, parent, ok := obs.SpanFromContext(opts.Context); ok {
+				opts.Spans, opts.SpanParent = bus, parent
+			}
+		}
+	}
+	if opts.Spans != nil {
+		runner.SetSpans(opts.Spans, opts.SpanParent)
 	}
 	var tl *metrics.Timeline
 	if opts.Timeline != nil {
@@ -551,6 +573,18 @@ func finishWithOptions(runner *sched.Runner, cores int, opts RunOptions) (Result
 	if o := obs.Multi(sinks...); o != nil {
 		runner.SetObserver(o)
 	}
+	var decisions *obs.DecisionLog
+	var dsinks []obs.DecisionSink
+	if opts.Decisions != nil {
+		decisions = obs.NewDecisionLog(opts.Decisions)
+		dsinks = append(dsinks, decisions)
+	}
+	if col != nil {
+		dsinks = append(dsinks, col)
+	}
+	if ds := obs.DecisionSinks(dsinks...); ds != nil {
+		runner.SetDecisionSink(ds)
+	}
 	res, err := finish(runner)
 	if err != nil {
 		return Result{}, err
@@ -567,6 +601,11 @@ func finishWithOptions(runner *sched.Runner, cores int, opts RunOptions) (Result
 	}
 	if tracer != nil {
 		if err := tracer.Flush(); err != nil {
+			return Result{}, err
+		}
+	}
+	if decisions != nil {
+		if err := decisions.Flush(); err != nil {
 			return Result{}, err
 		}
 	}

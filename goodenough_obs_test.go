@@ -31,15 +31,15 @@ func goldenCfg() Config {
 	return cfg
 }
 
-func runGolden(t *testing.T) (events, trace, report []byte) {
+func runGolden(t *testing.T) (events, trace, report, decisions []byte) {
 	t.Helper()
-	var ev, tr, rep bytes.Buffer
+	var ev, tr, rep, dec bytes.Buffer
 	if _, err := RunWithOptions(goldenCfg(), RunOptions{
-		Events: &ev, Trace: &tr, Report: &rep,
+		Events: &ev, Trace: &tr, Report: &rep, Decisions: &dec,
 	}); err != nil {
 		t.Fatal(err)
 	}
-	return ev.Bytes(), tr.Bytes(), rep.Bytes()
+	return ev.Bytes(), tr.Bytes(), rep.Bytes(), dec.Bytes()
 }
 
 // TestGoldenExports pins the exporters' byte-exact output for a seeded run.
@@ -48,11 +48,12 @@ func runGolden(t *testing.T) (events, trace, report []byte) {
 // means either a real behavior change or a broken determinism guarantee.
 // Regenerate deliberately with: go test -run TestGoldenExports -update .
 func TestGoldenExports(t *testing.T) {
-	events, trace, report := runGolden(t)
+	events, trace, report, decisions := runGolden(t)
 	golden := map[string][]byte{
-		filepath.Join("testdata", "golden_run.events.jsonl"): events,
-		filepath.Join("testdata", "golden_run.trace.json"):   trace,
-		filepath.Join("testdata", "golden_run.report.txt"):   report,
+		filepath.Join("testdata", "golden_run.events.jsonl"):    events,
+		filepath.Join("testdata", "golden_run.trace.json"):      trace,
+		filepath.Join("testdata", "golden_run.report.txt"):      report,
+		filepath.Join("testdata", "golden_run.decisions.jsonl"): decisions,
 	}
 	if *updateGolden {
 		for path, got := range golden {
@@ -79,8 +80,8 @@ func TestGoldenExports(t *testing.T) {
 // TestGoldenRunDeterminism re-runs the golden configuration and demands
 // byte-identical exports, independent of what the checked-in goldens say.
 func TestGoldenRunDeterminism(t *testing.T) {
-	e1, t1, r1 := runGolden(t)
-	e2, t2, r2 := runGolden(t)
+	e1, t1, r1, d1 := runGolden(t)
+	e2, t2, r2, d2 := runGolden(t)
 	if !bytes.Equal(e1, e2) {
 		t.Error("JSONL export differs between identical runs")
 	}
@@ -89,6 +90,9 @@ func TestGoldenRunDeterminism(t *testing.T) {
 	}
 	if !bytes.Equal(r1, r2) {
 		t.Error("run report differs between identical runs")
+	}
+	if !bytes.Equal(d1, d2) {
+		t.Error("decision JSONL differs between identical runs")
 	}
 }
 

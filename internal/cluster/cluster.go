@@ -64,6 +64,10 @@ type Config struct {
 	// machine index in Core; per-core events are remapped to globally
 	// unique core IDs machine*cores+core.
 	Observer obs.Observer
+	// Decisions, when non-nil, receives one structured record per routing
+	// and health choice (dispatch, re-dispatch, limit drop, degrade
+	// replan, per-machine mode switch) with the machine index stamped in.
+	Decisions obs.DecisionSink
 }
 
 // Validate reports whether the configuration is runnable.
@@ -110,6 +114,11 @@ type MachineResult struct {
 	DownTime float64
 	// AESFraction is the fraction of the machine's time in AES mode.
 	AESFraction float64
+	// Dispatches and Redispatches count jobs routed (and fault re-routed)
+	// to this machine — the per-machine decision summary that explains how
+	// a dispatch policy spread (or failed to spread) the load.
+	Dispatches   int64
+	Redispatches int64
 }
 
 // Result summarizes a fleet run.
@@ -183,6 +192,8 @@ type node struct {
 	arrivalTimes []float64
 	idleEvents   []sim.EventID
 	queueExpired int64
+	dispatches   int64
+	redispatches int64
 
 	// Mode accounting (mirrors sched.Runner).
 	modeAES      bool
@@ -211,6 +222,15 @@ func (n *node) RecordMode(now float64, aes bool) {
 			n.modeSwitches++
 			obs.Emit(n.obsWrap, obs.Event{Time: now, Type: obs.EventModeSwitch,
 				Core: -1, Job: -1, Flag: aes})
+			if d := n.fleet.decisions; d != nil {
+				action := "bq"
+				if aes {
+					action = "aes"
+				}
+				d.ObserveDecision(obs.Decision{Time: now, Kind: obs.DecisionModeSwitch,
+					Machine: n.idx, Job: -1, Score: n.acc.Quality(),
+					Budget: n.server.Budget(), Action: action})
+			}
 		}
 	} else {
 		obs.Emit(n.obsWrap, obs.Event{Time: now, Type: obs.EventModeSwitch,
@@ -304,6 +324,8 @@ type Fleet struct {
 	nextArrival *job.Job
 	genDone     bool
 
+	decisions obs.DecisionSink
+
 	jobs           int
 	finalized      int
 	dropped        int64
@@ -329,6 +351,7 @@ func New(cfg Config) (*Fleet, error) {
 		obs:     cfg.Observer,
 		limit:   cfg.RedispatchLimit,
 	}
+	f.decisions = cfg.Decisions
 	if f.limit == 0 {
 		f.limit = DefaultRedispatchLimit
 	}
@@ -602,6 +625,11 @@ func (f *Fleet) dispatch(j *job.Job, now float64, redisp bool) {
 	m, score, ok := f.cfg.Dispatch.Pick(f)
 	if !ok {
 		f.pending.Push(j)
+		if f.decisions != nil {
+			// No eligible machine: the job parks at the dispatcher.
+			f.decisions.ObserveDecision(obs.Decision{Time: now, Kind: obs.DecisionDispatch,
+				Machine: -1, Job: j.ID, Action: "park"})
+		}
 		return
 	}
 	n := f.nodes[m]
@@ -609,8 +637,14 @@ func (f *Fleet) dispatch(j *job.Job, now float64, redisp bool) {
 	n.noteArrival(now, f.nodeCfg.RateWindow)
 	if redisp {
 		f.redispatches++
+		n.redispatches++
 		obs.Emit(f.obs, obs.Event{Time: now, Type: obs.EventRedispatch,
 			Core: m, Job: j.ID, Value: float64(j.Requeues), Aux: j.Remaining()})
+		if f.decisions != nil {
+			f.decisions.ObserveDecision(obs.Decision{Time: now, Kind: obs.DecisionRedispatch,
+				Machine: m, Job: j.ID, Score: score, Alts: j.Requeues,
+				Load: j.Remaining(), Budget: n.server.Budget(), Action: "redispatch"})
+		}
 	} else {
 		eligible := 0
 		for i := range f.nodes {
@@ -618,8 +652,14 @@ func (f *Fleet) dispatch(j *job.Job, now float64, redisp bool) {
 				eligible++
 			}
 		}
+		n.dispatches++
 		obs.Emit(f.obs, obs.Event{Time: now, Type: obs.EventDispatch,
 			Core: m, Job: j.ID, Value: score, Aux: float64(eligible)})
+		if f.decisions != nil {
+			f.decisions.ObserveDecision(obs.Decision{Time: now, Kind: obs.DecisionDispatch,
+				Machine: m, Job: j.ID, Score: score, Alts: eligible,
+				Load: f.QueuedWork(m), Budget: n.server.Budget(), Action: "dispatch"})
+		}
 	}
 	if n.wait.Len() >= f.nodeCfg.CounterTrigger {
 		f.invoke(n, now, sched.TriggerCounter)
@@ -640,6 +680,11 @@ func (f *Fleet) redispatch(j *job.Job, now float64) {
 		f.finalized++
 		obs.Emit(f.obs, obs.Event{Time: now, Type: obs.EventJobDrop,
 			Core: -1, Job: j.ID, Value: j.Processed, Aux: j.Demand})
+		if f.decisions != nil {
+			f.decisions.ObserveDecision(obs.Decision{Time: now, Kind: obs.DecisionDrop,
+				Machine: -1, Job: j.ID, Alts: j.Requeues, Load: j.Remaining(),
+				Action: "limit"})
+		}
 		return
 	}
 	f.dispatch(j, now, true)
@@ -753,6 +798,11 @@ func (f *Fleet) applyMachineFault(now float64, fe faults.MachineEvent) {
 		f.degrades++
 		obs.Emit(f.obs, obs.Event{Time: now, Type: obs.EventMachineDegrade,
 			Core: n.idx, Job: -1, Flag: true, Value: fe.Factor})
+		if f.decisions != nil {
+			f.decisions.ObserveDecision(obs.Decision{Time: now, Kind: obs.DecisionReplan,
+				Machine: n.idx, Job: -1, Budget: n.server.Budget(),
+				Score: fe.Factor, Action: "slow"})
+		}
 		if n.up {
 			f.invoke(n, now, sched.TriggerFault)
 		}
@@ -762,6 +812,11 @@ func (f *Fleet) applyMachineFault(now float64, fe faults.MachineEvent) {
 		n.server.SetBudget(f.nodeCfg.PowerBudget)
 		obs.Emit(f.obs, obs.Event{Time: now, Type: obs.EventMachineDegrade,
 			Core: n.idx, Job: -1, Flag: false, Value: 1})
+		if f.decisions != nil {
+			f.decisions.ObserveDecision(obs.Decision{Time: now, Kind: obs.DecisionReplan,
+				Machine: n.idx, Job: -1, Budget: n.server.Budget(),
+				Score: 1, Action: "restore"})
+		}
 		if n.up {
 			f.invoke(n, now, sched.TriggerFault)
 		}
@@ -781,8 +836,14 @@ func (f *Fleet) drainPending(now float64) {
 		n := f.nodes[m]
 		n.wait.Push(j)
 		n.noteArrival(now, f.nodeCfg.RateWindow)
+		n.dispatches++
 		obs.Emit(f.obs, obs.Event{Time: now, Type: obs.EventDispatch,
 			Core: m, Job: j.ID, Value: score, Aux: 0})
+		if f.decisions != nil {
+			f.decisions.ObserveDecision(obs.Decision{Time: now, Kind: obs.DecisionDispatch,
+				Machine: m, Job: j.ID, Score: score,
+				Budget: n.server.Budget(), Action: "drain"})
+		}
 		if n.wait.Len() >= f.nodeCfg.CounterTrigger {
 			f.invoke(n, now, sched.TriggerCounter)
 		} else if n.anyIdleCore() {
@@ -864,12 +925,14 @@ func (f *Fleet) result() Result {
 		downTotal += down
 		aesTotal += n.aesTime
 		mr := MachineResult{
-			Energy:    n.server.Energy(),
-			Quality:   n.acc.Quality(),
-			Completed: n.server.Completed(),
-			Expired:   n.server.Expired() + n.queueExpired,
-			Crashes:   n.crashes,
-			DownTime:  down,
+			Energy:       n.server.Energy(),
+			Quality:      n.acc.Quality(),
+			Completed:    n.server.Completed(),
+			Expired:      n.server.Expired() + n.queueExpired,
+			Crashes:      n.crashes,
+			DownTime:     down,
+			Dispatches:   n.dispatches,
+			Redispatches: n.redispatches,
 		}
 		if simTime > 0 && n.modeSet {
 			mr.AESFraction = n.aesTime / simTime

@@ -86,6 +86,14 @@ type Config struct {
 	MaxBodyBytes int64
 	// Transport overrides the upstream round tripper (tests).
 	Transport http.RoundTripper
+	// Spans, when non-nil, traces every proxied request: the client's
+	// X-GE-Trace-Id / X-GE-Span-Id headers are joined (or a fresh trace
+	// rooted), each upstream attempt becomes a sibling span annotated
+	// won/lost, and the trace context is forwarded to the replica. Nil
+	// disables tracing at zero hot-path cost.
+	Spans *obs.SpanBus
+	// SampleInterval is the /timeseriez sampling period (default: 1s).
+	SampleInterval time.Duration
 	// Logf, when set, receives one line per noteworthy transition
 	// (breaker flips, probe state changes).
 	Logf func(format string, args ...any)
@@ -137,6 +145,9 @@ func (c Config) withDefaults() Config {
 	if c.Transport == nil {
 		c.Transport = http.DefaultTransport
 	}
+	if c.SampleInterval <= 0 {
+		c.SampleInterval = time.Second
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -151,6 +162,8 @@ type Gateway struct {
 	mux      *http.ServeMux
 	client   *http.Client
 	metrics  *obs.SyncRegistry
+	spans    *obs.SpanBus
+	sampler  *obs.Sampler
 	budget   *budget
 	hedge    *delayTracker
 
@@ -192,6 +205,7 @@ func New(cfg Config) (*Gateway, error) {
 		cfg:         cfg,
 		client:      &http.Client{Transport: cfg.Transport},
 		metrics:     m,
+		spans:       cfg.Spans,
 		budget:      newBudget(cfg.RetryBudgetRatio, cfg.RetryBudgetBurst),
 		hedge:       newDelayTracker(cfg.HedgeQuantile, cfg.HedgeMinDelay, cfg.HedgeMaxDelay, 128),
 		probeCtx:    probeCtx,
@@ -230,11 +244,32 @@ func New(cfg Config) (*Gateway, error) {
 		panic(err)
 	}
 
+	// Live telemetry: sampler callbacks read the registry, never the
+	// request path.
+	g.sampler = obs.NewSampler(cfg.SampleInterval, 300)
+	for _, name := range []string{
+		"gw_requests_total", "gw_ok_total", "gw_err_total",
+		"hedges_fired_total", "hedges_won_total", "retries_total",
+	} {
+		name := name
+		g.sampler.Track(name, func() float64 { return float64(m.CounterValue(name)) })
+	}
+	for _, name := range []string{"retry_budget_tokens", "hedge_delay_seconds"} {
+		name := name
+		g.sampler.Track(name, func() float64 { return m.GaugeValue(name) })
+	}
+	for _, r := range g.replicas {
+		r := r
+		g.sampler.Track(r.name+"_inflight", func() float64 { return float64(r.inflight.Load()) })
+	}
+	g.sampler.Start()
+
 	g.mux = http.NewServeMux()
 	g.mux.HandleFunc("GET /healthz", g.handleHealthz)
 	g.mux.HandleFunc("GET /readyz", g.handleReadyz)
 	g.mux.HandleFunc("GET /metricz", g.handleMetricz)
 	g.mux.HandleFunc("GET /replicaz", g.handleReplicaz)
+	g.mux.HandleFunc("GET /timeseriez", g.handleTimeseriez)
 	for _, path := range []string{"/v1/run", "/v1/trace", "/v1/sweep"} {
 		path := path
 		g.mux.HandleFunc("POST "+path, func(w http.ResponseWriter, r *http.Request) {
@@ -296,6 +331,7 @@ func (g *Gateway) Start() {
 func (g *Gateway) Close() {
 	g.probeCancel()
 	g.probeWG.Wait()
+	g.sampler.Stop()
 }
 
 // Handler returns the gateway's HTTP handler.
@@ -357,6 +393,7 @@ func (g *Gateway) pick(tried map[int]bool) *replica {
 // attemptResult is the outcome of one upstream attempt.
 type attemptResult struct {
 	rep     *replica
+	span    *obs.Span // nil when tracing is off
 	hedged  bool
 	status  int         // 0 on transport error
 	header  http.Header // nil on transport error
@@ -385,8 +422,10 @@ func (g *Gateway) selfInflicted(ctx context.Context, err error) bool {
 }
 
 // doAttempt executes one upstream POST and classifies the outcome, feeding
-// the replica's breaker and passive signals.
-func (g *Gateway) doAttempt(ctx context.Context, rep *replica, path string, body []byte, hedged bool) attemptResult {
+// the replica's breaker and passive signals. The attempt span sp (nil when
+// tracing is off) has its context forwarded to the replica and rides the
+// result; the caller finishes it once the attempt's fate is known.
+func (g *Gateway) doAttempt(ctx context.Context, rep *replica, path string, body []byte, hedged bool, sp *obs.Span) attemptResult {
 	g.metrics.Inc(rep.name + "_attempts_total")
 	n := rep.inflight.Add(1)
 	g.metrics.GaugeSet(rep.name+"_inflight", float64(n))
@@ -397,9 +436,10 @@ func (g *Gateway) doAttempt(ctx context.Context, rep *replica, path string, body
 	start := time.Now()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rep.base+path, bytes.NewReader(body))
 	if err != nil {
-		return attemptResult{rep: rep, hedged: hedged, err: err}
+		return attemptResult{rep: rep, span: sp, hedged: hedged, err: err}
 	}
 	req.Header.Set("Content-Type", "application/json")
+	sp.Context().Inject(req.Header)
 	resp, err := g.client.Do(req)
 	if err != nil {
 		if g.selfInflicted(ctx, err) {
@@ -407,23 +447,23 @@ func (g *Gateway) doAttempt(ctx context.Context, rep *replica, path string, body
 			// verdict: no breaker strike, no error metric, but release any
 			// half-open trial slot this attempt was holding.
 			rep.br.Neutral()
-			return attemptResult{rep: rep, hedged: hedged, err: err, latency: time.Since(start)}
+			return attemptResult{rep: rep, span: sp, hedged: hedged, err: err, latency: time.Since(start)}
 		}
 		rep.br.Failure()
 		g.metrics.Inc(rep.name + "_errs_total")
 		g.cfg.Logf("gegate: %s attempt: %v", rep.name, err)
-		return attemptResult{rep: rep, hedged: hedged, err: err, latency: time.Since(start)}
+		return attemptResult{rep: rep, span: sp, hedged: hedged, err: err, latency: time.Since(start)}
 	}
 	defer resp.Body.Close()
 	respBody, err := io.ReadAll(io.LimitReader(resp.Body, maxRelayBytes+1))
 	if err != nil {
 		if g.selfInflicted(ctx, err) {
 			rep.br.Neutral()
-			return attemptResult{rep: rep, hedged: hedged, err: err, latency: time.Since(start)}
+			return attemptResult{rep: rep, span: sp, hedged: hedged, err: err, latency: time.Since(start)}
 		}
 		rep.br.Failure()
 		g.metrics.Inc(rep.name + "_errs_total")
-		return attemptResult{rep: rep, hedged: hedged, err: err, latency: time.Since(start)}
+		return attemptResult{rep: rep, span: sp, hedged: hedged, err: err, latency: time.Since(start)}
 	}
 	if int64(len(respBody)) > maxRelayBytes {
 		// The replica answered but the body exceeds what the gateway will
@@ -434,13 +474,13 @@ func (g *Gateway) doAttempt(ctx context.Context, rep *replica, path string, body
 		g.metrics.Inc(rep.name + "_errs_total")
 		g.cfg.Logf("gegate: %s response exceeds %d-byte relay cap", rep.name, int64(maxRelayBytes))
 		return attemptResult{
-			rep: rep, hedged: hedged,
+			rep: rep, span: sp, hedged: hedged,
 			err:     fmt.Errorf("%s response exceeds %d-byte relay cap", rep.name, int64(maxRelayBytes)),
 			latency: time.Since(start),
 		}
 	}
 	res := attemptResult{
-		rep: rep, hedged: hedged,
+		rep: rep, span: sp, hedged: hedged,
 		status: resp.StatusCode, header: resp.Header, body: respBody,
 		latency: time.Since(start),
 	}
@@ -505,6 +545,26 @@ func (g *Gateway) relay(w http.ResponseWriter, res attemptResult, attempts int) 
 	_, _ = w.Write(res.body)
 }
 
+// finishAttempt annotates and finishes one attempt span once its fate is
+// known: won means the client received this attempt's response. Nil-safe.
+func (g *Gateway) finishAttempt(res attemptResult, won bool) {
+	if res.span == nil {
+		return
+	}
+	res.span.SetValue(res.latency.Seconds())
+	res.span.SetAux(float64(res.status))
+	switch {
+	case won:
+		res.span.SetNote("won")
+	case res.err != nil && !errors.Is(res.err, context.Canceled):
+		res.span.SetNote("error")
+	default:
+		// Includes hedge losers whose attempt we cancelled ourselves.
+		res.span.SetNote("lost")
+	}
+	g.spans.Finish(res.span)
+}
+
 // serveProxy is the heart of the gateway: admit, pick, attempt, hedge,
 // retry within budget, relay the first terminal answer.
 func (g *Gateway) serveProxy(w http.ResponseWriter, r *http.Request, path string) {
@@ -512,9 +572,16 @@ func (g *Gateway) serveProxy(w http.ResponseWriter, r *http.Request, path string
 	g.budget.deposit()
 	g.metrics.GaugeSet("retry_budget_tokens", g.budget.level())
 
+	// Tracing: join the client's trace (or root a fresh one), echo the IDs,
+	// and hang one child span off this request per upstream attempt.
+	span := g.spans.Start(path, obs.SpanGateway, obs.ParseSpanContext(r.Header))
+	span.Context().Inject(w.Header())
+	defer g.spans.Finish(span)
+
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes))
 	if err != nil {
 		g.metrics.Inc("gw_err_total")
+		span.SetNote("error")
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("reading body: %v", err)})
 		return
 	}
@@ -531,7 +598,19 @@ func (g *Gateway) serveProxy(w http.ResponseWriter, r *http.Request, path string
 		}
 	}()
 	tried := make(map[int]bool)
-	launched := 0
+	launched, consumed := 0, 0
+	// Every launched attempt writes exactly one buffered result. Whatever
+	// serveProxy has not consumed when it returns is drained off-path so
+	// loser spans still finish (and return to the pool).
+	defer func() {
+		if n := launched - consumed; n > 0 {
+			go func() {
+				for i := 0; i < n; i++ {
+					g.finishAttempt(<-results, false)
+				}
+			}()
+		}
+	}()
 
 	// launch starts one attempt on a not-yet-tried replica; false when no
 	// replica's breaker admits or the attempt cap is reached.
@@ -545,15 +624,18 @@ func (g *Gateway) serveProxy(w http.ResponseWriter, r *http.Request, path string
 		}
 		tried[rep.idx] = true
 		launched++
+		asp := g.spans.Start("attempt."+rep.name, obs.SpanAttempt, span.Context())
+		asp.SetFlag(hedged)
 		actx, acancel := context.WithCancel(ctx)
 		cancels = append(cancels, acancel)
 		go func() {
-			results <- g.doAttempt(actx, rep, path, body, hedged)
+			results <- g.doAttempt(actx, rep, path, body, hedged, asp)
 		}()
 		return true
 	}
 
 	if !launch(false) {
+		span.SetNote("no-replica")
 		g.shedNoReplica(w)
 		return
 	}
@@ -573,6 +655,7 @@ func (g *Gateway) serveProxy(w http.ResponseWriter, r *http.Request, path string
 		select {
 		case res := <-results:
 			outstanding--
+			consumed++
 			if !res.retryable() {
 				// Terminal: success or a client error worth passing through.
 				if res.hedged {
@@ -584,9 +667,12 @@ func (g *Gateway) serveProxy(w http.ResponseWriter, r *http.Request, path string
 					g.metrics.Inc("gw_err_total")
 				}
 				g.metrics.Observe("gw_request_seconds", time.Since(start).Seconds())
+				g.finishAttempt(res, true)
+				span.SetAux(float64(launched))
 				g.relay(w, res, launched)
 				return
 			}
+			g.finishAttempt(res, false)
 			lastFail = res
 			// Retry on a different replica if the budget and pool allow.
 			if g.budget.withdraw() {
@@ -602,6 +688,8 @@ func (g *Gateway) serveProxy(w http.ResponseWriter, r *http.Request, path string
 			if outstanding == 0 {
 				g.metrics.Inc("gw_err_total")
 				g.metrics.Observe("gw_request_seconds", time.Since(start).Seconds())
+				span.SetNote("failed")
+				span.SetAux(float64(launched))
 				if lastFail.err != nil || lastFail.status == 0 {
 					writeJSON(w, http.StatusBadGateway, errorBody{
 						Error: fmt.Sprintf("all %d attempts failed: %v", launched, lastFail.err),
@@ -627,6 +715,7 @@ func (g *Gateway) serveProxy(w http.ResponseWriter, r *http.Request, path string
 			// Client gone or gateway deadline: abandon the attempts (their
 			// contexts are children of ctx) and answer best effort.
 			g.metrics.Inc("gw_err_total")
+			span.SetNote("timeout")
 			writeJSON(w, http.StatusGatewayTimeout, errorBody{Error: "gateway timeout: " + ctx.Err().Error()})
 			return
 		}
@@ -652,9 +741,23 @@ func (g *Gateway) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "no healthy replica")
 }
 
+// handleMetricz renders the registry in the Prometheus text exposition
+// format by default; ?format=plain keeps the legacy `kind name value`
+// lines for scripts and humans.
 func (g *Gateway) handleMetricz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	_ = g.metrics.WriteText(w)
+	if r.URL.Query().Get("format") == "plain" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = g.metrics.WriteText(w)
+		return
+	}
+	w.Header().Set("Content-Type", obs.PrometheusContentType)
+	_ = g.metrics.WritePrometheus(w)
+}
+
+// handleTimeseriez dumps the sampler rings as JSON for cmd/gestat.
+func (g *Gateway) handleTimeseriez(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = g.sampler.WriteJSON(w)
 }
 
 // handleReplicaz renders the live replica table: one line per replica with

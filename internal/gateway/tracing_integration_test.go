@@ -1,0 +1,279 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"goodenough"
+	"goodenough/internal/obs"
+	"goodenough/internal/server"
+)
+
+// lockedBuf is an io.Writer safe to snapshot while a SpanLog is still
+// writing to it from other goroutines.
+type lockedBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (l *lockedBuf) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *lockedBuf) snapshot() []byte {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]byte(nil), l.b.Bytes()...)
+}
+
+// TestTracingEndToEnd is the observability acceptance scenario: one client
+// request carrying a client span flows through a real gateway (forced to
+// hedge) into real geserve replicas, each process appending to its own span
+// log — exactly how geload, gegate, and geserve run with -span-log. Merging
+// the three logs must yield one connected trace tree: a single trace ID,
+// two sibling attempt spans annotated won/lost under the gateway span, and
+// server + scheduler spans hanging off the attempts.
+func TestTracingEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+
+	var clientBuf, gwBuf, srvBuf lockedBuf
+	clientLog := obs.NewSpanLog(&clientBuf)
+	gwLog := obs.NewSpanLog(&gwBuf)
+	srvLog := obs.NewSpanLog(&srvBuf)
+	clientBus := obs.NewSpanBusSeeded(11, clientLog)
+	gwBus := obs.NewSpanBusSeeded(22, gwLog)
+	srvBus := obs.NewSpanBusSeeded(33, srvLog)
+
+	// Both replicas stall 150ms before simulating so the 25ms hedge always
+	// fires and two attempts race to completion.
+	slowRun := func(ctx context.Context, cfg goodenough.Config) (goodenough.Result, error) {
+		select {
+		case <-time.After(150 * time.Millisecond):
+		case <-ctx.Done():
+		}
+		return goodenough.RunContext(ctx, cfg)
+	}
+	newReplica := func() *httptest.Server {
+		srv := server.New(server.Config{
+			MaxConcurrent:  4,
+			RequestTimeout: 10 * time.Second,
+			Run:            slowRun,
+			Spans:          srvBus,
+		})
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		return ts
+	}
+	r0, r1 := newReplica(), newReplica()
+
+	g, err := New(Config{
+		Replicas:         []string{r0.URL, r1.URL},
+		HedgeMinDelay:    25 * time.Millisecond,
+		MaxAttempts:      2,
+		RetryBudgetBurst: 100,
+		Spans:            gwBus,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(g.Close)
+	g.Start()
+	front := httptest.NewServer(g.Handler())
+	t.Cleanup(front.Close)
+
+	// The client leg: root a trace, inject it, send one request — what
+	// geload -span-log does per request.
+	span := clientBus.Start("client./v1/run", obs.SpanClient, obs.SpanContext{})
+	body := `{"Scheduler":"ge","ArrivalRate":80,"DurationSec":0.05,"Cores":4}`
+	req, err := http.NewRequest(http.MethodPost, front.URL+"/v1/run", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	span.Context().Inject(req.Header)
+	resp, err := (&http.Client{Timeout: 15 * time.Second}).Do(req)
+	if err != nil {
+		t.Fatalf("request: %v", err)
+	}
+	out, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d body %s", resp.StatusCode, out)
+	}
+	// The gateway echoes the trace it joined.
+	wantTrace := span.Context()
+	if got := obs.ParseSpanContext(resp.Header); got.Trace != wantTrace.Trace {
+		t.Fatalf("response trace header %x, want %x", got.Trace, wantTrace.Trace)
+	}
+	clientBus.Finish(span)
+	if err := clientLog.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The hedge loser finishes asynchronously after the winner is relayed;
+	// wait until both attempt spans and both server spans hit the logs.
+	readLog := func(log *obs.SpanLog, buf *lockedBuf) []obs.Span {
+		if err := log.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		spans, err := obs.ReadSpans(bytes.NewReader(buf.snapshot()))
+		if err != nil {
+			t.Fatalf("span log unreadable: %v", err)
+		}
+		return spans
+	}
+	count := func(spans []obs.Span, kind obs.SpanKind) int {
+		n := 0
+		for _, s := range spans {
+			if s.Kind == kind {
+				n++
+			}
+		}
+		return n
+	}
+	var gwSpans, srvSpans []obs.Span
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		gwSpans = readLog(gwLog, &gwBuf)
+		srvSpans = readLog(srvLog, &srvBuf)
+		if count(gwSpans, obs.SpanAttempt) >= 2 && count(srvSpans, obs.SpanServer) >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("spans never completed: %d attempts, %d server spans (hedge may not have fired)",
+				count(gwSpans, obs.SpanAttempt), count(srvSpans, obs.SpanServer))
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	clientSpans := readLog(clientLog, &clientBuf)
+
+	merged := append(append(clientSpans, gwSpans...), srvSpans...)
+
+	// One request, one trace: every span from all three logs shares it.
+	for _, s := range merged {
+		if s.Trace != wantTrace.Trace {
+			t.Fatalf("span %q in trace %x, want %x", s.Name, s.Trace, wantTrace.Trace)
+		}
+	}
+
+	// The tree is connected: the client span is the only root, and every
+	// other span's parent is present in the merged set.
+	ids := map[uint64]obs.Span{}
+	for _, s := range merged {
+		ids[s.ID] = s
+	}
+	roots := 0
+	for _, s := range merged {
+		if s.Parent == 0 {
+			roots++
+			if s.Kind != obs.SpanClient {
+				t.Errorf("unexpected root span %q (kind %v)", s.Name, s.Kind)
+			}
+			continue
+		}
+		if _, ok := ids[s.Parent]; !ok {
+			t.Errorf("span %q (kind %v) orphaned: parent %x not in merged logs", s.Name, s.Kind, s.Parent)
+		}
+	}
+	if roots != 1 {
+		t.Errorf("%d roots, want exactly 1 (the client span)", roots)
+	}
+
+	// Causality layer by layer: client → gateway → two sibling attempts
+	// (one hedged, one winner, one loser) → servers → scheduler.
+	var gwSpan obs.Span
+	var attempts []obs.Span
+	for _, s := range gwSpans {
+		switch s.Kind {
+		case obs.SpanGateway:
+			gwSpan = s
+		case obs.SpanAttempt:
+			attempts = append(attempts, s)
+		}
+	}
+	if gwSpan.Parent != span.Context().Span {
+		t.Errorf("gateway span parent %x, want client span %x", gwSpan.Parent, span.Context().Span)
+	}
+	if len(attempts) != 2 {
+		t.Fatalf("%d attempt spans, want 2 (one primary + one hedge)", len(attempts))
+	}
+	won, lost, hedged := 0, 0, 0
+	for _, a := range attempts {
+		if a.Parent != gwSpan.ID {
+			t.Errorf("attempt %q parent %x, want gateway span %x", a.Name, a.Parent, gwSpan.ID)
+		}
+		switch a.Note {
+		case "won":
+			won++
+		case "lost":
+			lost++
+		default:
+			t.Errorf("attempt %q has note %q, want won or lost", a.Name, a.Note)
+		}
+		if a.Flag {
+			hedged++
+		}
+	}
+	if won != 1 || lost != 1 {
+		t.Errorf("attempt outcomes: %d won, %d lost, want 1 each", won, lost)
+	}
+	if hedged != 1 {
+		t.Errorf("%d attempts flagged hedged, want exactly 1", hedged)
+	}
+	attemptIDs := map[uint64]bool{attempts[0].ID: true, attempts[1].ID: true}
+	schedSeen := 0
+	for _, s := range srvSpans {
+		switch s.Kind {
+		case obs.SpanServer:
+			if !attemptIDs[s.Parent] {
+				t.Errorf("server span parent %x is not an attempt span", s.Parent)
+			}
+		case obs.SpanSched:
+			schedSeen++
+		}
+	}
+	if schedSeen == 0 {
+		t.Error("no scheduler spans: the trace did not reach the scheduler")
+	}
+
+	// The merged logs render as one Perfetto-loadable trace with flow
+	// arrows binding every child to its parent.
+	var trace bytes.Buffer
+	if err := obs.WriteSpanTrace(&trace, merged); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(trace.Bytes(), &doc); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	slices, flows := 0, 0
+	for _, e := range doc.TraceEvents {
+		switch e["ph"] {
+		case "X":
+			slices++
+		case "s":
+			flows++
+		}
+	}
+	if slices != len(merged) {
+		t.Errorf("%d slices for %d spans", slices, len(merged))
+	}
+	if flows != len(merged)-1 {
+		t.Errorf("%d flow arrows, want %d (every span but the root)", flows, len(merged)-1)
+	}
+	t.Logf("trace %016x: %d spans across 3 logs render as one connected tree", wantTrace.Trace, len(merged))
+}

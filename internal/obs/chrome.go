@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 )
 
@@ -129,4 +130,142 @@ func (t *Tracer) Flush() error {
 		return t.err
 	}
 	return t.w.Flush()
+}
+
+// Span rendering: WriteSpanTrace turns a merged set of request spans —
+// typically the concatenated SpanLogs of geload, gegate, and every
+// geserve replica — into a Chrome trace-event document. Each SpanKind
+// gets a thread-track tier (client on top, scheduler at the bottom);
+// overlapping spans within a tier (hedge attempts, concurrent requests)
+// spread across lanes, and flow arrows (ph "s"/"f") bind every child
+// span back to its parent so one request reads as one causal tree in
+// Perfetto.
+
+// spanLanes greedily packs spans of one tier into non-overlapping lanes
+// and returns each span's lane index. Spans must be sorted by Start.
+func spanLanes(spans []Span) []int {
+	lanes := []int64{} // end time per lane
+	out := make([]int, len(spans))
+	for i, s := range spans {
+		placed := -1
+		for l, end := range lanes {
+			if end <= s.Start {
+				placed = l
+				break
+			}
+		}
+		if placed < 0 {
+			placed = len(lanes)
+			lanes = append(lanes, 0)
+		}
+		lanes[placed] = s.End
+		out[i] = placed
+	}
+	return out
+}
+
+// maxSpanLanes caps lanes per tier so tids stay disjoint across tiers.
+const maxSpanLanes = 64
+
+// WriteSpanTrace renders spans as a Chrome trace-event JSON document.
+// The output is deterministic for a fixed input: spans are ordered by
+// (start, span ID) and IDs render as fixed-width hex.
+func WriteSpanTrace(w io.Writer, spans []Span) error {
+	ordered := append([]Span(nil), spans...)
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].Start != ordered[j].Start {
+			return ordered[i].Start < ordered[j].Start
+		}
+		return ordered[i].ID < ordered[j].ID
+	})
+
+	t := &Tracer{w: bufio.NewWriter(w), first: true}
+	t.raw(`{"displayTimeUnit":"ms","traceEvents":[`)
+	t.event(`{"ph":"M","pid":1,"tid":0,"name":"process_name","args":{"name":"goodenough request traces"}}`)
+
+	// Partition by tier, keeping the global order within each tier, and
+	// pack each tier into lanes: tid = kind*maxSpanLanes + lane.
+	byKind := map[SpanKind][]int{}
+	for i, s := range ordered {
+		byKind[s.Kind] = append(byKind[s.Kind], i)
+	}
+	lane := make([]int, len(ordered))
+	kinds := []SpanKind{SpanClient, SpanGateway, SpanAttempt, SpanServer, SpanRun, SpanSched}
+	for _, k := range kinds {
+		idx := byKind[k]
+		if len(idx) == 0 {
+			continue
+		}
+		tier := make([]Span, len(idx))
+		for j, i := range idx {
+			tier[j] = ordered[i]
+		}
+		nLanes := 0
+		for j, l := range spanLanes(tier) {
+			if l >= maxSpanLanes {
+				l = maxSpanLanes - 1
+			}
+			lane[idx[j]] = l
+			if l+1 > nLanes {
+				nLanes = l + 1
+			}
+		}
+		for l := 0; l < nLanes; l++ {
+			name := k.String()
+			if l > 0 {
+				name = fmt.Sprintf("%s %d", k.String(), l+1)
+			}
+			tid := int(k)*maxSpanLanes + l
+			t.event(fmt.Sprintf(`{"ph":"M","pid":1,"tid":%d,"name":"thread_name","args":{"name":%s}}`,
+				tid, strconv.Quote(name)))
+			t.event(fmt.Sprintf(`{"ph":"M","pid":1,"tid":%d,"name":"thread_sort_index","args":{"sort_index":%d}}`,
+				tid, tid))
+		}
+	}
+
+	// Zero the timeline at the earliest span so timestamps stay small.
+	var base int64
+	if len(ordered) > 0 {
+		base = ordered[0].Start
+	}
+	usAt := func(nanos int64) string {
+		return strconv.FormatFloat(float64(nanos-base)/1e3, 'g', -1, 64)
+	}
+	have := map[uint64]int{}
+	for i, s := range ordered {
+		have[s.ID] = i
+	}
+	for i, s := range ordered {
+		tid := int(s.Kind)*maxSpanLanes + lane[i]
+		dur := float64(s.End-s.Start) / 1e3
+		if dur < 0 {
+			dur = 0
+		}
+		extra := ""
+		if s.Note != "" {
+			extra += `,"note":` + strconv.Quote(s.Note)
+		}
+		if s.Value != 0 {
+			extra += `,"v":` + g(s.Value)
+		}
+		if s.Aux != 0 {
+			extra += `,"aux":` + g(s.Aux)
+		}
+		if s.Flag {
+			extra += `,"flag":true`
+		}
+		t.event(fmt.Sprintf(`{"ph":"X","pid":1,"tid":%d,"ts":%s,"dur":%s,"name":%s,"args":{"trace":"%s","span":"%s","parent":"%s"%s}}`,
+			tid, usAt(s.Start), strconv.FormatFloat(dur, 'g', -1, 64),
+			strconv.Quote(s.Name), formatID(s.Trace), formatID(s.ID), formatID(s.Parent), extra))
+		// Flow arrow binding this span to its parent, when present.
+		if p, ok := have[s.Parent]; ok && s.Parent != 0 {
+			ps := ordered[p]
+			ptid := int(ps.Kind)*maxSpanLanes + lane[p]
+			t.event(fmt.Sprintf(`{"ph":"s","pid":1,"tid":%d,"ts":%s,"id":"%s","cat":"span","name":"child"}`,
+				ptid, usAt(ps.Start), formatID(s.ID)))
+			t.event(fmt.Sprintf(`{"ph":"f","bp":"e","pid":1,"tid":%d,"ts":%s,"id":"%s","cat":"span","name":"child"}`,
+				tid, usAt(s.Start), formatID(s.ID)))
+		}
+	}
+	return t.Flush()
 }

@@ -26,6 +26,13 @@ type Collector struct {
 	energy  []float64 // joules
 	work    []float64 // processing units executed (speed·dt·UnitsPerGHz is the machine's business; we store GHz·s)
 	endTime float64
+
+	// decision-stream accumulation (ObserveDecision)
+	decisions    [numDecisionKinds]int64
+	shedMarginal float64 // Σ marginal quality of shed jobs
+	shedOverload float64 // Σ load/capacity at shed time
+	dispScore    float64 // Σ dispatch score
+	dispAlts     int64   // Σ alternatives weighed at dispatch
 }
 
 // NewCollector returns a collector with the standard metric set.
@@ -139,6 +146,61 @@ func (c *Collector) Observe(e Event) {
 	}
 }
 
+// ObserveDecision implements DecisionSink: decisions fold into per-kind
+// counters plus small accumulators that feed the report's decision
+// summary (mean marginal quality shed, mean dispatch score, how many
+// alternatives the dispatcher weighed).
+func (c *Collector) ObserveDecision(d Decision) {
+	if int(d.Kind) < numDecisionKinds {
+		c.decisions[d.Kind]++
+	}
+	c.Registry.Counter("decisions_total").Inc()
+	switch d.Kind {
+	case DecisionShed:
+		c.shedMarginal += d.Marginal
+		if d.Capacity > 0 {
+			c.shedOverload += d.Load / d.Capacity
+		}
+	case DecisionDispatch:
+		c.dispScore += d.Score
+		c.dispAlts += int64(d.Alts)
+	}
+}
+
+// writeDecisionSummary renders the decision-stream digest, when any
+// decisions were observed.
+func (c *Collector) writeDecisionSummary(w io.Writer) error {
+	var total int64
+	for _, n := range c.decisions {
+		total += n
+	}
+	if total == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintln(w, "--- decision summary ---"); err != nil {
+		return err
+	}
+	for k := 0; k < numDecisionKinds; k++ {
+		n := c.decisions[k]
+		if n == 0 {
+			continue
+		}
+		line := fmt.Sprintf("decide  %-28s %d", DecisionKind(k).String(), n)
+		switch DecisionKind(k) {
+		case DecisionShed:
+			line += fmt.Sprintf("  mean_marginal=%.4g mean_overload=%.4g",
+				c.shedMarginal/float64(n), c.shedOverload/float64(n))
+		case DecisionDispatch:
+			line += fmt.Sprintf("  mean_score=%.4g mean_alts=%.3g",
+				c.dispScore/float64(n), float64(c.dispAlts)/float64(n))
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // WriteReport renders the folded metrics and the per-core table. The output
 // is deterministic for a deterministic event stream.
 func (c *Collector) WriteReport(w io.Writer) error {
@@ -146,6 +208,9 @@ func (c *Collector) WriteReport(w io.Writer) error {
 		return err
 	}
 	if err := c.Registry.WriteText(w); err != nil {
+		return err
+	}
+	if err := c.writeDecisionSummary(w); err != nil {
 		return err
 	}
 	if len(c.busy) == 0 {

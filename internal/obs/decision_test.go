@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestDecisionKindStrings(t *testing.T) {
+	want := map[DecisionKind]string{
+		DecisionAdmit:      "admit",
+		DecisionShed:       "shed",
+		DecisionModeSwitch: "mode-switch",
+		DecisionReplan:     "replan",
+		DecisionDispatch:   "dispatch",
+		DecisionRedispatch: "redispatch",
+		DecisionDrop:       "drop",
+	}
+	if len(want) != numDecisionKinds {
+		t.Fatalf("test covers %d kinds, code has %d", len(want), numDecisionKinds)
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), s)
+		}
+	}
+	if DecisionKind(200).String() != "unknown" {
+		t.Error("out-of-range kind should stringify as unknown")
+	}
+}
+
+// recordSink keeps every decision it sees.
+type recordSink struct{ ds []Decision }
+
+func (r *recordSink) ObserveDecision(d Decision) { r.ds = append(r.ds, d) }
+
+func TestEmitDecisionNilSafe(t *testing.T) {
+	EmitDecision(nil, Decision{Kind: DecisionShed}) // must not panic
+	r := &recordSink{}
+	EmitDecision(r, Decision{Kind: DecisionAdmit, Job: 7})
+	if len(r.ds) != 1 || r.ds[0].Job != 7 {
+		t.Fatalf("sink saw %+v", r.ds)
+	}
+}
+
+func TestDecisionSinks(t *testing.T) {
+	if DecisionSinks() != nil {
+		t.Error("no sinks should combine to nil")
+	}
+	if DecisionSinks(nil, nil) != nil {
+		t.Error("all-nil sinks should combine to nil")
+	}
+	r := &recordSink{}
+	if got := DecisionSinks(nil, r, nil); got != DecisionSink(r) {
+		t.Error("single sink should pass through unchanged")
+	}
+	r2 := &recordSink{}
+	multi := DecisionSinks(r, r2)
+	multi.ObserveDecision(Decision{Kind: DecisionDrop})
+	if len(r.ds) != 1 || len(r2.ds) != 1 {
+		t.Errorf("fan-out missed a sink: %d, %d", len(r.ds), len(r2.ds))
+	}
+}
+
+func TestDecisionLogFormat(t *testing.T) {
+	var buf bytes.Buffer
+	log := NewDecisionLog(&buf)
+	log.ObserveDecision(Decision{
+		Time: 1.5, Kind: DecisionShed, Machine: -1, Job: 42,
+		Load: 200, Capacity: 150.5, Marginal: 0.003, Budget: 80,
+		Alts: 3, Action: "shed",
+	})
+	log.ObserveDecision(Decision{
+		Time: 2, Kind: DecisionModeSwitch, Machine: 1, Job: -1,
+		Score: 0.91, Action: "aes",
+	})
+	if err := log.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines:\n%s", len(lines), buf.String())
+	}
+	want0 := `{"t":1.5,"decision":"shed","job":42,"load":200,"cap":150.5,"marginal":0.003,"budget":80,"alts":3,"action":"shed"}`
+	if lines[0] != want0 {
+		t.Errorf("line 0:\n got %s\nwant %s", lines[0], want0)
+	}
+	// Machine present, job omitted (-1), zero floats omitted.
+	want1 := `{"t":2,"decision":"mode-switch","machine":1,"score":0.91,"action":"aes"}`
+	if lines[1] != want1 {
+		t.Errorf("line 1:\n got %s\nwant %s", lines[1], want1)
+	}
+	for _, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Errorf("line %q is not valid JSON: %v", line, err)
+		}
+	}
+}
+
+func TestDecisionLogDeterministic(t *testing.T) {
+	render := func() []byte {
+		var buf bytes.Buffer
+		log := NewDecisionLog(&buf)
+		for i := 0; i < 50; i++ {
+			log.ObserveDecision(Decision{
+				Time: float64(i) * 0.1, Kind: DecisionKind(i % numDecisionKinds),
+				Machine: i%4 - 1, Job: i - 1, Load: float64(i) * 1.7,
+				Budget: 320, Alts: i % 5, Action: "x",
+			})
+		}
+		if err := log.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(render(), render()) {
+		t.Error("decision log not byte-deterministic")
+	}
+}
+
+func TestCollectorDecisionSummary(t *testing.T) {
+	col := NewCollector()
+	col.ObserveDecision(Decision{Kind: DecisionAdmit, Job: 1})
+	col.ObserveDecision(Decision{Kind: DecisionShed, Job: 2, Marginal: 0.01, Load: 300, Capacity: 150})
+	col.ObserveDecision(Decision{Kind: DecisionShed, Job: 3, Marginal: 0.03, Load: 450, Capacity: 150})
+	col.ObserveDecision(Decision{Kind: DecisionDispatch, Job: 4, Machine: 0, Score: 2, Alts: 4})
+	var rep bytes.Buffer
+	if err := col.WriteReport(&rep); err != nil {
+		t.Fatal(err)
+	}
+	out := rep.String()
+	for _, want := range []string{
+		"decisions_total",
+		"--- decision summary ---",
+		"decide  admit",
+		"decide  shed",
+		"mean_marginal=0.02",
+		"mean_overload=2.5",
+		"decide  dispatch",
+		"mean_score=2",
+		"mean_alts=4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+
+	// A collector that never saw a decision renders no summary section.
+	var rep2 bytes.Buffer
+	if err := NewCollector().WriteReport(&rep2); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(rep2.String(), "decision summary") {
+		t.Error("decision summary rendered with no decisions observed")
+	}
+}
+
+// BenchmarkDecisionDisabled pins the nil-sink fast path: instrumented code
+// paths pay one branch and zero allocations when recording is off.
+func BenchmarkDecisionDisabled(b *testing.B) {
+	var sink DecisionSink
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if sink != nil {
+			sink.ObserveDecision(Decision{Kind: DecisionAdmit, Job: i})
+		}
+	}
+}
+
+// BenchmarkDecisionCollector bounds the live recording cost per decision.
+func BenchmarkDecisionCollector(b *testing.B) {
+	col := NewCollector()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		col.ObserveDecision(Decision{Kind: DecisionShed, Job: i, Marginal: 0.01, Load: 2, Capacity: 1})
+	}
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// PrometheusContentType is the content type of the text exposition
+// format rendered by WritePrometheus.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promName sanitizes a metric name to [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promName(name string) string {
+	ok := true
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		valid := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !valid {
+			ok = false
+			break
+		}
+	}
+	if ok && len(name) > 0 {
+		return name
+	}
+	var b strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c == '_' || c == ':',
+			c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z',
+			c >= '0' && c <= '9' && i > 0:
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// promFloat renders a float the way Prometheus expects, including the
+// "+Inf" spelling for the overflow bucket bound.
+func promFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format (version 0.0.4): # HELP and # TYPE comments, counters and
+// gauges as single samples, histograms as cumulative _bucket series plus
+// _sum and _count. Names are sorted within each section, so the output
+// is deterministic.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, name := range sortedKeys(r.counters) {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+			pn, name, pn, pn, r.counters[name].Value()); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(r.gauges) {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n",
+			pn, name, pn, pn, promFloat(r.gauges[name].Value())); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(r.hists) {
+		pn := promName(name)
+		h := r.hists[name]
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", pn, name, pn); err != nil {
+			return err
+		}
+		bounds, cum := h.Buckets()
+		for i, le := range bounds {
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, promFloat(le), cum[i]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n",
+			pn, promFloat(h.Sum()), pn, h.Count()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -53,11 +53,22 @@ type Histogram struct {
 }
 
 // NewHistogram builds a histogram over the given strictly increasing
-// bucket upper bounds.
+// bucket upper bounds. Bounds must be finite, NaN-free, and strictly
+// increasing — a NaN or +Inf bound would silently misbin every
+// observation after it (NaN compares false against everything, and the
+// +Inf bucket is already implicit), so each defect is rejected with a
+// field-level error naming the offending index.
 func NewHistogram(bounds []float64) (*Histogram, error) {
-	for i := 1; i < len(bounds); i++ {
-		if bounds[i] <= bounds[i-1] {
-			return nil, fmt.Errorf("obs: histogram bounds must be strictly increasing, got %v", bounds)
+	for i, b := range bounds {
+		switch {
+		case math.IsNaN(b):
+			return nil, fmt.Errorf("obs: histogram bounds[%d] is NaN", i)
+		case math.IsInf(b, 0):
+			return nil, fmt.Errorf("obs: histogram bounds[%d] is %v (the +Inf bucket is implicit)", i, b)
+		case i > 0 && b == bounds[i-1]:
+			return nil, fmt.Errorf("obs: histogram bounds[%d] duplicates bounds[%d] (%g)", i, i-1, b)
+		case i > 0 && b < bounds[i-1]:
+			return nil, fmt.Errorf("obs: histogram bounds[%d] (%g) below bounds[%d] (%g): bounds must be strictly increasing", i, b, i-1, bounds[i-1])
 		}
 	}
 	return &Histogram{

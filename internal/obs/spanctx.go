@@ -1,0 +1,35 @@
+package obs
+
+import "context"
+
+// Context plumbing for span propagation across API boundaries whose
+// signatures predate tracing (the server's injectable Run function takes
+// only a context.Context and a Config). The allocation happens once per
+// traced request, never on an untraced path.
+
+type spanCtxKey struct{}
+
+type spanCtxVal struct {
+	bus    *SpanBus
+	parent SpanContext
+}
+
+// ContextWithSpan returns ctx carrying the bus and the parent context
+// under which downstream work should start its spans. A nil bus returns
+// ctx unchanged.
+func ContextWithSpan(ctx context.Context, bus *SpanBus, parent SpanContext) context.Context {
+	if bus == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, spanCtxVal{bus: bus, parent: parent})
+}
+
+// SpanFromContext extracts the bus and parent span context installed by
+// ContextWithSpan, or (nil, zero, false).
+func SpanFromContext(ctx context.Context) (*SpanBus, SpanContext, bool) {
+	v, ok := ctx.Value(spanCtxKey{}).(spanCtxVal)
+	if !ok {
+		return nil, SpanContext{}, false
+	}
+	return v.bus, v.parent, true
+}

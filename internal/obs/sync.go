@@ -115,3 +115,11 @@ func (r *SyncRegistry) WriteText(w io.Writer) error {
 	defer r.mu.Unlock()
 	return r.reg.WriteText(w)
 }
+
+// WritePrometheus renders the registry snapshot in the Prometheus text
+// exposition format under the lock.
+func (r *SyncRegistry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.reg.WritePrometheus(w)
+}

@@ -359,6 +359,17 @@ type Runner struct {
 
 	timeline *metrics.Timeline
 	obs      obs.Observer
+
+	// decisions receives one structured record per consequential choice
+	// (admission, shed, mode switch, replan); nil costs one branch.
+	decisions obs.DecisionSink
+	// spans wraps the run and each policy invocation in wall-clock trace
+	// spans; nil costs one branch. spanParent is the caller's span (e.g.
+	// the serving tier's request span) so the scheduler's work attaches
+	// to the request's trace tree.
+	spans      *obs.SpanBus
+	spanParent obs.SpanContext
+	runSpanCtx obs.SpanContext
 }
 
 // SetObserver attaches a structured-event sink to every layer of the run:
@@ -376,6 +387,22 @@ func (r *Runner) SetObserver(o obs.Observer) {
 // mode at every delivered event (thinned by the timeline's own interval).
 // Call before Run.
 func (r *Runner) SetTimeline(t *metrics.Timeline) { r.timeline = t }
+
+// SetDecisionSink attaches a sink for structured decision records —
+// admissions, sheds, mode switches, DVFS replans — emitted alongside
+// (not instead of) the event stream. Call before Run; pass nil to
+// detach. With no sink the decision paths cost one branch and zero
+// allocations.
+func (r *Runner) SetDecisionSink(s obs.DecisionSink) { r.decisions = s }
+
+// SetSpans attaches a span bus so the run and every policy invocation
+// are timed as wall-clock trace spans under parent (typically the
+// serving tier's request span; pass the zero SpanContext to root a new
+// trace). Call before Run; a nil bus costs one branch per invocation.
+func (r *Runner) SetSpans(bus *obs.SpanBus, parent obs.SpanContext) {
+	r.spans = bus
+	r.spanParent = parent
+}
 
 // SetContext attaches a cancellation context to the run: when ctx is
 // cancelled or its deadline passes, Run stops within a bounded number of
@@ -483,9 +510,13 @@ func (r *Runner) Run() (Result, error) {
 			return Result{}, err
 		}
 	}
+	runSpan := r.spans.Start("sched.run", obs.SpanSched, r.spanParent)
+	r.runSpanCtx = runSpan.Context()
 	var cancelReason string
 	if err := r.engine.Run(); err != nil {
 		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			runSpan.SetNote("error")
+			r.spans.Finish(runSpan)
 			return Result{}, err
 		}
 		// Context interruption is a normal outcome for an online service:
@@ -530,6 +561,12 @@ func (r *Runner) Run() (Result, error) {
 		res.Cancelled = true
 		res.CancelReason = cancelReason
 	}
+	runSpan.SetValue(res.Quality)
+	runSpan.SetAux(float64(r.engine.Processed))
+	if cancelReason != "" {
+		runSpan.SetNote("cancelled")
+	}
+	r.spans.Finish(runSpan)
 	return res, nil
 }
 
@@ -581,6 +618,14 @@ func (r *Runner) handle(e *sim.Event) error {
 		r.noteArrival(now)
 		obs.Emit(r.obs, obs.Event{Time: now, Type: obs.EventJobArrive,
 			Core: -1, Job: j.ID, Value: j.Demand, Aux: j.Deadline})
+		if r.decisions != nil {
+			// Every arrival is an (implicit) admission: shedLoad may revoke
+			// it later, but the record of what the policy saw at admit time
+			// is what counterfactual replay needs.
+			r.decisions.ObserveDecision(obs.Decision{Time: now, Kind: obs.DecisionAdmit,
+				Machine: -1, Job: j.ID, Load: r.estimateRate(now),
+				Budget: r.server.Budget(), Alts: r.wait.Len(), Action: "queue"})
+		}
 		// Every job gets a deadline event so expiry is observed promptly.
 		if _, err := r.engine.Schedule(j.Deadline, sim.KindDeadline); err != nil {
 			return err
@@ -708,6 +753,15 @@ func (r *Runner) invoke(now float64, trig Trigger) {
 	}
 	obs.Emit(r.obs, obs.Event{Time: now, Type: obs.EventBatch, Core: -1, Job: -1,
 		Value: float64(r.wait.Len()), Aux: float64(trig)})
+	if trig == TriggerFault && r.decisions != nil {
+		// Every fault-triggered invocation replans DVFS under the new
+		// capacity (fewer cores, capped budget, or a stuck speed).
+		r.decisions.ObserveDecision(obs.Decision{Time: now, Kind: obs.DecisionReplan,
+			Machine: -1, Job: -1, Load: float64(r.wait.Len()),
+			Budget: r.server.Budget(), Action: "fault"})
+	}
+	sp := r.spans.Start("sched.invoke", obs.SpanSched, r.runSpanCtx)
+	sp.SetValue(float64(r.wait.Len()))
 	r.pctx = Context{
 		Now:         now,
 		Trigger:     trig,
@@ -722,6 +776,7 @@ func (r *Runner) invoke(now float64, trig Trigger) {
 		Modes:       r,
 	}
 	r.policy.Schedule(&r.pctx)
+	r.spans.Finish(sp)
 	r.refreshIdleEvents(now)
 }
 
@@ -821,6 +876,15 @@ func (r *Runner) shedLoad(now float64) {
 		j := r.wait.PopJob(c.j)
 		if j == nil {
 			continue
+		}
+		if r.decisions != nil {
+			// Record the inputs the shed was decided on: aggregate demand
+			// vs. surviving capacity, this job's marginal quality, and how
+			// many candidates were in the running.
+			r.decisions.ObserveDecision(obs.Decision{Time: now, Kind: obs.DecisionShed,
+				Machine: -1, Job: j.ID, Load: need, Capacity: capacity,
+				Marginal: c.marginal, Budget: r.server.Budget(),
+				Alts: len(cands), Action: "shed"})
 		}
 		need -= rate(j)
 		j.State = job.StateFinalized
@@ -971,6 +1035,15 @@ func (r *Runner) setMode(now float64, aes bool) {
 			r.modeSwitches++
 			obs.Emit(r.obs, obs.Event{Time: now, Type: obs.EventModeSwitch,
 				Core: -1, Job: -1, Flag: aes})
+			if r.decisions != nil {
+				action := "bq"
+				if aes {
+					action = "aes"
+				}
+				r.decisions.ObserveDecision(obs.Decision{Time: now, Kind: obs.DecisionModeSwitch,
+					Machine: -1, Job: -1, Score: r.acc.Quality(),
+					Budget: r.server.Budget(), Action: action})
+			}
 		}
 	} else {
 		// Declare the initial mode so exporters can anchor their tracks.

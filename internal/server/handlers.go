@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"goodenough"
+	"goodenough/internal/obs"
 )
 
 // errorBody is the JSON error envelope every non-2xx response carries.
@@ -104,8 +105,16 @@ func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool)
 // receives the bounded run context and returns the response payload.
 func (s *Server) execute(w http.ResponseWriter, r *http.Request,
 	run func(ctx context.Context) (any, error)) {
+	// Tracing: join the caller's trace (or root a fresh one), echo the IDs
+	// so the client can stitch, and finish the span exactly once on every
+	// exit path. With a nil bus all of this is nil-receiver no-ops.
+	span := s.spans.Start(r.URL.Path, obs.SpanServer, obs.ParseSpanContext(r.Header))
+	span.Context().Inject(w.Header())
+	defer s.spans.Finish(span)
+
 	release, verdict := s.acquire(r.Context())
 	if verdict != admitted {
+		span.SetNote("shed")
 		s.shedResponse(w, verdict)
 		return
 	}
@@ -116,8 +125,12 @@ func (s *Server) execute(w http.ResponseWriter, r *http.Request,
 
 	ctx, cancel := s.runContext(r)
 	defer cancel()
+	if s.spans != nil {
+		ctx = obs.ContextWithSpan(ctx, s.spans, span.Context())
+	}
 	payload, err := run(ctx)
 	if err != nil {
+		span.SetNote("error")
 		s.metrics.Inc("run_err_total")
 		// goodenough.RunContext reports cancellation as a partial result,
 		// not an error, so an error here is a config/trace problem — except
@@ -306,9 +319,25 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	_ = s.metrics.WriteText(w)
 }
 
+// handleMetricz renders the registry in the Prometheus text exposition
+// format by default; ?format=plain keeps the legacy `kind name value`
+// lines for scripts and humans.
 func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	_ = s.metrics.WriteText(w)
+	if r.URL.Query().Get("format") == "plain" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = s.metrics.WriteText(w)
+		return
+	}
+	w.Header().Set("Content-Type", obs.PrometheusContentType)
+	_ = s.metrics.WritePrometheus(w)
+}
+
+// handleTimeseriez dumps the sampler rings as JSON: the last ~5 minutes
+// of inflight, queue depth, and counter series at SampleInterval
+// resolution. cmd/gestat polls this to draw live sparklines.
+func (s *Server) handleTimeseriez(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.sampler.WriteJSON(w)
 }
 
 // errIsCancel reports whether err is a context cancellation.

@@ -22,7 +22,8 @@
 //	POST /v1/sweep   a batch of runs over rates × seeds (one admission slot)
 //	GET  /healthz    liveness (always 200 while the process serves)
 //	GET  /readyz     readiness (503 once draining), with metrics snapshot
-//	GET  /metricz    the obs registry rendered as text
+//	GET  /metricz    the obs registry (Prometheus text; ?format=plain for legacy)
+//	GET  /timeseriez recent per-second samples of load metrics, as JSON
 package server
 
 import (
@@ -67,6 +68,14 @@ type Config struct {
 	// Run substitutes the simulation entry point (tests only; default
 	// goodenough.RunContext).
 	Run RunFunc
+	// Spans, when non-nil, traces every request: incoming X-GE-Trace-Id /
+	// X-GE-Span-Id headers are joined (or a fresh trace rooted), the
+	// request and the scheduler's work become spans on this bus, and the
+	// trace ID is echoed on the response. Nil disables tracing at zero
+	// hot-path cost.
+	Spans *obs.SpanBus
+	// SampleInterval is the /timeseriez sampling period (default: 1s).
+	SampleInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -94,6 +103,9 @@ func (c Config) withDefaults() Config {
 	if c.Run == nil {
 		c.Run = goodenough.RunContext
 	}
+	if c.SampleInterval <= 0 {
+		c.SampleInterval = time.Second
+	}
 	return c
 }
 
@@ -119,6 +131,8 @@ type Server struct {
 	cancelRuns context.CancelFunc
 
 	metrics *obs.SyncRegistry
+	spans   *obs.SpanBus
+	sampler *obs.Sampler
 	started time.Time
 }
 
@@ -133,12 +147,24 @@ func New(cfg Config) *Server {
 		runCtx:     ctx,
 		cancelRuns: cancel,
 		metrics:    newMetrics(),
+		spans:      cfg.Spans,
 		started:    time.Now(),
 	}
+	// Live telemetry: the sampler polls values the serving path already
+	// maintains, so /timeseriez never touches the request hot path.
+	s.sampler = obs.NewSampler(cfg.SampleInterval, 300)
+	s.sampler.Track("inflight", func() float64 { return float64(s.InFlight()) })
+	s.sampler.Track("queue_depth", func() float64 { return float64(s.QueueDepth()) })
+	for _, name := range []string{"requests_total", "run_ok_total", "shed_total", "run_err_total"} {
+		name := name
+		s.sampler.Track(name, func() float64 { return float64(s.metrics.CounterValue(name)) })
+	}
+	s.sampler.Start()
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metricz", s.handleMetricz)
+	s.mux.HandleFunc("GET /timeseriez", s.handleTimeseriez)
 	s.mux.Handle("POST /v1/run", s.instrument(http.HandlerFunc(s.handleRun)))
 	s.mux.Handle("POST /v1/trace", s.instrument(http.HandlerFunc(s.handleTrace)))
 	s.mux.Handle("POST /v1/sweep", s.instrument(http.HandlerFunc(s.handleSweep)))
@@ -241,6 +267,7 @@ func (s *Server) QueueDepth() int {
 // returns once every in-flight request has finished; it is idempotent, and
 // concurrent calls all block until the drain completes.
 func (s *Server) Drain(ctx context.Context) error {
+	defer s.sampler.Stop()
 	s.mu.Lock()
 	if !s.draining {
 		s.draining = true

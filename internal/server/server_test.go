@@ -282,7 +282,7 @@ func TestPanicRecovered(t *testing.T) {
 	if code, _ := getBody(t, ts.Client(), ts.URL+"/healthz"); code != http.StatusOK {
 		t.Fatalf("healthz after panic: %d", code)
 	}
-	_, metricz := getBody(t, ts.Client(), ts.URL+"/metricz")
+	_, metricz := getBody(t, ts.Client(), ts.URL+"/metricz?format=plain")
 	if n := counterValue(t, metricz, "panics_total"); n != 1 {
 		t.Fatalf("panics_total = %d, want 1", n)
 	}
@@ -311,7 +311,7 @@ func TestRequestTimeoutReturnsPartial(t *testing.T) {
 	if !rr.Result.Cancelled || rr.Result.CancelReason != context.DeadlineExceeded.Error() {
 		t.Fatalf("timed-out run not partial: %+v", rr.Result)
 	}
-	_, metricz := getBody(t, ts.Client(), ts.URL+"/metricz")
+	_, metricz := getBody(t, ts.Client(), ts.URL+"/metricz?format=plain")
 	if n := counterValue(t, metricz, "run_cancelled_total"); n != 1 {
 		t.Fatalf("run_cancelled_total = %d, want 1", n)
 	}
@@ -355,7 +355,7 @@ func TestClientGoneWhileQueued(t *testing.T) {
 		t.Fatal("cancelled client got a response")
 	}
 	waitFor(t, func() bool {
-		_, metricz := getBody(t, ts.Client(), ts.URL+"/metricz")
+		_, metricz := getBody(t, ts.Client(), ts.URL+"/metricz?format=plain")
 		for _, line := range strings.Split(string(metricz), "\n") {
 			f := strings.Fields(line)
 			if len(f) == 3 && f[1] == "client_gone_total" {
@@ -461,7 +461,7 @@ func TestConcurrentHammer(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for i := 0; i < metricGets; i++ {
-			getBody(t, ts.Client(), ts.URL+"/metricz")
+			getBody(t, ts.Client(), ts.URL+"/metricz?format=plain")
 			getBody(t, ts.Client(), ts.URL+"/readyz")
 		}
 	}()
@@ -473,7 +473,7 @@ func TestConcurrentHammer(t *testing.T) {
 	if s.InFlight() != 0 {
 		t.Fatalf("%d runs still in flight after hammer", s.InFlight())
 	}
-	_, metricz := getBody(t, ts.Client(), ts.URL+"/metricz")
+	_, metricz := getBody(t, ts.Client(), ts.URL+"/metricz?format=plain")
 	okN := counterValue(t, metricz, "run_ok_total")
 	shedN := counterValue(t, metricz, "shed_total")
 	if int(okN) != statuses[http.StatusOK] || int(shedN) != statuses[http.StatusTooManyRequests] {

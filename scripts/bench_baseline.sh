@@ -25,6 +25,9 @@ go test -run '^$' -bench 'BenchmarkQuantum' -benchmem \
 go test -run '^$' -bench 'BenchmarkFleet' -benchmem \
     -benchtime "$BENCHTIME" -count "$COUNT" . \
     | tee -a "$TMP/bench.txt"
+go test -run '^$' -bench 'BenchmarkSpan|BenchmarkDecision|BenchmarkSampler' -benchmem \
+    -benchtime "$BENCHTIME" -count "$COUNT" ./internal/obs/ \
+    | tee -a "$TMP/bench.txt"
 
 # Preserve the committed baseline's "previous" section (the pre-optimization
 # numbers) when refreshing BENCH_BASELINE.json in place.

@@ -99,7 +99,7 @@ if [ "$OK" != "100" ] || [ "$SHED" != "0" ] || [ "$ERRORS" != "0" ]; then
 fi
 echo "chaos-smoke: 100/100 requests ok across the blackhole"
 
-curl -fsS "$BASE/metricz" >"$TMP/metricz"
+curl -fsS "$BASE/metricz?format=plain" >"$TMP/metricz"
 HEDGES_WON=$(awk '$1=="counter" && $2=="hedges_won_total"{print $3}' "$TMP/metricz")
 if [ -z "$HEDGES_WON" ] || [ "$HEDGES_WON" -lt 1 ]; then
     echo "chaos-smoke: hedges_won_total=$HEDGES_WON, want >= 1" >&2

@@ -1,0 +1,182 @@
+#!/bin/sh
+# End-to-end observability smoke: build geserve + gegate + geload + gestat,
+# boot two replicas and a gateway with -span-log on every tier, drive traced
+# load through the gateway, and require (1) /metricz speaks Prometheus text
+# on both tiers with the legacy plain format behind ?format=plain, (2)
+# /timeseriez serves ring-buffer samples, (3) `gestat -n 1` renders a live
+# panel, (4) after a clean SIGTERM flush the client, gateway, and server
+# span logs share trace IDs — one request is one causal tree across three
+# processes — and (5) `gestat -spans -trace` merges the logs into a loadable
+# Chrome/Perfetto trace. Used by `make obs-smoke` and the CI obs-smoke job.
+set -eu
+
+GATE_ADDR=${GATE_ADDR:-127.0.0.1:8372}
+R1_ADDR=127.0.0.1:8386
+R2_ADDR=127.0.0.1:8387
+BASE="http://$GATE_ADDR"
+TMP=$(mktemp -d)
+
+PIDS=""
+cleanup() {
+    for pid in $PIDS; do
+        kill "$pid" 2>/dev/null || true
+    done
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+go build -o "$TMP/geserve" ./cmd/geserve
+go build -o "$TMP/gegate" ./cmd/gegate
+go build -o "$TMP/geload" ./cmd/geload
+go build -o "$TMP/gestat" ./cmd/gestat
+
+for addr in "$R1_ADDR" "$R2_ADDR"; do
+    "$TMP/geserve" -addr "$addr" -concurrency 2 -queue 8 \
+        -timeout 10s -drain-timeout 2s \
+        -span-log "$TMP/geserve-$addr.spans.jsonl" \
+        2>"$TMP/geserve-$addr.log" &
+    PIDS="$PIDS $!"
+done
+for addr in "$R1_ADDR" "$R2_ADDR"; do
+    i=0
+    until curl -fsS "http://$addr/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -ge 50 ]; then
+            echo "obs-smoke: replica $addr never became healthy" >&2
+            exit 1
+        fi
+        sleep 0.2
+    done
+done
+echo "obs-smoke: 2 replicas healthy"
+
+"$TMP/gegate" -addr "$GATE_ADDR" \
+    -replicas "http://$R1_ADDR,http://$R2_ADDR" \
+    -probe-interval 300ms -hedge-min 50ms -timeout 30s \
+    -span-log "$TMP/gegate.spans.jsonl" \
+    2>"$TMP/gegate.log" &
+GATE_PID=$!
+PIDS="$PIDS $GATE_PID"
+i=0
+until curl -fsS "$BASE/readyz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "obs-smoke: gegate never became ready" >&2
+        cat "$TMP/gegate.log" >&2 || true
+        exit 1
+    fi
+    sleep 0.2
+done
+echo "obs-smoke: gegate ready"
+
+# Traced load: every request originates a client span whose context rides
+# the X-GE-Trace-Id header through the gateway into a replica.
+"$TMP/geload" -url "$BASE" -mode closed -concurrency 4 -requests 20 \
+    -run-duration 0.2 -span-log "$TMP/geload.spans.jsonl" -csv >"$TMP/load.csv"
+cat "$TMP/load.csv"
+OK=$(awk -F, 'NR==2{print $3}' "$TMP/load.csv")
+if [ "$OK" != "20" ]; then
+    echo "obs-smoke: only $OK/20 requests succeeded" >&2
+    cat "$TMP/gegate.log" >&2 || true
+    exit 1
+fi
+echo "obs-smoke: 20/20 traced requests ok"
+
+# Prometheus exposition on both tiers; the legacy plain format stays
+# reachable behind ?format=plain.
+for url in "$BASE" "http://$R1_ADDR"; do
+    curl -fsS "$url/metricz" >"$TMP/prom"
+    grep -q "^# TYPE " "$TMP/prom" || {
+        echo "obs-smoke: $url/metricz is not Prometheus text" >&2
+        cat "$TMP/prom" >&2
+        exit 1
+    }
+    curl -fsS "$url/metricz?format=plain" | grep -q "^counter " || {
+        echo "obs-smoke: $url/metricz?format=plain lost the legacy format" >&2
+        exit 1
+    }
+done
+echo "obs-smoke: /metricz speaks Prometheus on gegate and geserve"
+
+# Live telemetry: both tiers serve ring-buffer samples as JSON.
+sleep 1.2 # let at least one sampler tick land
+for url in "$BASE" "http://$R1_ADDR"; do
+    curl -fsS "$url/timeseriez" >"$TMP/ts.json"
+    grep -q '"series"' "$TMP/ts.json" || {
+        echo "obs-smoke: $url/timeseriez returned no series" >&2
+        cat "$TMP/ts.json" >&2
+        exit 1
+    }
+done
+grep -q '"t":\[' "$TMP/ts.json" || {
+    echo "obs-smoke: timeseriez has no samples after 1.2s" >&2
+    cat "$TMP/ts.json" >&2
+    exit 1
+}
+echo "obs-smoke: /timeseriez serves samples on gegate and geserve"
+
+# gestat one-shot panel against both tiers.
+"$TMP/gestat" -targets "$BASE,http://$R1_ADDR" -n 1 -plain >"$TMP/gestat.out"
+grep -q "$GATE_ADDR" "$TMP/gestat.out" || {
+    echo "obs-smoke: gestat panel missing the gateway target" >&2
+    cat "$TMP/gestat.out" >&2
+    exit 1
+}
+echo "obs-smoke: gestat rendered a live panel"
+
+# Graceful teardown: SIGTERM must exit 0 AND flush every span log.
+kill -TERM "$GATE_PID"
+if ! wait "$GATE_PID"; then
+    echo "obs-smoke: gegate exited non-zero on SIGTERM" >&2
+    exit 1
+fi
+for pid in $PIDS; do
+    [ "$pid" = "$GATE_PID" ] && continue
+    kill -TERM "$pid" 2>/dev/null || true
+    wait "$pid" || {
+        echo "obs-smoke: geserve exited non-zero on SIGTERM" >&2
+        exit 1
+    }
+done
+PIDS=""
+echo "obs-smoke: clean SIGTERM teardown"
+
+# Tracing acceptance: trace IDs originated by the client must appear in the
+# gateway's span log AND in a replica's — three processes, one causal tree
+# per request.
+for f in "$TMP/geload.spans.jsonl" "$TMP/gegate.spans.jsonl"; do
+    [ -s "$f" ] || {
+        echo "obs-smoke: span log $f is empty" >&2
+        exit 1
+    }
+done
+cat "$TMP/geserve-$R1_ADDR.spans.jsonl" "$TMP/geserve-$R2_ADDR.spans.jsonl" \
+    >"$TMP/geserve.spans.jsonl"
+SHARED=0
+for trace in $(sed -n 's/.*"trace":"\([0-9a-f]*\)".*/\1/p' "$TMP/geload.spans.jsonl" | sort -u); do
+    if grep -q "\"trace\":\"$trace\"" "$TMP/gegate.spans.jsonl" &&
+        grep -q "\"trace\":\"$trace\"" "$TMP/geserve.spans.jsonl"; then
+        SHARED=$((SHARED + 1))
+    fi
+done
+if [ "$SHARED" -lt 1 ]; then
+    echo "obs-smoke: no client trace ID found in both gegate and geserve span logs" >&2
+    head -3 "$TMP/geload.spans.jsonl" "$TMP/gegate.spans.jsonl" "$TMP/geserve.spans.jsonl" >&2 || true
+    exit 1
+fi
+echo "obs-smoke: $SHARED client traces continue through gegate and geserve"
+
+# Merge the logs from all three tiers into one Chrome/Perfetto trace.
+"$TMP/gestat" \
+    -spans "$TMP/geload.spans.jsonl,$TMP/gegate.spans.jsonl,$TMP/geserve-$R1_ADDR.spans.jsonl,$TMP/geserve-$R2_ADDR.spans.jsonl" \
+    -trace "$TMP/trace.json"
+grep -q '"traceEvents"' "$TMP/trace.json" || {
+    echo "obs-smoke: merged trace has no traceEvents" >&2
+    exit 1
+}
+grep -q '"ph":"X"' "$TMP/trace.json" || {
+    echo "obs-smoke: merged trace has no slices" >&2
+    exit 1
+}
+echo "obs-smoke: merged $(wc -c <"$TMP/trace.json") bytes of Chrome trace from 4 span logs"
+echo "obs-smoke: PASS"
