@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-baseline bench-check smoke chaos-smoke fleet-smoke obs-smoke sweep sweep-fast fuzz cover clean
+.PHONY: all build test race vet bench bench-baseline bench-check smoke chaos-smoke fleet-smoke obs-smoke brownout-smoke sweep sweep-fast fuzz cover clean
 
 all: build vet test
 
@@ -40,6 +40,12 @@ obs-smoke:
 fleet-smoke:
 	sh scripts/fleet_smoke.sh
 
+# Live-GE brownout smoke: governed replicas at 2x capacity must degrade
+# (quality >= Q_GE - 0.05, zero failures) and a starved replica must shed
+# with drain-derived Retry-After hints.
+brownout-smoke:
+	sh scripts/brownout_smoke.sh
+
 # One benchmark iteration per paper figure + ablations (fast, shape-level).
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x .
@@ -70,6 +76,8 @@ fuzz:
 	$(GO) test -fuzz FuzzReadTrace -fuzztime 30s ./internal/workload/
 	$(GO) test -fuzz FuzzGenerate -fuzztime 30s ./internal/faults/
 	$(GO) test -fuzz FuzzGenerateCluster -fuzztime 30s ./internal/faults/
+	$(GO) test -fuzz FuzzCompareShed -fuzztime 30s ./internal/sched/
+	$(GO) test -fuzz FuzzPlanMonotone -fuzztime 30s ./internal/governor/
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...

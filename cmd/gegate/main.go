@@ -43,6 +43,7 @@ func main() {
 		brFailures   = flag.Int("breaker-failures", 3, "consecutive failures that open a replica's breaker")
 		brOpenFor    = flag.Duration("breaker-open", 2*time.Second, "open-state duration before a half-open trial")
 		noHedge      = flag.Bool("no-hedge", false, "disable tail-latency hedging")
+		qualityAware = flag.Bool("quality-aware", false, "prefer replicas by governor signals (brownout state, then headroom) before raw load")
 		hedgeQ       = flag.Float64("hedge-quantile", 0.95, "latency quantile that sets the hedge delay")
 		hedgeMin     = flag.Duration("hedge-min", 50*time.Millisecond, "hedge delay floor (also the cold-start delay)")
 		hedgeMax     = flag.Duration("hedge-max", 2*time.Second, "hedge delay ceiling")
@@ -86,6 +87,7 @@ func main() {
 		BreakerFailures:  *brFailures,
 		BreakerOpenFor:   *brOpenFor,
 		DisableHedging:   *noHedge,
+		QualityAware:     *qualityAware,
 		HedgeQuantile:    *hedgeQ,
 		HedgeMinDelay:    *hedgeMin,
 		HedgeMaxDelay:    *hedgeMax,

@@ -62,22 +62,25 @@ type options struct {
 type tally struct {
 	mu        sync.Mutex
 	latencies []float64 // seconds, successful attempts only
+	qualities []float64 // achieved quality per ok response (X-GE-Quality or body)
 	ok        int
 	cancelled int            // 200s whose result was a partial (Cancelled) run
 	shed      int            // exhausted retries on 429/503
 	errors    int            // 4xx/5xx config or server errors, connection failures
 	clamped   int            // Retry-After hints rejected or capped to -max-backoff
+	noHint    int            // 429 sheds missing a parseable positive Retry-After
 	hedged    int            // 200s answered by a winning gateway hedge (X-GE-Hedged)
 	replicas  map[string]int // ok responses per X-GE-Replica
 	attempts  int64
 	retried   int64
 }
 
-func (t *tally) success(d time.Duration, cancelled bool, replica string, hedged bool) {
+func (t *tally) success(d time.Duration, q float64, cancelled bool, replica string, hedged bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.ok++
 	t.latencies = append(t.latencies, d.Seconds())
+	t.qualities = append(t.qualities, q)
 	if cancelled {
 		t.cancelled++
 	}
@@ -95,6 +98,7 @@ func (t *tally) success(d time.Duration, cancelled bool, replica string, hedged 
 func (t *tally) addShed()    { t.mu.Lock(); t.shed++; t.mu.Unlock() }
 func (t *tally) addErr()     { t.mu.Lock(); t.errors++; t.mu.Unlock() }
 func (t *tally) addClamped() { t.mu.Lock(); t.clamped++; t.mu.Unlock() }
+func (t *tally) addNoHint()  { t.mu.Lock(); t.noHint++; t.mu.Unlock() }
 
 // quantile returns the q-th quantile of sorted xs.
 func quantile(sorted []float64, q float64) float64 {
@@ -106,16 +110,25 @@ func quantile(sorted []float64, q float64) float64 {
 }
 
 // retryAfterHint extracts the server's backoff hint without trusting it
-// verbatim: absent means no hint; unparseable, negative, or above-ceiling
-// values are clamped to the ceiling and reported so a buggy or malicious
-// header cannot park the generator (clamped=true in those cases).
+// verbatim: absent means no hint; unparseable values are clamped to the
+// ceiling, zero or negative ones are floored at one second (a server that
+// says "retry immediately" while shedding is lying), and above-ceiling
+// values are capped — all reported as clamped so a buggy or malicious
+// header cannot park or stampede the generator.
 func retryAfterHint(header string, ceiling time.Duration) (d time.Duration, clamped bool) {
 	if header == "" {
 		return 0, false
 	}
 	secs, err := strconv.Atoi(header)
-	if err != nil || secs < 0 {
+	if err != nil {
 		return ceiling, true
+	}
+	if secs <= 0 {
+		floor := time.Second
+		if floor > ceiling {
+			floor = ceiling
+		}
+		return floor, true
 	}
 	d = time.Duration(secs) * time.Second
 	if d > ceiling {
@@ -163,18 +176,35 @@ func oneRequest(client *http.Client, opt *options, t *tally, rng *rand.Rand) {
 				var rr struct {
 					Result struct {
 						Cancelled bool
+						Quality   float64
 					}
 				}
 				_ = json.Unmarshal(body, &rr)
 				hedged := resp.Header.Get("X-GE-Hedged") != ""
+				// Achieved quality: the governor's X-GE-Quality header when the
+				// replica is governed, the simulation's own batch quality
+				// otherwise — either way 1.0 means nothing was given up.
+				q := rr.Result.Quality
+				if v := resp.Header.Get("X-GE-Quality"); v != "" {
+					if f, perr := strconv.ParseFloat(v, 64); perr == nil && f >= 0 && f <= 1 {
+						q = f
+					}
+				}
 				span.SetValue(elapsed.Seconds())
 				span.SetAux(float64(attempt + 1))
 				span.SetFlag(hedged)
-				t.success(elapsed, rr.Result.Cancelled,
+				t.success(elapsed, q, rr.Result.Cancelled,
 					resp.Header.Get("X-GE-Replica"), hedged)
 				return
 			case resp.StatusCode == http.StatusTooManyRequests ||
 				resp.StatusCode == http.StatusServiceUnavailable:
+				if resp.StatusCode == http.StatusTooManyRequests {
+					if secs, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr != nil || secs < 1 {
+						// A shed without a usable backoff hint leaves clients
+						// guessing; the brownout smoke gate requires zero.
+						t.addNoHint()
+					}
+				}
 				if attempt >= opt.retries {
 					span.SetNote("shed")
 					t.addShed()
@@ -298,6 +328,7 @@ func main() {
 	elapsed := time.Since(start)
 
 	sort.Float64s(t.latencies)
+	sort.Float64s(t.qualities)
 	shedRate := float64(t.shed) / float64(opt.requests)
 	mean := 0.0
 	for _, v := range t.latencies {
@@ -306,15 +337,27 @@ func main() {
 	if len(t.latencies) > 0 {
 		mean /= float64(len(t.latencies))
 	}
+	qMean := 0.0
+	for _, v := range t.qualities {
+		qMean += v
+	}
+	if len(t.qualities) > 0 {
+		qMean /= float64(len(t.qualities))
+	}
+	// p99 of achieved quality is taken from the low end: the 1% of
+	// responses that gave up the most, the number the brownout gate bounds.
+	qP50 := quantile(t.qualities, 0.50)
+	qLow := quantile(t.qualities, 0.01)
 	if opt.csv {
-		fmt.Println("mode,offered,ok,cancelled,shed,errors,clamped,hedged,attempts,retries,shed_rate,elapsed_s,throughput_rps,lat_mean_ms,lat_p50_ms,lat_p95_ms,lat_p99_ms")
-		fmt.Printf("%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.4f,%.2f,%.2f,%.1f,%.1f,%.1f,%.1f\n",
+		fmt.Println("mode,offered,ok,cancelled,shed,errors,clamped,no_hint,hedged,attempts,retries,shed_rate,elapsed_s,throughput_rps,lat_mean_ms,lat_p50_ms,lat_p95_ms,lat_p99_ms,q_mean,q_p50,q_p99_low")
+		fmt.Printf("%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.4f,%.2f,%.2f,%.1f,%.1f,%.1f,%.1f,%.4f,%.4f,%.4f\n",
 			opt.mode, opt.requests, t.ok, t.cancelled, t.shed, t.errors,
-			t.clamped, t.hedged,
+			t.clamped, t.noHint, t.hedged,
 			t.attempts, t.retried, shedRate, elapsed.Seconds(),
 			float64(t.ok)/elapsed.Seconds(),
 			mean*1000, quantile(t.latencies, 0.50)*1000,
-			quantile(t.latencies, 0.95)*1000, quantile(t.latencies, 0.99)*1000)
+			quantile(t.latencies, 0.95)*1000, quantile(t.latencies, 0.99)*1000,
+			qMean, qP50, qLow)
 		return
 	}
 	fmt.Printf("mode             %s\n", opt.mode)
@@ -323,11 +366,13 @@ func main() {
 	fmt.Printf("shed             %d (rate %.3f, after %d retries)\n", t.shed, shedRate, t.retried)
 	fmt.Printf("errors           %d\n", t.errors)
 	fmt.Printf("clamped hints    %d (Retry-After rejected or capped at %s)\n", t.clamped, opt.maxBackoff)
+	fmt.Printf("hintless sheds   %d (429s without a parseable positive Retry-After)\n", t.noHint)
 	fmt.Printf("attempts         %d\n", t.attempts)
 	fmt.Printf("throughput       %.2f ok/s\n", float64(t.ok)/elapsed.Seconds())
 	fmt.Printf("latency (ok)     mean %.1f ms, p50 %.1f ms, p95 %.1f ms, p99 %.1f ms\n",
 		mean*1000, quantile(t.latencies, 0.50)*1000,
 		quantile(t.latencies, 0.95)*1000, quantile(t.latencies, 0.99)*1000)
+	fmt.Printf("quality (ok)     mean %.4f, p50 %.4f, worst-1%% %.4f\n", qMean, qP50, qLow)
 	if len(t.replicas) > 0 {
 		fmt.Printf("hedge wins       %d\n", t.hedged)
 		names := make([]string, 0, len(t.replicas))

@@ -7,7 +7,9 @@ import (
 
 // TestRetryAfterHint: the generator honors sane Retry-After hints and
 // clamps everything else — absent, garbage, negative, or absurd values can
-// never park a worker past -max-backoff.
+// never park a worker past -max-backoff, and a zero or negative hint
+// ("retry immediately" from a server that is actively shedding) is floored
+// at one second so clients cannot be talked into a stampede.
 func TestRetryAfterHint(t *testing.T) {
 	const ceiling = 5 * time.Second
 	cases := []struct {
@@ -18,10 +20,10 @@ func TestRetryAfterHint(t *testing.T) {
 	}{
 		{"absent", "", 0, false},
 		{"sane", "2", 2 * time.Second, false},
-		{"zero", "0", 0, false},
+		{"zero", "0", time.Second, true},
 		{"at ceiling", "5", 5 * time.Second, false},
 		{"absurd", "86400", ceiling, true},
-		{"negative", "-3", ceiling, true},
+		{"negative", "-3", time.Second, true},
 		{"garbage", "soon", ceiling, true},
 		{"http date", "Wed, 21 Oct 2015 07:28:00 GMT", ceiling, true},
 		{"float", "1.5", ceiling, true},

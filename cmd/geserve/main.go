@@ -26,9 +26,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
+	"goodenough/internal/governor"
 	"goodenough/internal/obs"
 	"goodenough/internal/server"
 )
@@ -44,6 +46,15 @@ func main() {
 		maxBody      = flag.Int64("max-body", 8<<20, "request body cap in bytes")
 		maxSweep     = flag.Int("max-sweep", 64, "max points one sweep request may fan out to")
 		spanLog      = flag.String("span-log", "", "trace request + scheduler spans to this JSONL file (empty = tracing off)")
+
+		govern      = flag.Bool("governor", false, "run the live GE overload governor (brownout degradation + power-budget enforcement)")
+		govBudget   = flag.Float64("governor-budget", 0, "governor work-rate budget in work-units/sec (0 = worker count)")
+		govQuantum  = flag.Duration("governor-quantum", 100*time.Millisecond, "governor control period")
+		govQGE      = flag.Float64("governor-qge", 0.9, "good-enough batch quality target Q_GE")
+		govCritical = flag.Float64("governor-critical", 0.85, "critical-load fraction where metering switches ES -> WF")
+		govNominal  = flag.Duration("governor-nominal", time.Second, "seed estimate of full-quality seconds per request")
+		govWindow   = flag.Duration("governor-window", 5*time.Second, "rate-estimator window / backlog drain horizon")
+		decisionLog = flag.String("decision-log", "", "record governor admit/cut/compensate/shed decisions to this JSONL file")
 	)
 	flag.Parse()
 
@@ -60,6 +71,51 @@ func main() {
 		spans = obs.NewSpanBus(sink)
 	}
 
+	var decisions obs.DecisionSink
+	if *decisionLog != "" {
+		f, err := os.Create(*decisionLog)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "geserve:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		dlog := obs.NewDecisionLog(f)
+		defer dlog.Flush()
+		// The governor emits from the admission path and the control loop
+		// concurrently; the log itself is single-writer.
+		decisions = obs.NewSyncDecision(dlog)
+	}
+
+	var gov *governor.Governor
+	if *govern {
+		budget := *govBudget
+		if budget <= 0 {
+			// Default the work-rate budget to the worker count: one running
+			// request consumes one work-unit/sec, so a full pool is load 1.0.
+			budget = float64(*concurrency)
+			if budget <= 0 {
+				budget = float64(runtime.GOMAXPROCS(0))
+			}
+		}
+		var err error
+		gov, err = governor.New(governor.Config{
+			Budget:        budget,
+			Quantum:       *govQuantum,
+			CriticalLoad:  *govCritical,
+			QGE:           *govQGE,
+			NominalDemand: *govNominal,
+			RateWindow:    *govWindow,
+			Decisions:     decisions,
+			Spans:         spans,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "geserve:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "geserve: governor on (budget=%.3g Q_GE=%.3g quantum=%s)\n",
+			budget, *govQGE, *govQuantum)
+	}
+
 	srv := server.New(server.Config{
 		MaxConcurrent:  *concurrency,
 		QueueDepth:     *queue,
@@ -69,6 +125,7 @@ func main() {
 		MaxBodyBytes:   *maxBody,
 		MaxSweepPoints: *maxSweep,
 		Spans:          spans,
+		Governor:       gov,
 	})
 	hs := &http.Server{
 		Addr:              *addr,

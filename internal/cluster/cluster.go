@@ -326,6 +326,14 @@ type Fleet struct {
 
 	decisions obs.DecisionSink
 
+	// fullSync disables the quiescent-machine skip in syncAll (every node
+	// advances on every event); the determinism regression test runs both
+	// ways and demands byte-identical streams. syncErr carries a deferred
+	// catch-up failure into handle's error return.
+	fullSync  bool
+	syncErr   error
+	syncSkips int64 // quiescent machines skipped by syncAll (test visibility)
+
 	jobs           int
 	finalized      int
 	dropped        int64
@@ -457,23 +465,59 @@ func (f *Fleet) Run() (Result, error) {
 // deadline-passed jobs from node queues and the dispatcher's pending queue.
 // Iteration is in machine index order, so the event stream stays
 // deterministic.
+//
+// Machines with nothing to do are skipped: a node whose wait queue is empty
+// and whose server is Quiescent would execute no work, finalize nothing, and
+// emit no events — its Advance only moves the clock. Skipped nodes carry a
+// stale clock until catchUp performs the deferred Advance (one idle span,
+// identical accumulation) immediately before any new work or fault can land
+// on them. fullSync disables the guard; the determinism regression test
+// proves both paths produce byte-identical event streams.
 func (f *Fleet) syncAll(now float64) error {
 	for _, n := range f.nodes {
-		if err := n.server.Advance(now, n.finalizeFn); err != nil {
-			return fmt.Errorf("cluster: machine %d: %w", n.idx, err)
+		if !f.fullSync && n.wait.Len() == 0 && n.server.Quiescent() {
+			f.syncSkips++
+			continue
 		}
-		if delta := n.server.Energy() - n.lastEnergy; delta > 0 {
-			if n.modeAES {
-				n.aesEnergy += delta
-			} else {
-				n.bqEnergy += delta
-			}
-			n.lastEnergy = n.server.Energy()
+		if err := f.syncNode(n, now); err != nil {
+			return err
 		}
-		f.expireWaiting(n, now)
 	}
 	f.expirePending(now)
 	return nil
+}
+
+// syncNode advances one machine to the present and settles its accounting.
+func (f *Fleet) syncNode(n *node, now float64) error {
+	if err := n.server.Advance(now, n.finalizeFn); err != nil {
+		return fmt.Errorf("cluster: machine %d: %w", n.idx, err)
+	}
+	if delta := n.server.Energy() - n.lastEnergy; delta > 0 {
+		if n.modeAES {
+			n.aesEnergy += delta
+		} else {
+			n.bqEnergy += delta
+		}
+		n.lastEnergy = n.server.Energy()
+	}
+	f.expireWaiting(n, now)
+	return nil
+}
+
+// catchUp performs the Advance that syncAll deferred for a quiescent
+// machine. Called before anything lands on the node — a policy invocation,
+// a dispatched job, a fault transition — so no work ever executes against a
+// stale clock. A node already at the present is left alone (syncAll settled
+// it this event, including queue expiry).
+func (f *Fleet) catchUp(n *node, now float64) {
+	if n.server.Now() >= now {
+		return
+	}
+	if err := f.syncNode(n, now); err != nil && f.syncErr == nil {
+		// Unreachable in practice (the guard above makes the advance strictly
+		// forward); recorded rather than dropped so handle can surface it.
+		f.syncErr = err
+	}
 }
 
 // expireWaiting finalizes a node's queued jobs whose deadlines passed
@@ -519,6 +563,9 @@ func (f *Fleet) handle(e *sim.Event) error {
 	if err := f.syncAll(now); err != nil {
 		return err
 	}
+	if f.syncErr != nil {
+		return f.syncErr
+	}
 	switch e.Kind {
 	case sim.KindArrival:
 		j := f.nextArrival
@@ -563,11 +610,12 @@ func (f *Fleet) handle(e *sim.Event) error {
 	case sim.KindMachineFault:
 		f.applyMachineFault(now, f.faultEvents[e.Ref])
 	}
-	return nil
+	return f.syncErr
 }
 
 // invoke runs one machine's scheduling policy and re-arms its idle events.
 func (f *Fleet) invoke(n *node, now float64, trig sched.Trigger) {
+	f.catchUp(n, now)
 	obs.Emit(n.obsWrap, obs.Event{Time: now, Type: obs.EventBatch, Core: -1, Job: -1,
 		Value: float64(n.wait.Len()), Aux: float64(trig)})
 	n.pctx = sched.Context{
@@ -633,6 +681,7 @@ func (f *Fleet) dispatch(j *job.Job, now float64, redisp bool) {
 		return
 	}
 	n := f.nodes[m]
+	f.catchUp(n, now)
 	n.wait.Push(j)
 	n.noteArrival(now, f.nodeCfg.RateWindow)
 	if redisp {
@@ -693,6 +742,7 @@ func (f *Fleet) redispatch(j *job.Job, now float64) {
 // applyMachineFault transitions one machine's health state.
 func (f *Fleet) applyMachineFault(now float64, fe faults.MachineEvent) {
 	n := f.nodes[fe.Machine]
+	f.catchUp(n, now)
 	switch fe.Kind {
 	case faults.MachineCrash:
 		if !n.up {
@@ -834,6 +884,7 @@ func (f *Fleet) drainPending(now float64) {
 		}
 		f.pending.PopJob(j)
 		n := f.nodes[m]
+		f.catchUp(n, now)
 		n.wait.Push(j)
 		n.noteArrival(now, f.nodeCfg.RateWindow)
 		n.dispatches++

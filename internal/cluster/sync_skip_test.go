@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"goodenough/internal/core"
+	"goodenough/internal/faults"
+	"goodenough/internal/obs"
+	"goodenough/internal/sched"
+	"goodenough/internal/workload"
+)
+
+// syncSkipRun executes one fleet scenario — light load over six machines so
+// several sit idle between jobs, with a crash, a partition, and a slowdown
+// landing on machines that may be quiescent when the fault fires — and
+// returns the full event stream, decision stream, and Result.
+func syncSkipRun(t *testing.T, fullSync bool) ([]byte, []byte, Result) {
+	t.Helper()
+	node := sched.Defaults()
+	var events, decisions bytes.Buffer
+	ej := obs.NewJSONL(&events)
+	dl := obs.NewDecisionLog(&decisions)
+	specs := []faults.MachineSpec{
+		{At: 1.5, Kind: faults.MachineCrash, Machine: 2, Duration: 2},
+		{At: 2.0, Kind: faults.MachinePartition, Machine: 3, Duration: 3},
+		{At: 2.5, Kind: faults.MachineSlow, Machine: 4, Duration: 2, Factor: 0.5},
+	}
+	cs, err := faults.NewCluster(specs, 6, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disp, err := NewDispatcher("rr", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := New(Config{
+		Machines:  6,
+		Node:      node,
+		NewPolicy: func() sched.Policy { return core.NewGE(node.QGE) },
+		Dispatch:  disp,
+		Workload: workload.Spec{
+			ArrivalRate: 25,
+			ParetoAlpha: 3,
+			Xmin:        130,
+			Xmax:        1000,
+			Window:      0.15,
+			Duration:    8,
+			Seed:        7,
+		},
+		Faults:    cs,
+		Observer:  ej,
+		Decisions: dl,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.fullSync = fullSync
+	res, err := f.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fullSync && f.syncSkips == 0 {
+		t.Fatal("quiescent-skip guard never fired; the scenario does not exercise it")
+	}
+	if err := ej.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return events.Bytes(), decisions.Bytes(), res
+}
+
+// TestSyncSkipDeterminism proves the quiescent-machine guard in syncAll is
+// invisible: with the skip enabled the fleet must produce a byte-identical
+// event stream, byte-identical decision stream, and a deeply equal Result
+// versus the exhaustive advance-everyone-every-event path. This is the
+// regression gate for the catchUp bookkeeping — a machine advanced late
+// must accumulate exactly what it would have accumulated on time.
+func TestSyncSkipDeterminism(t *testing.T) {
+	fullEvents, fullDecisions, fullRes := syncSkipRun(t, true)
+	skipEvents, skipDecisions, skipRes := syncSkipRun(t, false)
+
+	if len(fullEvents) == 0 {
+		t.Fatal("scenario produced no events; the comparison is vacuous")
+	}
+	if !bytes.Equal(fullEvents, skipEvents) {
+		t.Errorf("event streams diverge: full=%d bytes, skip=%d bytes\nfirst divergence near: %s",
+			len(fullEvents), len(skipEvents), firstDiff(fullEvents, skipEvents))
+	}
+	if !bytes.Equal(fullDecisions, skipDecisions) {
+		t.Errorf("decision streams diverge: full=%d bytes, skip=%d bytes",
+			len(fullDecisions), len(skipDecisions))
+	}
+	if !reflect.DeepEqual(fullRes, skipRes) {
+		t.Errorf("results diverge:\nfull: %+v\nskip: %+v", fullRes, skipRes)
+	}
+	if fullRes.Jobs == 0 || fullRes.Crashes == 0 {
+		t.Errorf("scenario too weak: jobs=%d crashes=%d (want both > 0)",
+			fullRes.Jobs, fullRes.Crashes)
+	}
+}
+
+// firstDiff returns a short window around the first differing byte.
+func firstDiff(a, b []byte) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			lo := i - 40
+			if lo < 0 {
+				lo = 0
+			}
+			hiA, hiB := i+40, i+40
+			if hiA > len(a) {
+				hiA = len(a)
+			}
+			if hiB > len(b) {
+				hiB = len(b)
+			}
+			return "full: " + string(a[lo:hiA]) + "\nskip: " + string(b[lo:hiB])
+		}
+	}
+	return "streams are a prefix of each other"
+}

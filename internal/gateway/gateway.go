@@ -58,6 +58,13 @@ type Config struct {
 	BreakerOpenFor time.Duration
 	// DisableHedging turns tail-latency hedging off (for A/B runs).
 	DisableHedging bool
+	// QualityAware makes the picker sort replicas by their governor
+	// signals first — brownout ladder position ascending, then budget
+	// headroom descending — before the in-flight/queue-depth load order.
+	// With ungoverned replicas (no X-GE-Brownout headers) every replica
+	// reports ok/full-headroom and the ordering degenerates to the
+	// classic one, so the flag is safe to leave on in mixed pools.
+	QualityAware bool
 	// HedgeQuantile is the latency quantile that sets the hedge delay
 	// (default 0.95).
 	HedgeQuantile float64
@@ -357,6 +364,17 @@ func (g *Gateway) pick(tried map[int]bool) *replica {
 	order := func(cands []*replica) []*replica {
 		sort.SliceStable(cands, func(a, b int) bool {
 			ia, ib := cands[a], cands[b]
+			if g.cfg.QualityAware {
+				// Governor signals outrank raw load: an ok replica beats a
+				// degraded one regardless of in-flight counts, and among
+				// equals the one with the most unclaimed budget wins.
+				if ba, bb := ia.brownout.Load(), ib.brownout.Load(); ba != bb {
+					return ba < bb
+				}
+				if ha, hb := ia.headroomFrac(), ib.headroomFrac(); ha != hb {
+					return ha > hb
+				}
+			}
 			if fa, fb := ia.inflight.Load(), ib.inflight.Load(); fa != fb {
 				return fa < fb
 			}
@@ -531,7 +549,10 @@ func (g *Gateway) relay(w http.ResponseWriter, res attemptResult, attempts int) 
 	if ct := res.header.Get("Content-Type"); ct != "" {
 		w.Header().Set("Content-Type", ct)
 	}
-	for _, h := range []string{"Retry-After", "X-GE-Inflight", "X-GE-Queue-Depth"} {
+	for _, h := range []string{
+		"Retry-After", "X-GE-Inflight", "X-GE-Queue-Depth",
+		"X-GE-Brownout", "X-GE-Headroom", "X-GE-Quality",
+	} {
 		if v := res.header.Get(h); v != "" {
 			w.Header().Set(h, v)
 		}
@@ -770,8 +791,9 @@ func (g *Gateway) handleReplicaz(w http.ResponseWriter, r *http.Request) {
 		if rep.coolingDown(now) {
 			cooling = " cooling"
 		}
-		fmt.Fprintf(w, "%-10s %-28s breaker=%-9s probe_ok=%-5v inflight=%d queue_depth=%d%s\n",
+		fmt.Fprintf(w, "%-10s %-28s breaker=%-9s probe_ok=%-5v inflight=%d queue_depth=%d brownout=%s headroom=%.3f%s\n",
 			rep.name, rep.base, rep.br.State(), rep.probeOK.Load(),
-			rep.inflight.Load(), rep.queueDepth.Load(), cooling)
+			rep.inflight.Load(), rep.queueDepth.Load(),
+			rep.brownoutState(), rep.headroomFrac(), cooling)
 	}
 }

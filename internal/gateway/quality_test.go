@@ -1,0 +1,94 @@
+package gateway
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"goodenough/internal/governor"
+)
+
+// TestQualityAwarePickPrefersOkReplica: with QualityAware on, a replica
+// reporting brownout=ok must beat a degraded one even when the degraded
+// replica carries less in-flight load — and with the flag off, the classic
+// least-loaded order must win unchanged.
+func TestQualityAwarePickPrefersOkReplica(t *testing.T) {
+	b0 := okBackend(t, nil, 0)
+	b1 := okBackend(t, nil, 0)
+	g, _ := newPoolGateway(t, Config{QualityAware: true}, b0, b1)
+
+	// replica0: degraded but idle. replica1: ok but visibly busier.
+	g.replicas[0].brownout.Store(int32(governor.StateDegraded))
+	g.replicas[0].headroom.Store(math.Float64bits(0.1))
+	g.replicas[1].brownout.Store(int32(governor.StateOK))
+	g.replicas[1].headroom.Store(math.Float64bits(0.9))
+	g.replicas[1].inflight.Store(5)
+
+	for i := 0; i < 4; i++ { // across rr offsets
+		if rep := g.pick(map[int]bool{}); rep != g.replicas[1] {
+			t.Fatalf("quality-aware pick chose %s, want the ok replica1", rep.name)
+		}
+	}
+
+	// Flag off: same signals, but least-inflight (the degraded replica0)
+	// wins like before the governor existed.
+	g.cfg.QualityAware = false
+	if rep := g.pick(map[int]bool{}); rep != g.replicas[0] {
+		t.Fatalf("classic pick chose %s, want least-loaded replica0", rep.name)
+	}
+}
+
+// TestQualityAwarePickHeadroomTiebreak: equal ladder positions fall through
+// to headroom, descending.
+func TestQualityAwarePickHeadroomTiebreak(t *testing.T) {
+	b0 := okBackend(t, nil, 0)
+	b1 := okBackend(t, nil, 0)
+	g, _ := newPoolGateway(t, Config{QualityAware: true}, b0, b1)
+
+	g.replicas[0].headroom.Store(math.Float64bits(0.2))
+	g.replicas[1].headroom.Store(math.Float64bits(0.8))
+	for i := 0; i < 4; i++ {
+		if rep := g.pick(map[int]bool{}); rep != g.replicas[1] {
+			t.Fatalf("pick chose %s, want replica1 with more headroom", rep.name)
+		}
+	}
+}
+
+// TestGovernorHeadersFlowThroughGateway: the passive signals are parsed off
+// proxied responses and the brownout/quality headers are relayed to the
+// client.
+func TestGovernorHeadersFlowThroughGateway(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-GE-Queue-Depth", "2")
+		w.Header().Set("X-GE-Brownout", "degraded")
+		w.Header().Set("X-GE-Headroom", "0.250")
+		w.Header().Set("X-GE-Quality", "0.9731")
+		fmt.Fprint(w, `{"result":{"Jobs":1}}`)
+	}))
+	t.Cleanup(backend.Close)
+	g, front := newPoolGateway(t, Config{QualityAware: true}, backend)
+
+	resp, _ := postRun(t, front.URL)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-GE-Brownout"); got != "degraded" {
+		t.Fatalf("relayed X-GE-Brownout = %q, want degraded", got)
+	}
+	if got := resp.Header.Get("X-GE-Quality"); got != "0.9731" {
+		t.Fatalf("relayed X-GE-Quality = %q, want 0.9731", got)
+	}
+	rep := g.replicas[0]
+	if st := rep.brownoutState(); st != governor.StateDegraded {
+		t.Fatalf("replica brownout = %v, want degraded", st)
+	}
+	if h := rep.headroomFrac(); math.Abs(h-0.25) > 1e-9 {
+		t.Fatalf("replica headroom = %v, want 0.25", h)
+	}
+	if q := rep.queueDepth.Load(); q != 2 {
+		t.Fatalf("replica queueDepth = %d, want 2", q)
+	}
+}

@@ -3,12 +3,15 @@ package gateway
 import (
 	"context"
 	"fmt"
+	"math"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"goodenough/internal/governor"
 )
 
 // replica is one geserve backend with everything the gateway knows about
@@ -33,6 +36,14 @@ type replica struct {
 	// queueDepth is the last X-GE-Queue-Depth seen from the replica — the
 	// passive load signal used as the picker's tiebreak.
 	queueDepth atomic.Int64
+	// brownout is the last X-GE-Brownout ladder position reported by a
+	// governed replica (governor.State ordinal; 0 = ok for ungoverned
+	// replicas that never send the header). The quality-aware picker
+	// prefers lower values.
+	brownout atomic.Int32
+	// headroom is the last X-GE-Headroom fraction (Float64bits). Replicas
+	// start at 1 — full headroom — so ungoverned pools sort as before.
+	headroom atomic.Uint64
 }
 
 func newReplica(idx int, base string, breakerFailures int, breakerOpenFor time.Duration, onTransition func(from, to breakerState)) (*replica, error) {
@@ -48,6 +59,7 @@ func newReplica(idx int, base string, breakerFailures int, breakerOpenFor time.D
 		br:   newBreaker(breakerFailures, breakerOpenFor, onTransition),
 	}
 	r.probeOK.Store(true)
+	r.headroom.Store(math.Float64bits(1))
 	return r, nil
 }
 
@@ -70,13 +82,35 @@ func (r *replica) setCooldown(header string, now time.Time, maxCooldown time.Dur
 	r.cooldownUntil.Store(now.Add(d).UnixNano())
 }
 
-// notePassive records the passive-health headers of any replica response.
+// notePassive records the passive-health headers of any replica response:
+// queue depth, and — from governed replicas — the brownout ladder position
+// and budget headroom the quality-aware picker sorts on.
 func (r *replica) notePassive(h http.Header) {
 	if v := h.Get("X-GE-Queue-Depth"); v != "" {
 		if n, err := strconv.ParseInt(v, 10, 64); err == nil && n >= 0 {
 			r.queueDepth.Store(n)
 		}
 	}
+	if v := h.Get("X-GE-Brownout"); v != "" {
+		if st, ok := governor.ParseState(v); ok {
+			r.brownout.Store(int32(st))
+		}
+	}
+	if v := h.Get("X-GE-Headroom"); v != "" {
+		if f, err := strconv.ParseFloat(v, 64); err == nil && f >= 0 && f <= 1 {
+			r.headroom.Store(math.Float64bits(f))
+		}
+	}
+}
+
+// brownoutState returns the last reported ladder position.
+func (r *replica) brownoutState() governor.State {
+	return governor.State(r.brownout.Load())
+}
+
+// headroomFrac returns the last reported budget headroom in [0, 1].
+func (r *replica) headroomFrac() float64 {
+	return math.Float64frombits(r.headroom.Load())
 }
 
 // eligible reports whether the picker should consider this replica in the
@@ -86,7 +120,10 @@ func (r *replica) eligible(now time.Time) bool {
 	return r.probeOK.Load() && !r.coolingDown(now)
 }
 
-// probe runs one active health check against /readyz.
+// probe runs one active health check against /readyz. Governed replicas
+// stamp X-GE-Brownout / X-GE-Headroom on every readyz answer — including
+// the 503 a shedding replica returns — so the probe feeds the passive
+// signals even when the verdict is not-ready.
 func (r *replica) probe(ctx context.Context, client *http.Client, timeout time.Duration) bool {
 	ctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
@@ -99,5 +136,6 @@ func (r *replica) probe(ctx context.Context, client *http.Client, timeout time.D
 		return false
 	}
 	defer resp.Body.Close()
+	r.notePassive(resp.Header)
 	return resp.StatusCode == http.StatusOK
 }

@@ -1,0 +1,51 @@
+package governor
+
+import (
+	"testing"
+	"time"
+
+	"goodenough/internal/obs"
+)
+
+// benchTick drives the per-quantum control step over a fixed in-flight
+// population with a synthetic clock. The BENCH_BASELINE gate holds this at
+// 0 allocs/op: the tick is the piece that runs forever inside geserve, so
+// it must never feed the GC.
+func benchTick(b *testing.B, inflight int, budget float64) {
+	b.Helper()
+	now := time.Unix(1_700_000_000, 0)
+	queue := 3
+	g, err := New(Config{
+		Budget:        budget,
+		Quantum:       100 * time.Millisecond,
+		QGE:           0.9,
+		NominalDemand: time.Second,
+		QueueLen:      func() int { return queue },
+		Now:           func() time.Time { return now },
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < inflight; i++ {
+		// Huge demands: the population never saturates or finishes, so
+		// every iteration meters the full set.
+		g.Register(1e9, func() {}, obs.SpanContext{})
+	}
+	g.tick(now) // warm the scratch slices
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now = now.Add(100 * time.Millisecond)
+		g.tick(now)
+	}
+}
+
+// BenchmarkGovernorTick is the steady-state path: load fits the budget,
+// nothing is cut, the meter still walks the whole in-flight set.
+func BenchmarkGovernorTick(b *testing.B) { benchTick(b, 64, 128) }
+
+// BenchmarkGovernorTickOverload keeps the governor permanently over
+// budget: water-filling metering, ladder bookkeeping, and cut planning all
+// run every quantum (the population is cut once, then the scan skips the
+// cut tickets — the worst realistic recurring cost).
+func BenchmarkGovernorTickOverload(b *testing.B) { benchTick(b, 64, 8) }

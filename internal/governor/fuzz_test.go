@@ -1,0 +1,71 @@
+package governor
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzPlanMonotone checks the governor's planning invariants over
+// arbitrary float inputs: planLevel never panics, the cut level stays
+// inside [min(tauQGE, 1), 1], the ladder position matches the level, and —
+// the property the whole design leans on — achieved batch quality is
+// monotone in budget: for the same offered load, a larger budget never
+// plans a lower quality.
+func FuzzPlanMonotone(f *testing.F) {
+	f.Add(4.0, 1.0, 2.0, 0.38)
+	f.Add(10.0, 2.0, 2.0, 0.38)
+	f.Add(0.5, 1.0, 4.0, 0.9)
+	f.Add(math.Inf(1), 1.0, 2.0, 0.38)
+	f.Fuzz(func(t *testing.T, load, b1, b2, tau float64) {
+		// Normalize to the domain the governor feeds planLevel from:
+		// non-negative load, positive budgets, tau in (0, 1).
+		if math.IsNaN(load) || load < 0 {
+			load = 0
+		}
+		if !(b1 > 0) || math.IsInf(b1, 0) {
+			b1 = 1
+		}
+		if !(b2 > 0) || math.IsInf(b2, 0) {
+			b2 = 2
+		}
+		if b1 > b2 {
+			b1, b2 = b2, b1
+		}
+		if !(tau > 0) || !(tau < 1) {
+			tau = 0.38
+		}
+
+		s1, l1 := planLevel(load/b1, tau)
+		s2, l2 := planLevel(load/b2, tau)
+
+		for _, pair := range []struct {
+			s State
+			l float64
+		}{{s1, l1}, {s2, l2}} {
+			if math.IsNaN(pair.l) || pair.l < math.Min(tau, 1) || pair.l > 1 {
+				t.Fatalf("cut level %v outside [%v, 1] (load=%v tau=%v)",
+					pair.l, math.Min(tau, 1), load, tau)
+			}
+			switch pair.s {
+			case StateOK:
+				if pair.l != 1 {
+					t.Fatalf("ok state with cut level %v", pair.l)
+				}
+			case StateShedding:
+				if pair.l != tau {
+					t.Fatalf("shedding state with level %v, want the floor %v", pair.l, tau)
+				}
+			}
+		}
+		// Monotone in budget: more capacity never plans deeper cuts or a
+		// more severe ladder position.
+		if l2 < l1 {
+			t.Fatalf("quality not monotone in budget: level(b=%v)=%v > level(b=%v)=%v (load=%v)",
+				b1, l1, b2, l2, load)
+		}
+		if s2 > s1 {
+			t.Fatalf("severity not monotone in budget: state(b=%v)=%v, state(b=%v)=%v",
+				b1, s1, b2, s2)
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"io"
 	"strconv"
+	"sync"
 )
 
 // Decision records. Every consequential scheduling choice — admitting or
@@ -29,9 +30,11 @@ const (
 	DecisionDispatch                       // fleet dispatcher routed a job to a machine
 	DecisionRedispatch                     // displaced job re-routed after a machine fault
 	DecisionDrop                           // job dropped at the re-dispatch limit
+	DecisionCut                            // live governor cut an in-flight request's demand
+	DecisionCompensate                     // live governor skipped cutting to rebuild quality (BQ)
 )
 
-const numDecisionKinds = int(DecisionDrop) + 1
+const numDecisionKinds = int(DecisionCompensate) + 1
 
 // String returns the stable wire name of the kind (the JSONL exporter
 // depends on these not changing).
@@ -51,6 +54,10 @@ func (k DecisionKind) String() string {
 		return "redispatch"
 	case DecisionDrop:
 		return "drop"
+	case DecisionCut:
+		return "cut"
+	case DecisionCompensate:
+		return "compensate"
 	default:
 		return "unknown"
 	}
@@ -191,4 +198,26 @@ func (l *DecisionLog) Flush() error {
 		return l.err
 	}
 	return l.w.Flush()
+}
+
+// SyncDecision serializes concurrent producers onto one sink. The
+// simulator is single-threaded and never needs it; the live governor's
+// admission path and control loop emit from different goroutines, so
+// geserve wraps its decision log in one of these.
+type SyncDecision struct {
+	mu   sync.Mutex
+	sink DecisionSink
+}
+
+// NewSyncDecision wraps a non-nil sink. Callers with no sink should keep
+// passing nil DecisionSinks around instead of wrapping one.
+func NewSyncDecision(sink DecisionSink) *SyncDecision {
+	return &SyncDecision{sink: sink}
+}
+
+// ObserveDecision implements DecisionSink.
+func (s *SyncDecision) ObserveDecision(d Decision) {
+	s.mu.Lock()
+	s.sink.ObserveDecision(d)
+	s.mu.Unlock()
 }

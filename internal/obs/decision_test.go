@@ -16,6 +16,8 @@ func TestDecisionKindStrings(t *testing.T) {
 		DecisionDispatch:   "dispatch",
 		DecisionRedispatch: "redispatch",
 		DecisionDrop:       "drop",
+		DecisionCut:        "cut",
+		DecisionCompensate: "compensate",
 	}
 	if len(want) != numDecisionKinds {
 		t.Fatalf("test covers %d kinds, code has %d", len(want), numDecisionKinds)

@@ -268,6 +268,43 @@ func InverseNumeric(f Function, q float64) float64 {
 	return hi
 }
 
+// Marginaler is implemented by quality families with a closed-form
+// derivative (Exponential has one; see Exponential.Marginal).
+type Marginaler interface {
+	Marginal(x float64) float64
+}
+
+// Marginal returns f'(x), the quality gained by the next unit of work at
+// volume x. Families that implement Marginaler answer in closed form; the
+// rest get a central finite difference over a step scaled to Xmax, which
+// is accurate enough for the governor's cut ordering (only the relative
+// order of marginals matters there, and concavity makes the difference
+// quotient monotone too).
+func Marginal(f Function, x float64) float64 {
+	if m, ok := f.(Marginaler); ok {
+		return m.Marginal(x)
+	}
+	xmax := f.Xmax()
+	if x < 0 {
+		x = 0
+	}
+	if x >= xmax {
+		return 0
+	}
+	h := 1e-6 * xmax
+	lo, hi := x-h, x+h
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > xmax {
+		hi = xmax
+	}
+	if hi <= lo {
+		return 0
+	}
+	return (f.Value(hi) - f.Value(lo)) / (hi - lo)
+}
+
 // Batch computes the paper's average quality Q = Σ f(c_j) / Σ f(p_j) over
 // parallel slices of processed volumes and total demands. Jobs with zero
 // demand contribute nothing. An empty or all-zero-demand batch has quality

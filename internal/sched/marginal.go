@@ -1,0 +1,66 @@
+package sched
+
+import (
+	"math"
+
+	"goodenough/internal/quality"
+)
+
+// Marginal-quality shed helpers, exported for live use. The simulator's
+// shedLoad and the serving tier's overload governor (internal/governor)
+// must rank victims the same way — quality mass per unit of scarce
+// capacity, cheapest first — so the ordering and its tie-breaks live here
+// rather than inline in either caller.
+
+// RequiredRate returns the processing rate a job needs to finish its
+// remaining work inside the time window left to its deadline. A closed or
+// negative window returns +Inf: the job cannot be saved at any rate.
+func RequiredRate(remaining, window float64) float64 {
+	if window <= 0 {
+		return math.Inf(1)
+	}
+	return remaining / window
+}
+
+// MarginalPerRate returns the quality mass a job would contribute if served
+// to target, per unit of required processing rate — the "profit density"
+// the shed ordering maximizes by dropping the lowest first. Jobs whose
+// required rate is infinite or non-positive score zero: they yield nothing
+// per unit of capacity and are shed before anything that can still pay.
+func MarginalPerRate(f quality.Function, target, remaining, window float64) float64 {
+	req := RequiredRate(remaining, window)
+	if math.IsInf(req, 1) || req <= 0 {
+		return 0
+	}
+	return f.Value(target) / req
+}
+
+// CompareShed is the total order over shed/cut candidates: ascending
+// marginal quality (cheapest victim first), ties broken by ascending ID so
+// equal runs shed identically. NaN marginals sort below every real value
+// (an undefined quality yield is the cheapest possible victim), keeping
+// the order lexicographic on (isNaN, marginal, ID) — total and transitive
+// for any float input, which the fuzz harness verifies. The simulator
+// never produces NaN here (invalid rates map to marginal 0), so this
+// classing changes no golden.
+func CompareShed(aMarginal float64, aID int, bMarginal float64, bID int) int {
+	aNaN, bNaN := math.IsNaN(aMarginal), math.IsNaN(bMarginal)
+	switch {
+	case aNaN && !bNaN:
+		return -1
+	case bNaN && !aNaN:
+		return 1
+	}
+	switch {
+	case aMarginal < bMarginal:
+		return -1
+	case aMarginal > bMarginal:
+		return 1
+	case aID < bID:
+		return -1
+	case aID > bID:
+		return 1
+	default:
+		return 0
+	}
+}

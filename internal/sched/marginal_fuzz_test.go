@@ -1,0 +1,43 @@
+package sched
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzCompareShed checks the exported shed comparator — shared by the
+// simulator's shedLoad and the live governor's cut ordering — is a total
+// order over arbitrary float marginals, including NaN and ±Inf: it never
+// panics, is antisymmetric, agrees with the ID tie-break on equal or
+// incomparable marginals, and is transitive on every sampled triple.
+func FuzzCompareShed(f *testing.F) {
+	f.Add(0.5, 1, 0.7, 2, 0.9, 3)
+	f.Add(math.NaN(), 1, 0.0, 2, math.Inf(1), 3)
+	f.Add(0.0, 5, 0.0, 5, 0.0, 5)
+	f.Fuzz(func(t *testing.T, m1 float64, id1 int, m2 float64, id2 int, m3 float64, id3 int) {
+		c12 := CompareShed(m1, id1, m2, id2)
+		c21 := CompareShed(m2, id2, m1, id1)
+		if c12 != -c21 {
+			t.Fatalf("not antisymmetric: cmp(a,b)=%d cmp(b,a)=%d (m1=%v id1=%d m2=%v id2=%d)",
+				c12, c21, m1, id1, m2, id2)
+		}
+		if CompareShed(m1, id1, m1, id1) != 0 {
+			t.Fatalf("not reflexive for m=%v id=%d", m1, id1)
+		}
+		// Identical IDs with incomparable marginals (NaN) must still
+		// resolve to 0 — total, not partial.
+		if c12 == 0 && id1 != id2 {
+			t.Fatalf("distinct IDs compared equal: (m=%v id=%d) vs (m=%v id=%d)",
+				m1, id1, m2, id2)
+		}
+		// Transitivity over the sampled triple.
+		c23 := CompareShed(m2, id2, m3, id3)
+		c13 := CompareShed(m1, id1, m3, id3)
+		if c12 < 0 && c23 < 0 && c13 >= 0 {
+			t.Fatalf("not transitive: a<b, b<c, but cmp(a,c)=%d", c13)
+		}
+		if c12 > 0 && c23 > 0 && c13 <= 0 {
+			t.Fatalf("not transitive: a>b, b>c, but cmp(a,c)=%d", c13)
+		}
+	})
+}

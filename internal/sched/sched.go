@@ -824,11 +824,7 @@ func (r *Runner) shedLoad(now float64) {
 	// waiting, each job needing Remaining/Window units per second.
 	need := 0.0
 	rate := func(j *job.Job) float64 {
-		w := j.Deadline - now
-		if w <= 0 {
-			return math.Inf(1)
-		}
-		return j.Remaining() / w
+		return RequiredRate(j.Remaining(), j.Deadline-now)
 	}
 	for _, c := range r.server.Cores {
 		for _, j := range c.Queue() {
@@ -847,27 +843,12 @@ func (r *Runner) shedLoad(now float64) {
 	// so repeated degraded-mode triggers don't allocate.
 	cands := r.shedCands[:0]
 	for _, j := range waiting {
-		req := rate(j)
-		m := 0.0
-		if !math.IsInf(req, 1) && req > 0 {
-			m = r.cfg.Quality.Value(j.Target) / req
-		}
+		m := MarginalPerRate(r.cfg.Quality, j.Target, j.Remaining(), j.Deadline-now)
 		cands = append(cands, shedCandidate{j: j, marginal: m})
 	}
 	r.shedCands = cands
 	slices.SortStableFunc(cands, func(a, b shedCandidate) int {
-		switch {
-		case a.marginal < b.marginal:
-			return -1
-		case a.marginal > b.marginal:
-			return 1
-		case a.j.ID < b.j.ID:
-			return -1
-		case a.j.ID > b.j.ID:
-			return 1
-		default:
-			return 0
-		}
+		return CompareShed(a.marginal, a.j.ID, b.marginal, b.j.ID)
 	})
 	for _, c := range cands {
 		if need <= capacity {

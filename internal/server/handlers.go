@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"goodenough"
+	"goodenough/internal/governor"
 	"goodenough/internal/obs"
 )
 
@@ -51,20 +52,38 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v) // the client hanging up is not our error
 }
 
+// retryHint is the backoff attached to shed responses: the governor's
+// drain-rate-derived estimate when one is running, the static config knob
+// otherwise.
+func (s *Server) retryHint() time.Duration {
+	if s.cfg.Governor != nil {
+		return s.cfg.Governor.RetryAfter()
+	}
+	return s.cfg.RetryAfter
+}
+
 // shedResponse emits the load-shedding reply for a verdict other than
 // admitted.
 func (s *Server) shedResponse(w http.ResponseWriter, verdict admission) {
 	switch verdict {
-	case shedQueueFull:
-		s.metrics.Inc("shed_total")
-		secs := int64(s.cfg.RetryAfter / time.Second)
+	case shedQueueFull, shedBrownout:
+		retry := s.retryHint()
+		secs := int64(retry / time.Second)
 		if secs < 1 {
 			secs = 1
 		}
 		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		msg := "admission queue full"
+		if verdict == shedBrownout {
+			s.metrics.Inc("brownout_shed_total")
+			w.Header().Set("X-GE-Brownout", s.cfg.Governor.State().String())
+			msg = "brownout: shedding to hold quality floor"
+		} else {
+			s.metrics.Inc("shed_total")
+		}
 		writeJSON(w, http.StatusTooManyRequests, errorBody{
-			Error:        "admission queue full",
-			RetryAfterMS: s.cfg.RetryAfter.Milliseconds(),
+			Error:        msg,
+			RetryAfterMS: retry.Milliseconds(),
 		})
 	case shedDraining:
 		s.metrics.Inc("rejected_draining_total")
@@ -125,10 +144,29 @@ func (s *Server) execute(w http.ResponseWriter, r *http.Request,
 
 	ctx, cancel := s.runContext(r)
 	defer cancel()
+	// Enroll with the governor: the ticket meters this request against the
+	// power budget every quantum, and a cut fires cancel — the same context
+	// plumbing the timeout uses — so the run returns a partial Result.
+	var ticket *governor.Ticket
+	if g := s.cfg.Governor; g != nil {
+		ticket = g.Register(0, cancel, span.Context())
+		// Idempotent backstop: a panicking run must still settle its ticket
+		// or the governor meters a ghost forever.
+		defer ticket.Finish()
+	}
 	if s.spans != nil {
 		ctx = obs.ContextWithSpan(ctx, s.spans, span.Context())
 	}
 	payload, err := run(ctx)
+	if ticket != nil {
+		q, cut := ticket.Finish()
+		if cut {
+			s.metrics.Inc("governor_cut_total")
+		}
+		// Achieved quality rides every governed reply; geload aggregates it
+		// into the batch-quality distribution.
+		w.Header().Set("X-GE-Quality", strconv.FormatFloat(q, 'f', 4, 64))
+	}
 	if err != nil {
 		span.SetNote("error")
 		s.metrics.Inc("run_err_total")
@@ -307,12 +345,36 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleReadyz answers 200 with a metrics snapshot while the server admits
-// work, 503 once draining — the signal load balancers use to stop routing.
+// work, 503 once it cannot — draining, a governor ladder at shedding, or
+// (ungoverned) a saturated admission queue — the signal load balancers and
+// gegate probes use to stop routing. The 200 body's first line always
+// starts with "ready" (scripts grep for it); governed servers append the
+// ladder state and headroom, and stamp X-GE-Brownout on every answer.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	if s.Draining() {
 		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprintln(w, "draining")
+		return
+	}
+	if g := s.cfg.Governor; g != nil {
+		state := g.State()
+		w.Header().Set("X-GE-Brownout", state.String())
+		w.Header().Set("X-GE-Headroom", strconv.FormatFloat(g.Headroom(), 'f', 3, 64))
+		if state == governor.StateShedding {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, "shedding retry_after=%s\n", g.RetryAfter())
+			return
+		}
+		fmt.Fprintf(w, "ready state=%s headroom=%.3f\n", state, g.Headroom())
+		_ = s.metrics.WriteText(w)
+		return
+	}
+	if s.QueueDepth() >= s.cfg.QueueDepth {
+		// Ungoverned saturation: every queue slot is taken, so the next
+		// request would be shed — tell the balancer before it sends one.
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "saturated")
 		return
 	}
 	fmt.Fprintln(w, "ready")

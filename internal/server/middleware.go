@@ -28,6 +28,8 @@ func newMetrics() *obs.SyncRegistry {
 		"requests_total",
 		"admitted_total",
 		"shed_total",
+		"brownout_shed_total",
+		"governor_cut_total",
 		"rejected_draining_total",
 		"client_gone_total",
 		"run_ok_total",
@@ -37,6 +39,8 @@ func newMetrics() *obs.SyncRegistry {
 	}, []string{
 		"queue_depth",
 		"inflight",
+		"brownout_state",
+		"governor_headroom",
 	})
 	if err := m.NewHistogram("request_seconds", latencyBounds); err != nil {
 		// Static bounds; unreachable unless latencyBounds is edited badly.
@@ -77,14 +81,22 @@ var debugWriter io.Writer = os.Stderr
 
 // instrument counts requests, records end-to-end latency, and stamps the
 // passive-health headers on every /v1/* reply: X-GE-Inflight and
-// X-GE-Queue-Depth report the load observed at admission time, so a
-// gateway in front can read replica pressure from ordinary responses
+// X-GE-Queue-Depth report the load observed at admission time — plus, on a
+// governed server, X-GE-Brownout and X-GE-Headroom from the control loop —
+// so a gateway in front can read replica pressure from ordinary responses
 // without scraping /metricz.
 func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.metrics.Inc("requests_total")
 		w.Header().Set("X-GE-Inflight", strconv.Itoa(s.InFlight()))
 		w.Header().Set("X-GE-Queue-Depth", strconv.Itoa(s.QueueDepth()))
+		if g := s.cfg.Governor; g != nil {
+			state, headroom := g.State(), g.Headroom()
+			w.Header().Set("X-GE-Brownout", state.String())
+			w.Header().Set("X-GE-Headroom", strconv.FormatFloat(headroom, 'f', 3, 64))
+			s.metrics.GaugeSet("brownout_state", float64(state))
+			s.metrics.GaugeSet("governor_headroom", headroom)
+		}
 		start := time.Now()
 		next.ServeHTTP(w, r)
 		s.metrics.Observe("request_seconds", time.Since(start).Seconds())

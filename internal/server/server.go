@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"goodenough"
+	"goodenough/internal/governor"
 	"goodenough/internal/obs"
 )
 
@@ -74,6 +75,14 @@ type Config struct {
 	// trace ID is echoed on the response. Nil disables tracing at zero
 	// hot-path cost.
 	Spans *obs.SpanBus
+	// Governor, when non-nil, runs the live GE overload control loop over
+	// this server's worker pool: requests register with it for budget
+	// metering and marginal-quality cutting, admission consults its
+	// brownout ladder (shedding → 429 with a drain-derived Retry-After),
+	// and /readyz plus the X-GE-Brownout / X-GE-Headroom headers expose
+	// its state. New starts the loop (binding the admission-queue probe)
+	// and Drain stops it. Nil keeps the pre-governor behavior exactly.
+	Governor *governor.Governor
 	// SampleInterval is the /timeseriez sampling period (default: 1s).
 	SampleInterval time.Duration
 }
@@ -159,6 +168,13 @@ func New(cfg Config) *Server {
 		name := name
 		s.sampler.Track(name, func() float64 { return float64(s.metrics.CounterValue(name)) })
 	}
+	if cfg.Governor != nil {
+		s.sampler.Track("brownout_state", func() float64 { return float64(cfg.Governor.State()) })
+		s.sampler.Track("governor_headroom", cfg.Governor.Headroom)
+		s.sampler.Track("governor_cut_total", func() float64 { return float64(cfg.Governor.Cuts()) })
+		cfg.Governor.BindQueue(s.QueueDepth)
+		cfg.Governor.Start()
+	}
 	s.sampler.Start()
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -185,12 +201,22 @@ const (
 	shedQueueFull
 	shedDraining
 	shedClientGone
+	// shedBrownout: the governor's ladder sits at shedding — even cutting
+	// every in-flight request to the Q_GE floor cannot fit the budget, so
+	// new work is refused before it touches the queue.
+	shedBrownout
 )
 
 // acquire claims a worker slot, waiting in the bounded admission queue if
 // none is free. On success the caller owns one slot and one inflight
 // reservation; it must call the returned release exactly once.
 func (s *Server) acquire(ctx context.Context) (release func(), verdict admission) {
+	// The governor's verdict comes first: a browned-out server sheds before
+	// the request can occupy queue space, and the 429 carries the
+	// drain-derived Retry-After instead of the static hint.
+	if s.cfg.Governor != nil && !s.cfg.Governor.Admit() {
+		return nil, shedBrownout
+	}
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
@@ -268,6 +294,11 @@ func (s *Server) QueueDepth() int {
 // concurrent calls all block until the drain completes.
 func (s *Server) Drain(ctx context.Context) error {
 	defer s.sampler.Stop()
+	if s.cfg.Governor != nil {
+		// Stop the control loop once nothing is left in flight; tickets
+		// settling during the drain still Finish safely after Stop.
+		defer s.cfg.Governor.Stop()
+	}
 	s.mu.Lock()
 	if !s.draining {
 		s.draining = true

@@ -28,6 +28,9 @@ go test -run '^$' -bench 'BenchmarkFleet' -benchmem \
 go test -run '^$' -bench 'BenchmarkSpan|BenchmarkDecision|BenchmarkSampler' -benchmem \
     -benchtime "$BENCHTIME" -count "$COUNT" ./internal/obs/ \
     | tee -a "$TMP/bench.txt"
+go test -run '^$' -bench 'BenchmarkGovernor' -benchmem \
+    -benchtime "$BENCHTIME" -count "$COUNT" ./internal/governor/ \
+    | tee -a "$TMP/bench.txt"
 
 # Preserve the committed baseline's "previous" section (the pre-optimization
 # numbers) when refreshing BENCH_BASELINE.json in place.
