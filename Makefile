@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-baseline bench-check smoke chaos-smoke fleet-smoke obs-smoke brownout-smoke sweep sweep-fast fuzz cover clean
+.PHONY: all build test race vet bench bench-baseline bench-check smoke chaos-smoke fleet-smoke obs-smoke brownout-smoke drill-smoke sweep sweep-fast fuzz cover clean
 
 all: build vet test
 
@@ -45,6 +45,12 @@ fleet-smoke:
 # with drain-derived Retry-After hints.
 brownout-smoke:
 	sh scripts/brownout_smoke.sh
+
+# Crash-recovery drill smoke: gedrill SIGKILLs and pauses real replicas on
+# a seeded schedule; zero acked-then-lost requests, bounded rejoin through
+# the slow-start ramp, goodput recovery, quality floor.
+drill-smoke:
+	sh scripts/drill_smoke.sh
 
 # One benchmark iteration per paper figure + ablations (fast, shape-level).
 bench:

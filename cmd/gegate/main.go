@@ -32,6 +32,7 @@ import (
 
 	"goodenough/internal/gateway"
 	"goodenough/internal/obs"
+	"goodenough/internal/server"
 )
 
 func main() {
@@ -53,6 +54,9 @@ func main() {
 		timeout      = flag.Duration("timeout", 90*time.Second, "end-to-end deadline per client request")
 		shutdownGr   = flag.Duration("shutdown-grace", 15*time.Second, "drain deadline on SIGTERM")
 		spanLog      = flag.String("span-log", "", "trace proxied requests + attempts to this JSONL file (empty = tracing off)")
+		rampSteps    = flag.Int("rejoin-ramp-steps", 3, "slow-start steps a rejoining replica climbs before full weight")
+		rampStep     = flag.Duration("rejoin-ramp-step", 500*time.Millisecond, "duration of each rejoin slow-start step")
+		noSlowStart  = flag.Bool("no-slow-start", false, "send rejoining replicas full traffic immediately")
 	)
 	flag.Parse()
 
@@ -95,6 +99,9 @@ func main() {
 		RetryBudgetRatio: *budgetRatio,
 		RetryBudgetBurst: *budgetBurst,
 		RequestTimeout:   *timeout,
+		RejoinRampSteps:  *rampSteps,
+		RejoinRampStep:   *rampStep,
+		DisableSlowStart: *noSlowStart,
 		Spans:            spans,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
@@ -107,11 +114,7 @@ func main() {
 	gw.Start()
 	defer gw.Close()
 
-	hs := &http.Server{
-		Addr:              *addr,
-		Handler:           gw.Handler(),
-		ReadHeaderTimeout: 10 * time.Second,
-	}
+	hs := server.NewHTTPServer(*addr, gw.Handler(), 0, 0)
 	errCh := make(chan error, 1)
 	go func() {
 		fmt.Fprintf(os.Stderr, "gegate: listening on %s, %d replicas\n", *addr, len(pool))

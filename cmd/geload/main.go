@@ -53,6 +53,7 @@ type options struct {
 	timeout     time.Duration
 	seed        int64
 	csv         bool
+	ramp        time.Duration // open-loop: offset at which the rate doubles (0 = flat)
 
 	body  []byte
 	spans *obs.SpanBus // nil = tracing off
@@ -140,6 +141,19 @@ func retryAfterHint(header string, ceiling time.Duration) (d time.Duration, clam
 // oneRequest submits one run, retrying shed responses with jittered
 // exponential backoff. rng is per-worker, so jitter is reproducible under
 // -seed without lock contention.
+// nextFire returns the offset (from the start of the run) of the open-loop
+// request after the one at prev. The base rate spaces requests interval
+// apart; from the ramp offset onward the rate doubles, so the spacing
+// halves. A fire landing exactly on the boundary already belongs to the
+// doubled regime. ramp <= 0 keeps the rate flat.
+func nextFire(prev, interval, ramp time.Duration) time.Duration {
+	step := interval
+	if ramp > 0 && prev >= ramp {
+		step = interval / 2
+	}
+	return prev + step
+}
+
 func oneRequest(client *http.Client, opt *options, t *tally, rng *rand.Rand) {
 	// One client span covers the whole logical request, shed retries
 	// included; each attempt carries the trace so gegate and geserve spans
@@ -252,6 +266,7 @@ func main() {
 	flag.DurationVar(&opt.maxBackoff, "max-backoff", 5*time.Second, "retry backoff ceiling")
 	flag.DurationVar(&opt.timeout, "timeout", 2*time.Minute, "per-attempt HTTP timeout")
 	flag.Int64Var(&opt.seed, "seed", 1, "jitter RNG seed")
+	flag.DurationVar(&opt.ramp, "ramp", 0, "open-loop step load: double the offered rate this long into the run (0 = flat)")
 	flag.BoolVar(&opt.csv, "csv", false, "emit a single CSV row instead of text")
 	var spanLog = flag.String("span-log", "", "originate a trace per request and log client spans to this JSONL file")
 	flag.Parse()
@@ -308,11 +323,17 @@ func main() {
 			fmt.Fprintln(os.Stderr, "geload: open-loop mode needs -rate > 0")
 			os.Exit(1)
 		}
+		// Absolute-offset scheduling instead of a ticker: each fire time is
+		// computed from the start of the run, so slow request launches never
+		// skew the offered rate, and the -ramp step (rate doubling) lands at
+		// its exact offset.
 		interval := time.Duration(float64(time.Second) / opt.rate)
-		ticker := time.NewTicker(interval)
-		defer ticker.Stop()
+		fire := time.Duration(0)
 		for i := 0; i < opt.requests; i++ {
-			<-ticker.C
+			fire = nextFire(fire, interval, opt.ramp)
+			if d := time.Until(start.Add(fire)); d > 0 {
+				time.Sleep(d)
+			}
 			wg.Add(1)
 			go func(id int) {
 				defer wg.Done()

@@ -49,3 +49,46 @@ func TestQuantile(t *testing.T) {
 		t.Fatalf("p100 = %v, want 10", q)
 	}
 }
+
+// TestNextFire: the open-loop schedule spaces requests at the base
+// interval until the ramp offset, then doubles the rate by halving the
+// spacing — and stays flat when no ramp is configured.
+func TestNextFire(t *testing.T) {
+	const interval = 100 * time.Millisecond
+
+	// Flat: every step is the base interval.
+	fire := time.Duration(0)
+	for i := 1; i <= 5; i++ {
+		fire = nextFire(fire, interval, 0)
+		if want := time.Duration(i) * interval; fire != want {
+			t.Fatalf("flat fire %d = %v, want %v", i, fire, want)
+		}
+	}
+
+	// Ramp at 300ms: fires at 100, 200, 300, then 350, 400, 450...
+	want := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		300 * time.Millisecond,
+		350 * time.Millisecond,
+		400 * time.Millisecond,
+		450 * time.Millisecond,
+	}
+	fire = 0
+	for i, w := range want {
+		fire = nextFire(fire, interval, 300*time.Millisecond)
+		if fire != w {
+			t.Fatalf("ramped fire %d = %v, want %v", i, fire, w)
+		}
+	}
+
+	// A ramp offset between fires takes effect at the first fire past it.
+	fire = nextFire(250*time.Millisecond, interval, 300*time.Millisecond)
+	if fire != 350*time.Millisecond {
+		t.Fatalf("fire after 250ms = %v, want 350ms (ramp not yet reached)", fire)
+	}
+	fire = nextFire(fire, interval, 300*time.Millisecond)
+	if fire != 400*time.Millisecond {
+		t.Fatalf("fire after 350ms = %v, want 400ms (doubled regime)", fire)
+	}
+}

@@ -46,6 +46,7 @@ func main() {
 		maxBody      = flag.Int64("max-body", 8<<20, "request body cap in bytes")
 		maxSweep     = flag.Int("max-sweep", 64, "max points one sweep request may fan out to")
 		spanLog      = flag.String("span-log", "", "trace request + scheduler spans to this JSONL file (empty = tracing off)")
+		journalPath  = flag.String("journal", "", "crash-safe request journal (JSONL, appended across restarts; empty = off)")
 
 		govern      = flag.Bool("governor", false, "run the live GE overload governor (brownout degradation + power-budget enforcement)")
 		govBudget   = flag.Float64("governor-budget", 0, "governor work-rate budget in work-units/sec (0 = worker count)")
@@ -116,6 +117,24 @@ func main() {
 			budget, *govQGE, *govQuantum)
 	}
 
+	var journal *server.Journal
+	if *journalPath != "" {
+		var err error
+		journal, err = server.OpenJournal(*journalPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "geserve:", err)
+			os.Exit(1)
+		}
+		defer journal.Close()
+		rec := journal.Recovery()
+		fmt.Fprintf(os.Stderr, "geserve: journal %s incarnation=%d prior=%d corrupt=%d orphans=%d\n",
+			*journalPath, rec.Incarnation, rec.PriorRecords, rec.Corrupt, len(rec.Orphans))
+		for _, o := range rec.Orphans {
+			fmt.Fprintf(os.Stderr, "geserve: orphaned request %s (%s) from incarnation %d — accepted, never finished\n",
+				o.ID, o.Path, o.Inc)
+		}
+	}
+
 	srv := server.New(server.Config{
 		MaxConcurrent:  *concurrency,
 		QueueDepth:     *queue,
@@ -126,12 +145,9 @@ func main() {
 		MaxSweepPoints: *maxSweep,
 		Spans:          spans,
 		Governor:       gov,
+		Journal:        journal,
 	})
-	hs := &http.Server{
-		Addr:              *addr,
-		Handler:           srv.Handler(),
-		ReadHeaderTimeout: 10 * time.Second,
-	}
+	hs := server.NewHTTPServer(*addr, srv.Handler(), 0, 0)
 
 	errCh := make(chan error, 1)
 	go func() {

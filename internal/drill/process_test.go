@@ -1,0 +1,66 @@
+package drill
+
+import (
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestDrillEndToEnd boots a real 3-replica governed fleet behind gegate,
+// runs a seeded kill + pause schedule against the live processes, and
+// requires every invariant to hold. This is the full harness exercised the
+// way CI's drill-smoke job runs it, minus the shell.
+func TestDrillEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process-level drill skipped in -short mode")
+	}
+	bindir := t.TempDir()
+	geserve := filepath.Join(bindir, "geserve")
+	gegate := filepath.Join(bindir, "gegate")
+	for _, b := range []struct{ out, pkg string }{
+		{geserve, "goodenough/cmd/geserve"},
+		{gegate, "goodenough/cmd/gegate"},
+	} {
+		cmd := exec.Command("go", "build", "-o", b.out, b.pkg)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", b.pkg, err, out)
+		}
+	}
+
+	report, err := Run(Config{
+		Seed:        7,
+		Replicas:    3,
+		Rate:        30,
+		Duration:    8 * time.Second, // kill + pause; no rolling below 12s
+		Governed:    true,
+		GeservePath: geserve,
+		GegatePath:  gegate,
+		WorkDir:     t.TempDir(),
+		RejoinBound: 5 * time.Second,
+		GoodputFrac: 0.9,
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Pass {
+		t.Fatalf("drill invariants failed: %v\nreport: %+v", report.Failures, report)
+	}
+	if report.Requests < 100 {
+		t.Fatalf("only %d requests offered; the driver is not keeping rate", report.Requests)
+	}
+	if report.Acked == 0 {
+		t.Fatal("no acknowledged requests")
+	}
+	// The kill must actually have been observed end to end.
+	if report.SlowStartEnters < 1 {
+		t.Fatalf("slow-start never entered (enters=%d)", report.SlowStartEnters)
+	}
+	if len(report.Rejoins) < 1 {
+		t.Fatal("no rejoin measured for the killed replica")
+	}
+	t.Logf("drill: %d req, %d acked, %d shed, %d errors, rejoin max %v, orphans %d (budget %d)",
+		report.Requests, report.Acked, report.Shed, report.Errors,
+		report.RejoinMax, len(report.Orphans), report.OrphanBudget)
+}

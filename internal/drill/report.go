@@ -1,0 +1,218 @@
+package drill
+
+import (
+	"fmt"
+	"time"
+
+	"goodenough/internal/server"
+)
+
+// RequestRecord is the client-side view of one drill request: what the
+// traffic driver can swear to without trusting the fleet.
+type RequestRecord struct {
+	// Offset is when the request fired, measured from traffic start.
+	Offset time.Duration `json:"offset"`
+	// TraceID is the X-GE-Trace-Id the driver stamped (16 hex digits); the
+	// replicas key their journal records by it.
+	TraceID string `json:"trace_id"`
+	// Status is the HTTP status the client saw; 0 = transport error.
+	Status int `json:"status"`
+	// Quality is the X-GE-Quality of an acknowledged governed response;
+	// valid only when HasQuality.
+	Quality    float64 `json:"quality,omitempty"`
+	HasQuality bool    `json:"has_quality,omitempty"`
+}
+
+// Rejoin is one observed replica recovery: how long the gateway's probe
+// verdict held the replica out of rotation.
+type Rejoin struct {
+	Replica int           `json:"replica"`
+	Down    time.Duration `json:"down"`
+}
+
+// Thresholds are the invariant knobs Evaluate judges against.
+type Thresholds struct {
+	// RejoinBound caps how long any faulted replica may stay out of
+	// rotation.
+	RejoinBound time.Duration
+	// GoodputFrac is the fraction of baseline goodput the recovery window
+	// must reach.
+	GoodputFrac float64
+	// QualityFloor is the minimum mean achieved quality of acknowledged
+	// requests (Q_GE − ε); <= 0 skips the check (ungoverned fleets).
+	QualityFloor float64
+	// BaselineEnd closes the pre-fault measurement window [0, BaselineEnd).
+	BaselineEnd time.Duration
+	// RecoveryStart opens the post-fault window [RecoveryStart, End).
+	RecoveryStart time.Duration
+	// End is the traffic horizon.
+	End time.Duration
+	// Kills is how many Kill events ran — each one must produce a
+	// slow-start entry at the gateway.
+	Kills int
+}
+
+// Report is the drill verdict: the audited numbers and the invariant
+// failures, if any. Pass means every invariant held.
+type Report struct {
+	Seed   uint64  `json:"seed"`
+	Events []Event `json:"events"`
+
+	Requests int `json:"requests"`
+	Acked    int `json:"acked"`
+	Shed     int `json:"shed"`
+	Errors   int `json:"errors"`
+
+	// AckedLost lists acknowledged trace IDs missing from every journal —
+	// the invariant that must be empty.
+	AckedLost []string `json:"acked_lost"`
+	// Orphans are accepted-never-finished requests across all journals and
+	// incarnations; OrphanBudget is the gateway-side accounting (retries +
+	// hedges + upstream errors) that must explain them.
+	Orphans      []server.Orphan `json:"orphans"`
+	OrphanBudget int64           `json:"orphan_budget"`
+
+	BaselineGoodput  float64 `json:"baseline_goodput_rps"`
+	RecoveredGoodput float64 `json:"recovered_goodput_rps"`
+
+	Rejoins   []Rejoin      `json:"rejoins"`
+	RejoinMax time.Duration `json:"rejoin_max"`
+
+	SlowStartEnters int64 `json:"slowstart_enters"`
+
+	QualityMean float64 `json:"quality_mean,omitempty"`
+
+	Failures []string `json:"failures"`
+	Pass     bool     `json:"pass"`
+}
+
+// Evaluate audits one drill run. It is a pure function of its inputs —
+// client records, the replicas' journals, the gateway's final counters,
+// and the observed rejoin times — so the invariant logic is testable
+// without booting a single process.
+func Evaluate(records []RequestRecord, journals [][]server.JournalRecord,
+	counters map[string]int64, rejoins []Rejoin, th Thresholds) *Report {
+	rep := &Report{
+		AckedLost: []string{},
+		Orphans:   []server.Orphan{},
+		Rejoins:   append([]Rejoin{}, rejoins...),
+		Failures:  []string{},
+	}
+
+	// The fleet-wide "done" ledger: a request acknowledged to the client
+	// must appear here, whichever replica (and whichever incarnation of it)
+	// served the winning attempt.
+	done := make(map[string]bool)
+	for _, j := range journals {
+		for _, r := range j {
+			if r.T == "done" {
+				done[r.ID] = true
+			}
+		}
+	}
+	// Orphans: per journal, accepts that never resolved — in any later
+	// incarnation either — are work the fleet acknowledged taking and lost.
+	for _, j := range journals {
+		open := make(map[string]server.Orphan)
+		for _, r := range j {
+			switch r.T {
+			case "accept":
+				open[r.ID] = server.Orphan{Inc: r.Inc, ID: r.ID, Path: r.Path, TS: r.TS}
+			case "done":
+				delete(open, r.ID)
+			}
+		}
+		for _, o := range open {
+			rep.Orphans = append(rep.Orphans, o)
+		}
+	}
+
+	var qSum float64
+	var qN int
+	var baseOK, recovOK int
+	for _, rec := range records {
+		rep.Requests++
+		switch {
+		case rec.Status == 200:
+			rep.Acked++
+			if rec.TraceID != "" && !done[rec.TraceID] {
+				rep.AckedLost = append(rep.AckedLost, rec.TraceID)
+			}
+			if rec.HasQuality {
+				qSum += rec.Quality
+				qN++
+			}
+			if rec.Offset < th.BaselineEnd {
+				baseOK++
+			}
+			if rec.Offset >= th.RecoveryStart && rec.Offset < th.End {
+				recovOK++
+			}
+		case rec.Status == 429 || rec.Status == 503:
+			rep.Shed++
+		default:
+			rep.Errors++
+		}
+	}
+	if qN > 0 {
+		rep.QualityMean = qSum / float64(qN)
+	}
+	if th.BaselineEnd > 0 {
+		rep.BaselineGoodput = float64(baseOK) / th.BaselineEnd.Seconds()
+	}
+	if w := th.End - th.RecoveryStart; w > 0 {
+		rep.RecoveredGoodput = float64(recovOK) / w.Seconds()
+	}
+	rep.OrphanBudget = counters["retries_total"] + counters["hedges_fired_total"]
+	for name, v := range counters {
+		if len(name) > len("_errs_total") && name[len(name)-len("_errs_total"):] == "_errs_total" {
+			rep.OrphanBudget += v
+		}
+	}
+	rep.SlowStartEnters = counters["slowstart_enter_total"]
+	for _, r := range rejoins {
+		if r.Down > rep.RejoinMax {
+			rep.RejoinMax = r.Down
+		}
+	}
+
+	// The invariants.
+	if n := len(rep.AckedLost); n > 0 {
+		rep.Failures = append(rep.Failures,
+			fmt.Sprintf("acknowledged-then-lost: %d acked requests missing from every journal", n))
+	}
+	if int64(len(rep.Orphans)) > rep.OrphanBudget {
+		rep.Failures = append(rep.Failures,
+			fmt.Sprintf("orphan accounting: %d orphans exceed the gateway's %d retried/hedged/errored attempts",
+				len(rep.Orphans), rep.OrphanBudget))
+	}
+	if th.RejoinBound > 0 {
+		if len(rejoins) < th.Kills {
+			rep.Failures = append(rep.Failures,
+				fmt.Sprintf("rejoin: %d kills but only %d observed recoveries", th.Kills, len(rejoins)))
+		}
+		if rep.RejoinMax > th.RejoinBound {
+			rep.Failures = append(rep.Failures,
+				fmt.Sprintf("rejoin: slowest recovery %v exceeds bound %v", rep.RejoinMax, th.RejoinBound))
+		}
+	}
+	if th.GoodputFrac > 0 && th.BaselineEnd > 0 && rep.BaselineGoodput > 0 {
+		if rep.RecoveredGoodput < th.GoodputFrac*rep.BaselineGoodput {
+			rep.Failures = append(rep.Failures,
+				fmt.Sprintf("goodput: recovery window %.1f rps is below %.0f%% of the %.1f rps baseline",
+					rep.RecoveredGoodput, th.GoodputFrac*100, rep.BaselineGoodput))
+		}
+	}
+	if th.Kills > 0 && rep.SlowStartEnters < int64(th.Kills) {
+		rep.Failures = append(rep.Failures,
+			fmt.Sprintf("slow-start: %d kills but only %d ramp entries at the gateway",
+				th.Kills, rep.SlowStartEnters))
+	}
+	if th.QualityFloor > 0 && qN > 0 && rep.QualityMean < th.QualityFloor {
+		rep.Failures = append(rep.Failures,
+			fmt.Sprintf("quality: mean %.3f of acked requests is below the %.3f floor",
+				rep.QualityMean, th.QualityFloor))
+	}
+	rep.Pass = len(rep.Failures) == 0
+	return rep
+}

@@ -1,0 +1,72 @@
+package gateway
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// benchGateway builds a gateway over n fake replica URLs. pick never dials,
+// so the addresses only need to parse.
+func benchGateway(b *testing.B, n int, cfg Config) *Gateway {
+	b.Helper()
+	for i := 0; i < n; i++ {
+		cfg.Replicas = append(cfg.Replicas, fmt.Sprintf("http://10.0.0.%d:8080", i+1))
+	}
+	g, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(g.Close)
+	// Spread some load state so the sort has real work to do.
+	for i, rep := range g.replicas {
+		rep.inflight.Store(int64(i % 4))
+		rep.queueDepth.Store(int64((i * 3) % 7))
+	}
+	return g
+}
+
+func benchPick(b *testing.B, g *Gateway) {
+	b.Helper()
+	// Warm the scratch pool outside the measured region.
+	sc := g.scratch.Get().(*pickScratch)
+	sc.reset()
+	if g.pick(sc) == nil {
+		b.Fatal("pick returned nil on a healthy pool")
+	}
+	g.scratch.Put(sc)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc := g.scratch.Get().(*pickScratch)
+		sc.reset()
+		rep := g.pick(sc)
+		rep.inflight.Add(1)
+		rep.inflight.Add(-1)
+		g.scratch.Put(sc)
+	}
+}
+
+// BenchmarkGatewayPick is the per-request replica-selection path: scratch
+// checkout, two-pass partition, weighted least-loaded sort, breaker
+// admission. Gated at 0 allocs/op in BENCH_BASELINE.json.
+func BenchmarkGatewayPick(b *testing.B) {
+	g := benchGateway(b, 8, Config{})
+	benchPick(b, g)
+}
+
+// BenchmarkGatewayPickSlowStart is the same path with two replicas held
+// mid-ramp, so the weight math and in-flight caps are live. Must stay
+// 0 allocs/op too.
+func BenchmarkGatewayPickSlowStart(b *testing.B) {
+	g := benchGateway(b, 8, Config{
+		RejoinRampSteps: 3,
+		RejoinRampStep:  time.Hour, // hold step 0 for the whole run
+	})
+	for _, rep := range g.replicas[:2] {
+		rep.markDown(time.Now().Add(-time.Second))
+		g.noteRejoin(rep)
+	}
+	benchPick(b, g)
+}

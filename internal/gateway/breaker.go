@@ -133,6 +133,29 @@ func (b *breaker) Neutral() {
 	}
 }
 
+// Trip forces the breaker open immediately, regardless of the failure
+// count — the path for unambiguous down-signals. A connection refused means
+// the process is gone; counting two more strikes against a corpse just
+// burns client requests on attempts that cannot succeed. A half-open trial
+// that trips releases its probe slot the same way Failure does; an
+// already-open breaker keeps its original timer (a straggler refusal
+// teaches nothing new and must not push the half-open probe further out).
+func (b *breaker) Trip() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		b.failures = 0
+		b.openedAt = b.now()
+		b.transition(breakerOpen)
+	case breakerHalfOpen:
+		b.probing = false
+		b.openedAt = b.now()
+		b.transition(breakerOpen)
+	case breakerOpen:
+	}
+}
+
 // Failure records a completed attempt that failed in a way that indicts the
 // replica (5xx, connection error, timeout — not 429 shedding).
 func (b *breaker) Failure() {

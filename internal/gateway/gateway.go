@@ -36,6 +36,8 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"goodenough/internal/obs"
@@ -56,6 +58,18 @@ type Config struct {
 	// BreakerOpenFor is how long an open breaker refuses traffic before
 	// admitting a half-open trial (default 2s).
 	BreakerOpenFor time.Duration
+	// RejoinRampSteps is the number of reduced-weight steps a recovered
+	// replica climbs before taking full traffic again (default 3: weights
+	// 1/8, 1/4, 1/2 with concurrent-in-flight caps 1, 2, 4, then full).
+	// The breaker's half-open state admits one probe; this extends that
+	// into a multi-step ramp so a replica restarted under overload is not
+	// instantly handed a full share of a thundering herd.
+	RejoinRampSteps int
+	// RejoinRampStep is how long each slow-start step lasts (default 500ms).
+	RejoinRampStep time.Duration
+	// DisableSlowStart turns the rejoin ramp off (A/B runs); outages are
+	// still tracked in the rejoin_seconds histogram.
+	DisableSlowStart bool
 	// DisableHedging turns tail-latency hedging off (for A/B runs).
 	DisableHedging bool
 	// QualityAware makes the picker sort replicas by their governor
@@ -119,6 +133,15 @@ func (c Config) withDefaults() Config {
 	if c.BreakerOpenFor <= 0 {
 		c.BreakerOpenFor = 2 * time.Second
 	}
+	if c.RejoinRampSteps <= 0 {
+		c.RejoinRampSteps = 3
+	}
+	if c.RejoinRampStep <= 0 {
+		c.RejoinRampStep = 500 * time.Millisecond
+	}
+	if c.DisableSlowStart {
+		c.RejoinRampSteps = 0
+	}
 	if c.HedgeQuantile <= 0 || c.HedgeQuantile >= 1 {
 		c.HedgeQuantile = 0.95
 	}
@@ -174,8 +197,8 @@ type Gateway struct {
 	budget   *budget
 	hedge    *delayTracker
 
-	rr uint64 // round-robin tiebreak cursor
-	mu sync.Mutex
+	rr      atomic.Uint64 // round-robin tiebreak cursor
+	scratch sync.Pool     // *pickScratch, reused across serveProxy calls
 
 	probeCtx    context.Context
 	probeCancel context.CancelFunc
@@ -200,6 +223,13 @@ var latencyBounds = []float64{
 	0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
 }
 
+// rejoinBounds bucket replica recovery times (down → back in the pool) in
+// seconds: sub-second for in-process restarts through minutes for a crash
+// loop fighting its backoff.
+var rejoinBounds = []float64{
+	0.1, 0.25, 0.5, 1, 2, 5, 10, 30, 60, 120, 300,
+}
+
 // New builds a Gateway over the configured replica pool.
 func New(cfg Config) (*Gateway, error) {
 	cfg = cfg.withDefaults()
@@ -222,6 +252,7 @@ func New(cfg Config) (*Gateway, error) {
 	for i, base := range cfg.Replicas {
 		i := i
 		rep, err := newReplica(i, base, cfg.BreakerFailures, cfg.BreakerOpenFor,
+			cfg.RejoinRampSteps, cfg.RejoinRampStep,
 			func(from, to breakerState) { g.onBreakerTransition(i, from, to) })
 		if err != nil {
 			probeCancel()
@@ -229,13 +260,17 @@ func New(cfg Config) (*Gateway, error) {
 		}
 		g.replicas = append(g.replicas, rep)
 	}
+	g.scratch.New = func() any {
+		return &pickScratch{tried: make([]bool, len(g.replicas))}
+	}
 
 	counters := []string{
 		"gw_requests_total", "gw_ok_total", "gw_err_total", "gw_no_replica_total",
 		"hedges_fired_total", "hedges_won_total",
 		"retries_total", "retry_budget_exhausted_total",
 		"breaker_open_total", "breaker_halfopen_total", "breaker_close_total",
-		"probe_fail_total",
+		"probe_fail_total", "refused_total",
+		"slowstart_enter_total", "slowstart_done_total",
 	}
 	gauges := []string{"retry_budget_tokens", "hedge_delay_seconds"}
 	for _, r := range g.replicas {
@@ -248,6 +283,9 @@ func New(cfg Config) (*Gateway, error) {
 		panic(err) // static bounds
 	}
 	if err := m.NewHistogram("upstream_seconds", latencyBounds); err != nil {
+		panic(err)
+	}
+	if err := m.NewHistogram("rejoin_seconds", rejoinBounds); err != nil {
 		panic(err)
 	}
 
@@ -286,17 +324,34 @@ func New(cfg Config) (*Gateway, error) {
 	return g, nil
 }
 
-// onBreakerTransition feeds breaker flips into metrics and the log.
+// onBreakerTransition feeds breaker flips into metrics, the log, and the
+// replica's outage clock: open starts an outage, closed (the half-open
+// trial succeeded) ends it and begins the rejoin slow-start ramp.
 func (g *Gateway) onBreakerTransition(idx int, from, to breakerState) {
 	switch to {
 	case breakerOpen:
 		g.metrics.Inc("breaker_open_total")
+		g.replicas[idx].markDown(time.Now())
 	case breakerHalfOpen:
 		g.metrics.Inc("breaker_halfopen_total")
 	case breakerClosed:
 		g.metrics.Inc("breaker_close_total")
+		g.noteRejoin(g.replicas[idx])
 	}
 	g.cfg.Logf("gegate: replica%d breaker %s -> %s", idx, from, to)
+}
+
+// noteRejoin records the end of a replica outage exactly once: the
+// recovery-time histogram sample, the slow-start event, and the log line.
+func (g *Gateway) noteRejoin(rep *replica) {
+	down, ok := rep.rejoin(time.Now())
+	if !ok {
+		return
+	}
+	g.metrics.Observe("rejoin_seconds", down.Seconds())
+	g.metrics.Inc("slowstart_enter_total")
+	g.cfg.Logf("gegate: %s rejoined after %s down; slow-start ramp begins",
+		rep.name, down.Round(time.Millisecond))
 }
 
 // Start launches the active health-probe loops; idempotent.
@@ -314,6 +369,14 @@ func (g *Gateway) Start() {
 					was := rep.probeOK.Swap(ok)
 					if ok != was {
 						g.cfg.Logf("gegate: %s probe %v -> %v", rep.name, was, ok)
+						if ok {
+							// The process answered readyz again: a restarted
+							// replica rejoins through slow-start even before
+							// its breaker walks half-open -> closed.
+							g.noteRejoin(rep)
+						} else {
+							rep.markDown(time.Now())
+						}
 					}
 					if ok {
 						g.metrics.GaugeSet(rep.name+"_probe_ok", 1)
@@ -347,61 +410,111 @@ func (g *Gateway) Handler() http.Handler { return g.mux }
 // Metrics exposes the gateway registry (tests, replicaz).
 func (g *Gateway) Metrics() *obs.SyncRegistry { return g.metrics }
 
-// pick chooses the next replica for an attempt, preferring actively
-// healthy, non-cooling replicas ordered by (in-flight, reported queue
-// depth) with a rotating tiebreak; a desperation pass ignores probe and
-// cooldown state so a pool that looks entirely unhealthy still gets a last
-// try. Breaker admission is checked per candidate because Allow has
-// half-open side effects. Returns nil when every untried replica's breaker
-// refuses.
-func (g *Gateway) pick(tried map[int]bool) *replica {
-	now := time.Now()
-	g.mu.Lock()
-	offset := g.rr
-	g.rr++
-	g.mu.Unlock()
+// pickCand is one pick candidate with its slow-start weight captured at
+// partition time, so the sort sees a consistent snapshot.
+type pickCand struct {
+	rep    *replica
+	weight float64
+}
 
-	order := func(cands []*replica) []*replica {
-		sort.SliceStable(cands, func(a, b int) bool {
-			ia, ib := cands[a], cands[b]
-			if g.cfg.QualityAware {
-				// Governor signals outrank raw load: an ok replica beats a
-				// degraded one regardless of in-flight counts, and among
-				// equals the one with the most unclaimed budget wins.
-				if ba, bb := ia.brownout.Load(), ib.brownout.Load(); ba != bb {
-					return ba < bb
-				}
-				if ha, hb := ia.headroomFrac(), ib.headroomFrac(); ha != hb {
-					return ha > hb
-				}
-			}
-			if fa, fb := ia.inflight.Load(), ib.inflight.Load(); fa != fb {
-				return fa < fb
-			}
-			if qa, qb := ia.queueDepth.Load(), ib.queueDepth.Load(); qa != qb {
-				return qa < qb
-			}
-			n := uint64(len(g.replicas))
-			return (uint64(ia.idx)+n-offset%n)%n < (uint64(ib.idx)+n-offset%n)%n
-		})
-		return cands
+// pickOrder sorts candidates by (governor signals if quality-aware,
+// weight-scaled in-flight, reported queue depth, rotating round-robin).
+// It lives inside pickScratch and is fed through sort.Stable via a pointer,
+// so ordering allocates nothing.
+type pickOrder struct {
+	cands   []pickCand
+	offset  uint64
+	n       uint64
+	quality bool
+}
+
+func (o *pickOrder) Len() int      { return len(o.cands) }
+func (o *pickOrder) Swap(i, j int) { o.cands[i], o.cands[j] = o.cands[j], o.cands[i] }
+func (o *pickOrder) Less(i, j int) bool {
+	a, b := o.cands[i], o.cands[j]
+	ia, ib := a.rep, b.rep
+	if o.quality {
+		// Governor signals outrank raw load: an ok replica beats a
+		// degraded one regardless of in-flight counts, and among
+		// equals the one with the most unclaimed budget wins.
+		if ba, bb := ia.brownout.Load(), ib.brownout.Load(); ba != bb {
+			return ba < bb
+		}
+		if ha, hb := ia.headroomFrac(), ib.headroomFrac(); ha != hb {
+			return ha > hb
+		}
 	}
+	// In-flight counts are scaled by the slow-start weight (compared
+	// cross-multiplied to stay in one branch): a replica ramping at 1/4
+	// weight looks 4x as loaded, so it receives a proportional trickle
+	// instead of an equal share. At full weight this is the plain
+	// least-inflight order.
+	fa := float64(ia.inflight.Load()) * b.weight
+	fb := float64(ib.inflight.Load()) * a.weight
+	if fa != fb {
+		return fa < fb
+	}
+	if qa, qb := ia.queueDepth.Load(), ib.queueDepth.Load(); qa != qb {
+		return qa < qb
+	}
+	return (uint64(ia.idx)+o.n-o.offset%o.n)%o.n < (uint64(ib.idx)+o.n-o.offset%o.n)%o.n
+}
 
-	var preferred, desperate []*replica
+// pickScratch is the reusable per-request state of the pick path: the
+// tried set and the candidate partitions. Pooled on Gateway.scratch so the
+// pick path performs no allocations.
+type pickScratch struct {
+	tried      []bool
+	pref, desp []pickCand
+	order      pickOrder
+}
+
+func (sc *pickScratch) reset() {
+	for i := range sc.tried {
+		sc.tried[i] = false
+	}
+}
+
+// pick chooses the next replica for an attempt, preferring actively
+// healthy, non-cooling replicas with slow-start headroom, ordered by
+// (weight-scaled in-flight, reported queue depth) with a rotating
+// tiebreak; a desperation pass ignores probe, cooldown, and ramp caps so a
+// pool that looks entirely unhealthy still gets a last try. Breaker
+// admission is checked per candidate because Allow has half-open side
+// effects. Returns nil when every untried replica's breaker refuses.
+func (g *Gateway) pick(sc *pickScratch) *replica {
+	now := time.Now()
+	offset := g.rr.Add(1) - 1
+
+	sc.pref, sc.desp = sc.pref[:0], sc.desp[:0]
 	for _, rep := range g.replicas {
-		if tried[rep.idx] {
+		if sc.tried[rep.idx] {
 			continue
 		}
-		if rep.eligible(now) {
-			preferred = append(preferred, rep)
+		w, limit, done := rep.slowStart(now)
+		if done {
+			g.metrics.Inc("slowstart_done_total")
+			g.cfg.Logf("gegate: %s slow-start ramp complete, back at full weight", rep.name)
+		}
+		// The ramp cap is a hard bound in the preferred pass: step k admits
+		// at most 2^k concurrent requests, so a freshly-restarted replica
+		// cannot be handed the whole herd no matter how empty it looks.
+		if rep.eligible(now) && rep.inflight.Load() < limit {
+			sc.pref = append(sc.pref, pickCand{rep, w})
 		} else {
-			desperate = append(desperate, rep)
+			sc.desp = append(sc.desp, pickCand{rep, w})
 		}
 	}
-	for _, pass := range [][]*replica{order(preferred), order(desperate)} {
-		for _, rep := range pass {
-			if rep.br.Allow() {
-				return rep
+
+	sc.order.offset = offset
+	sc.order.n = uint64(len(g.replicas))
+	sc.order.quality = g.cfg.QualityAware
+	for _, pass := range [2][]pickCand{sc.pref, sc.desp} {
+		sc.order.cands = pass
+		sort.Stable(&sc.order)
+		for _, c := range sc.order.cands {
+			if c.rep.br.Allow() {
+				return c.rep
 			}
 		}
 	}
@@ -442,8 +555,11 @@ func (g *Gateway) selfInflicted(ctx context.Context, err error) bool {
 // doAttempt executes one upstream POST and classifies the outcome, feeding
 // the replica's breaker and passive signals. The attempt span sp (nil when
 // tracing is off) has its context forwarded to the replica and rides the
-// result; the caller finishes it once the attempt's fate is known.
-func (g *Gateway) doAttempt(ctx context.Context, rep *replica, path string, body []byte, hedged bool, sp *obs.Span) attemptResult {
+// result; the caller finishes it once the attempt's fate is known. With
+// tracing off, the client's own trace context (if any) is forwarded
+// verbatim instead, so request identity survives the hop — the crash drill
+// reconciles client acks against replica journals by trace ID.
+func (g *Gateway) doAttempt(ctx context.Context, rep *replica, path string, body []byte, hedged bool, sp *obs.Span, clientCtx obs.SpanContext) attemptResult {
 	g.metrics.Inc(rep.name + "_attempts_total")
 	n := rep.inflight.Add(1)
 	g.metrics.GaugeSet(rep.name+"_inflight", float64(n))
@@ -457,7 +573,11 @@ func (g *Gateway) doAttempt(ctx context.Context, rep *replica, path string, body
 		return attemptResult{rep: rep, span: sp, hedged: hedged, err: err}
 	}
 	req.Header.Set("Content-Type", "application/json")
-	sp.Context().Inject(req.Header)
+	if sp != nil {
+		sp.Context().Inject(req.Header)
+	} else {
+		clientCtx.Inject(req.Header)
+	}
 	resp, err := g.client.Do(req)
 	if err != nil {
 		if g.selfInflicted(ctx, err) {
@@ -465,6 +585,21 @@ func (g *Gateway) doAttempt(ctx context.Context, rep *replica, path string, body
 			// verdict: no breaker strike, no error metric, but release any
 			// half-open trial slot this attempt was holding.
 			rep.br.Neutral()
+			return attemptResult{rep: rep, span: sp, hedged: hedged, err: err, latency: time.Since(start)}
+		}
+		if errors.Is(err, syscall.ECONNREFUSED) {
+			// Connection refused is an unambiguous down-signal — the process
+			// is gone, not slow. Trip the breaker and drop the probe verdict
+			// immediately so a killed replica leaves the pick order within
+			// one request instead of waiting out two more strikes and the
+			// next probe interval.
+			g.metrics.Inc("refused_total")
+			g.metrics.Inc(rep.name + "_errs_total")
+			rep.br.Trip() // opening the breaker marks the outage start
+			if rep.probeOK.Swap(false) {
+				g.metrics.GaugeSet(rep.name+"_probe_ok", 0)
+				g.cfg.Logf("gegate: %s connection refused; marked down", rep.name)
+			}
 			return attemptResult{rep: rep, span: sp, hedged: hedged, err: err, latency: time.Since(start)}
 		}
 		rep.br.Failure()
@@ -595,7 +730,8 @@ func (g *Gateway) serveProxy(w http.ResponseWriter, r *http.Request, path string
 
 	// Tracing: join the client's trace (or root a fresh one), echo the IDs,
 	// and hang one child span off this request per upstream attempt.
-	span := g.spans.Start(path, obs.SpanGateway, obs.ParseSpanContext(r.Header))
+	clientCtx := obs.ParseSpanContext(r.Header)
+	span := g.spans.Start(path, obs.SpanGateway, clientCtx)
 	span.Context().Inject(w.Header())
 	defer g.spans.Finish(span)
 
@@ -618,7 +754,9 @@ func (g *Gateway) serveProxy(w http.ResponseWriter, r *http.Request, path string
 			c()
 		}
 	}()
-	tried := make(map[int]bool)
+	sc := g.scratch.Get().(*pickScratch)
+	sc.reset()
+	defer g.scratch.Put(sc)
 	launched, consumed := 0, 0
 	// Every launched attempt writes exactly one buffered result. Whatever
 	// serveProxy has not consumed when it returns is drained off-path so
@@ -639,18 +777,18 @@ func (g *Gateway) serveProxy(w http.ResponseWriter, r *http.Request, path string
 		if launched >= g.cfg.MaxAttempts {
 			return false
 		}
-		rep := g.pick(tried)
+		rep := g.pick(sc)
 		if rep == nil {
 			return false
 		}
-		tried[rep.idx] = true
+		sc.tried[rep.idx] = true
 		launched++
 		asp := g.spans.Start("attempt."+rep.name, obs.SpanAttempt, span.Context())
 		asp.SetFlag(hedged)
 		actx, acancel := context.WithCancel(ctx)
 		cancels = append(cancels, acancel)
 		go func() {
-			results <- g.doAttempt(actx, rep, path, body, hedged, asp)
+			results <- g.doAttempt(actx, rep, path, body, hedged, asp, clientCtx)
 		}()
 		return true
 	}
@@ -791,9 +929,13 @@ func (g *Gateway) handleReplicaz(w http.ResponseWriter, r *http.Request) {
 		if rep.coolingDown(now) {
 			cooling = " cooling"
 		}
-		fmt.Fprintf(w, "%-10s %-28s breaker=%-9s probe_ok=%-5v inflight=%d queue_depth=%d brownout=%s headroom=%.3f%s\n",
+		slowstart := ""
+		if w := rep.weightNow(now); w < 1 {
+			slowstart = " slow-start"
+		}
+		fmt.Fprintf(w, "%-10s %-28s breaker=%-9s probe_ok=%-5v inflight=%d queue_depth=%d brownout=%s headroom=%.3f weight=%.3f%s%s\n",
 			rep.name, rep.base, rep.br.State(), rep.probeOK.Load(),
 			rep.inflight.Load(), rep.queueDepth.Load(),
-			rep.brownoutState(), rep.headroomFrac(), cooling)
+			rep.brownoutState(), rep.headroomFrac(), rep.weightNow(now), cooling, slowstart)
 	}
 }

@@ -528,6 +528,14 @@ func TestNewRejectsBadConfig(t *testing.T) {
 	}
 }
 
+// pickScratchFor returns a fresh, reset pick scratch for direct pick calls
+// in tests and benchmarks.
+func pickScratchFor(g *Gateway) *pickScratch {
+	sc := g.scratch.Get().(*pickScratch)
+	sc.reset()
+	return sc
+}
+
 // waitFor polls cond with a deadline.
 func waitFor(t *testing.T, cond func() bool, msg string) {
 	t.Helper()

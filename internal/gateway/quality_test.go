@@ -27,7 +27,7 @@ func TestQualityAwarePickPrefersOkReplica(t *testing.T) {
 	g.replicas[1].inflight.Store(5)
 
 	for i := 0; i < 4; i++ { // across rr offsets
-		if rep := g.pick(map[int]bool{}); rep != g.replicas[1] {
+		if rep := g.pick(pickScratchFor(g)); rep != g.replicas[1] {
 			t.Fatalf("quality-aware pick chose %s, want the ok replica1", rep.name)
 		}
 	}
@@ -35,7 +35,7 @@ func TestQualityAwarePickPrefersOkReplica(t *testing.T) {
 	// Flag off: same signals, but least-inflight (the degraded replica0)
 	// wins like before the governor existed.
 	g.cfg.QualityAware = false
-	if rep := g.pick(map[int]bool{}); rep != g.replicas[0] {
+	if rep := g.pick(pickScratchFor(g)); rep != g.replicas[0] {
 		t.Fatalf("classic pick chose %s, want least-loaded replica0", rep.name)
 	}
 }
@@ -50,7 +50,7 @@ func TestQualityAwarePickHeadroomTiebreak(t *testing.T) {
 	g.replicas[0].headroom.Store(math.Float64bits(0.2))
 	g.replicas[1].headroom.Store(math.Float64bits(0.8))
 	for i := 0; i < 4; i++ {
-		if rep := g.pick(map[int]bool{}); rep != g.replicas[1] {
+		if rep := g.pick(pickScratchFor(g)); rep != g.replicas[1] {
 			t.Fatalf("pick chose %s, want replica1 with more headroom", rep.name)
 		}
 	}

@@ -44,23 +44,105 @@ type replica struct {
 	// headroom is the last X-GE-Headroom fraction (Float64bits). Replicas
 	// start at 1 — full headroom — so ungoverned pools sort as before.
 	headroom atomic.Uint64
+
+	// Rejoin slow-start: a replica that comes back from an outage re-enters
+	// the pick order at a ramped admission weight instead of full strength,
+	// so a restart under overload cannot trigger a thundering herd onto a
+	// cold process. rampSteps/rampStep are fixed at construction.
+	//
+	// downSince is the unix-nano time the replica was first observed down
+	// (breaker opened or an active probe failed); 0 = up. rampStart is the
+	// unix-nano time slow-start began; 0 = at full weight.
+	rampSteps int
+	rampStep  time.Duration
+	downSince atomic.Int64
+	rampStart atomic.Int64
 }
 
-func newReplica(idx int, base string, breakerFailures int, breakerOpenFor time.Duration, onTransition func(from, to breakerState)) (*replica, error) {
+func newReplica(idx int, base string, breakerFailures int, breakerOpenFor time.Duration,
+	rampSteps int, rampStep time.Duration, onTransition func(from, to breakerState)) (*replica, error) {
 	base = strings.TrimRight(base, "/")
 	u, err := url.Parse(base)
 	if err != nil || u.Scheme == "" || u.Host == "" {
 		return nil, fmt.Errorf("gateway: replica %d: %q is not an absolute URL", idx, base)
 	}
 	r := &replica{
-		idx:  idx,
-		name: fmt.Sprintf("replica%d", idx),
-		base: base,
-		br:   newBreaker(breakerFailures, breakerOpenFor, onTransition),
+		idx:       idx,
+		name:      fmt.Sprintf("replica%d", idx),
+		base:      base,
+		br:        newBreaker(breakerFailures, breakerOpenFor, onTransition),
+		rampSteps: rampSteps,
+		rampStep:  rampStep,
 	}
 	r.probeOK.Store(true)
 	r.headroom.Store(math.Float64bits(1))
 	return r, nil
+}
+
+// markDown notes that the replica went down (breaker opened or a probe
+// failed). The first observation starts the outage clock; a relapse in the
+// middle of a slow-start ramp also cancels the ramp, so the next rejoin
+// starts from the bottom again.
+func (r *replica) markDown(now time.Time) {
+	r.rampStart.Store(0)
+	r.downSince.CompareAndSwap(0, now.UnixNano())
+}
+
+// rejoin ends an outage: the replica is back (breaker closed through its
+// half-open trial, or an active probe succeeded again). Returns the outage
+// duration and true exactly once per outage, so callers can emit the
+// rejoin event and recovery-time histogram sample without double counting.
+// With rampSteps > 0 the slow-start ramp begins here.
+func (r *replica) rejoin(now time.Time) (time.Duration, bool) {
+	down := r.downSince.Swap(0)
+	if down == 0 {
+		return 0, false
+	}
+	if r.rampSteps > 0 {
+		r.rampStart.Store(now.UnixNano())
+	}
+	return time.Duration(now.UnixNano() - down), true
+}
+
+// slowStart returns the replica's current admission weight in (0, 1] and
+// the concurrent in-flight cap the picker enforces while the ramp runs.
+// Step k of an n-step ramp carries weight 2^(k-n) and cap 2^k: a 3-step
+// ramp admits 1, then 2, then 4 concurrent requests at weights 1/8, 1/4,
+// 1/2 before returning to full strength. Completing the ramp clears the
+// state; that final transition is reported once via done so the caller can
+// count it.
+func (r *replica) slowStart(now time.Time) (weight float64, limit int64, done bool) {
+	start := r.rampStart.Load()
+	if start == 0 {
+		return 1, math.MaxInt64, false
+	}
+	var step int64
+	if r.rampStep > 0 {
+		step = int64(now.UnixNano()-start) / int64(r.rampStep)
+	}
+	if step >= int64(r.rampSteps) {
+		// Ramp complete; the CAS loses harmlessly if markDown reset it.
+		return 1, math.MaxInt64, r.rampStart.CompareAndSwap(start, 0)
+	}
+	return math.Ldexp(1, int(step)-r.rampSteps), 1 << step, false
+}
+
+// weightNow is the read-only view of the slow-start weight for replicaz
+// and tests: no completion side effects, so it cannot swallow the
+// slowstart_done event the pick path emits.
+func (r *replica) weightNow(now time.Time) float64 {
+	start := r.rampStart.Load()
+	if start == 0 {
+		return 1
+	}
+	var step int64
+	if r.rampStep > 0 {
+		step = int64(now.UnixNano()-start) / int64(r.rampStep)
+	}
+	if step >= int64(r.rampSteps) {
+		return 1
+	}
+	return math.Ldexp(1, int(step)-r.rampSteps)
 }
 
 // coolingDown reports whether the replica is inside a Retry-After window.

@@ -142,6 +142,21 @@ func (s *Server) execute(w http.ResponseWriter, r *http.Request,
 	s.metrics.GaugeSet("inflight", float64(s.InFlight()))
 	defer func() { s.metrics.GaugeSet("inflight", float64(s.InFlight()-1)) }()
 
+	// Journal the acceptance before any work runs, and the outcome before
+	// the response goes out; see the ordering argument in journal.go. The
+	// request identity is the caller's trace ID when one arrived, so the
+	// drill harness can reconcile client-side acknowledgements against this
+	// ledger.
+	jdone := func(status int) {}
+	if j := s.cfg.Journal; j != nil {
+		id := j.NextID()
+		if sc := obs.ParseSpanContext(r.Header); sc.Valid() {
+			id = fmt.Sprintf("%016x", sc.Trace)
+		}
+		j.Accept(id, r.URL.Path)
+		jdone = func(status int) { j.Done(id, status) }
+	}
+
 	ctx, cancel := s.runContext(r)
 	defer cancel()
 	// Enroll with the governor: the ticket meters this request against the
@@ -175,13 +190,16 @@ func (s *Server) execute(w http.ResponseWriter, r *http.Request,
 		// with substituted RunFuncs, which may surface the context error
 		// directly.
 		if errIsCancel(err) {
+			jdone(http.StatusServiceUnavailable)
 			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
 			return
 		}
+		jdone(http.StatusBadRequest)
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 		return
 	}
 	s.metrics.Inc("run_ok_total")
+	jdone(http.StatusOK)
 	writeJSON(w, http.StatusOK, payload)
 }
 
@@ -379,6 +397,31 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	}
 	fmt.Fprintln(w, "ready")
 	_ = s.metrics.WriteText(w)
+}
+
+// recoveryzBody is the /recoveryz response: the startup reconciliation of
+// the crash journal, plus the live journal-write error count.
+type recoveryzBody struct {
+	Enabled  bool  `json:"enabled"`
+	Errs     int64 `json:"journal_errs,omitempty"`
+	Recovery       // inlined: incarnation, prior_records, corrupt, orphans
+}
+
+// handleRecoveryz reports what this incarnation found in the crash journal
+// at startup: its boot count and the requests a predecessor accepted but
+// never finished. The drill harness audits these orphans against the
+// gateway's retry accounting.
+func (s *Server) handleRecoveryz(w http.ResponseWriter, r *http.Request) {
+	j := s.cfg.Journal
+	if j == nil {
+		writeJSON(w, http.StatusOK, recoveryzBody{Enabled: false})
+		return
+	}
+	rec := j.Recovery()
+	if rec.Orphans == nil {
+		rec.Orphans = []Orphan{} // JSON [] beats null for consumers
+	}
+	writeJSON(w, http.StatusOK, recoveryzBody{Enabled: true, Errs: j.Errs(), Recovery: rec})
 }
 
 // handleMetricz renders the registry in the Prometheus text exposition

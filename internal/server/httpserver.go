@@ -1,0 +1,39 @@
+package server
+
+import (
+	"net/http"
+	"time"
+)
+
+// NewHTTPServer builds the hardened http.Server both geserve and gegate
+// listen with. The two timeouts close the slow-client holes that would
+// otherwise let a single stalled TCP connection pin a graceful drain:
+//
+//   - ReadHeaderTimeout bounds how long a connection may dribble (or never
+//     send) its request headers. Without it a slowloris-style client holds
+//     a connection in the pre-request state forever, and http.Server
+//     Shutdown waits for it.
+//   - IdleTimeout bounds how long a keep-alive connection may sit between
+//     requests, so drains are not hostage to clients that keep sockets
+//     open and silent.
+//
+// Per-request work is already bounded by the application layer (the run
+// timeout in geserve, the attempt timeout in gegate), so no blanket
+// ReadTimeout/WriteTimeout is set — those would cut off legitimately long
+// simulation responses.
+//
+// Zero timeouts select the defaults (10s header, 120s idle).
+func NewHTTPServer(addr string, handler http.Handler, readHeaderTimeout, idleTimeout time.Duration) *http.Server {
+	if readHeaderTimeout <= 0 {
+		readHeaderTimeout = 10 * time.Second
+	}
+	if idleTimeout <= 0 {
+		idleTimeout = 120 * time.Second
+	}
+	return &http.Server{
+		Addr:              addr,
+		Handler:           handler,
+		ReadHeaderTimeout: readHeaderTimeout,
+		IdleTimeout:       idleTimeout,
+	}
+}

@@ -1,0 +1,89 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestStalledHeaderCannotPinDrain: a slowloris-style connection that opens
+// TCP and never finishes its request headers must neither hold the server
+// hostage nor delay Shutdown past ReadHeaderTimeout. Before IdleTimeout /
+// ReadHeaderTimeout hardening, Shutdown would wait on such a connection
+// indefinitely.
+func TestStalledHeaderCannotPinDrain(t *testing.T) {
+	hs := NewHTTPServer("127.0.0.1:0", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "ok")
+	}), 150*time.Millisecond, 200*time.Millisecond)
+
+	ln, err := net.Listen("tcp", hs.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go hs.Serve(ln)
+	addr := ln.Addr().String()
+
+	// The attacker: connect and dribble half a request line, then stall.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("POST /v1/run HT")); err != nil {
+		t.Fatal(err)
+	}
+
+	// A well-behaved request still succeeds alongside the stalled one.
+	client := &http.Client{Timeout: 2 * time.Second}
+	resp, err := client.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	// ReadHeaderTimeout reaps the stalled connection on its own: the server
+	// answers 408 (or just closes) and ReadAll sees EOF. If the connection
+	// were still alive this read would block to its deadline instead.
+	conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+	if _, err := io.ReadAll(conn); err != nil {
+		t.Fatalf("stalled connection not reaped by ReadHeaderTimeout: %v", err)
+	}
+
+	// …and a drain completes promptly even with a fresh staller attached.
+	conn2, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	conn2.Write([]byte("GET /read"))
+
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown did not complete under a stalled-header connection: %v", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("shutdown took %v with a stalled connection; timeouts are not bounding it", d)
+	}
+}
+
+// TestNewHTTPServerDefaults: zero timeouts select the hardened defaults
+// rather than Go's unlimited zero values.
+func TestNewHTTPServerDefaults(t *testing.T) {
+	hs := NewHTTPServer(":0", nil, 0, 0)
+	if hs.ReadHeaderTimeout != 10*time.Second {
+		t.Fatalf("ReadHeaderTimeout default = %v", hs.ReadHeaderTimeout)
+	}
+	if hs.IdleTimeout != 120*time.Second {
+		t.Fatalf("IdleTimeout default = %v", hs.IdleTimeout)
+	}
+	if hs.ReadTimeout != 0 || hs.WriteTimeout != 0 {
+		t.Fatal("blanket read/write timeouts set; they would cut long runs")
+	}
+}

@@ -85,6 +85,14 @@ type Config struct {
 	Governor *governor.Governor
 	// SampleInterval is the /timeseriez sampling period (default: 1s).
 	SampleInterval time.Duration
+	// Journal, when non-nil, is the crash-safe request ledger: every
+	// admitted request appends an accept record before work starts and a
+	// done record before its response is written, so a crash (SIGKILL, OOM)
+	// leaves orphans the next incarnation reports at startup and on
+	// /recoveryz. Nil disables journaling; /recoveryz then answers
+	// {"enabled": false}. The server does not close the journal — the owner
+	// that opened it does, after Drain.
+	Journal *Journal
 }
 
 func (c Config) withDefaults() Config {
@@ -179,6 +187,7 @@ func New(cfg Config) *Server {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /recoveryz", s.handleRecoveryz)
 	s.mux.HandleFunc("GET /metricz", s.handleMetricz)
 	s.mux.HandleFunc("GET /timeseriez", s.handleTimeseriez)
 	s.mux.Handle("POST /v1/run", s.instrument(http.HandlerFunc(s.handleRun)))

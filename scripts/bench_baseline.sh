@@ -31,6 +31,9 @@ go test -run '^$' -bench 'BenchmarkSpan|BenchmarkDecision|BenchmarkSampler' -ben
 go test -run '^$' -bench 'BenchmarkGovernor' -benchmem \
     -benchtime "$BENCHTIME" -count "$COUNT" ./internal/governor/ \
     | tee -a "$TMP/bench.txt"
+go test -run '^$' -bench 'BenchmarkGateway' -benchmem \
+    -benchtime "$BENCHTIME" -count "$COUNT" ./internal/gateway/ \
+    | tee -a "$TMP/bench.txt"
 
 # Preserve the committed baseline's "previous" section (the pre-optimization
 # numbers) when refreshing BENCH_BASELINE.json in place.

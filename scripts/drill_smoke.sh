@@ -1,0 +1,45 @@
+#!/bin/sh
+# Process-level crash-recovery smoke: gedrill boots a 3-replica governed
+# geserve fleet behind gegate, drives seeded open-loop traffic, and runs
+# the deterministic fault schedule for seed 7 — SIGKILL one replica,
+# SIGSTOP/SIGCONT another — then audits the invariants:
+#
+#   - zero acknowledged-then-lost requests (gateway acks vs replica journals)
+#   - journal orphans within the gateway's retry/hedge/error budget
+#   - the killed replica rejoins within the bound and re-enters rotation
+#     through the slow-start ramp (slowstart_enter_total >= kills)
+#   - recovery-window goodput >= 90% of the pre-fault baseline
+#   - mean quality of acked requests >= Q_GE - 0.05 (governed fleet)
+#
+# The schedule is a pure function of the seed, so reruns exercise the same
+# fault sequence. On failure gedrill keeps journals, replica logs, and the
+# JSON report in WORKDIR for the CI artifact upload.
+#
+# Used by `make drill-smoke` and the CI drill-smoke job.
+set -eu
+
+SEED=${SEED:-7}
+WORKDIR=${WORKDIR:-drill-artifacts}
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+go build -o "$TMP/geserve" ./cmd/geserve
+go build -o "$TMP/gegate" ./cmd/gegate
+go build -o "$TMP/gedrill" ./cmd/gedrill
+
+rm -rf "$WORKDIR"
+mkdir -p "$WORKDIR"
+
+# 8s horizon: kill + pause, faults done by 5.3s, recovery audited over the
+# final 2s. Rolling restarts need >= 12s and are covered by the package's
+# own end-to-end test; the smoke stays short.
+if "$TMP/gedrill" -seed "$SEED" -replicas 3 -rate 40 -duration 8s \
+    -governed -geserve "$TMP/geserve" -gegate "$TMP/gegate" \
+    -workdir "$WORKDIR" -rejoin-bound 5s -goodput-frac 0.9 \
+    -json "$WORKDIR/report.json"; then
+    echo "drill-smoke: PASS (seed $SEED)"
+    rm -rf "$WORKDIR"
+else
+    echo "drill-smoke: FAIL — artifacts in $WORKDIR" >&2
+    exit 1
+fi
