@@ -23,6 +23,10 @@
 // p99 latency, lost work, and re-dispatch counts side by side, with the
 // omniscient "ideal" row as the routing-regret yardstick.
 //
+// The event heaps are sharded for scale (-shards; 0 picks an automatic
+// count, 1 forces sequential). Every shard count produces byte-identical
+// output — it is an execution knob, never a simulation knob.
+//
 // Observability mirrors gesim: -events (JSONL), -trace (Perfetto), -report.
 // Fleet exports remap core events to globally unique IDs machine*cores+core
 // and add machine health tracks. -report also prints the decision summary
@@ -108,6 +112,20 @@ func compareAll(fc goodenough.FleetConfig, report bool) {
 	os.Exit(exit)
 }
 
+// printShardLayout shows how the run was partitioned across event-heap
+// shards and how much event traffic each shard carried — the load-balance
+// check for the sharded engine.
+func printShardLayout(res goodenough.FleetResult) {
+	fmt.Printf("shards           %d\n", res.Shards)
+	for i, ev := range res.ShardEvents {
+		machines := 0
+		if i < len(res.ShardMachines) {
+			machines = res.ShardMachines[i]
+		}
+		fmt.Printf("  shard %-4d %3d machines %12d events\n", i, machines, ev)
+	}
+}
+
 func main() {
 	var (
 		list        = flag.Bool("list", false, "list dispatch policies and schedulers, then exit")
@@ -125,6 +143,7 @@ func main() {
 		chaos       = flag.String("chaos", "", "machine fault schedule JSON (inline or @file)")
 		mtbf        = flag.Float64("machine-mtbf", 0, "mean time between machine crashes (s, 0 = off)")
 		mttr        = flag.Float64("machine-mttr", 0, "mean machine repair time for -machine-mtbf (s)")
+		shards      = flag.Int("shards", 0, "event-heap shards (0 = auto: min(GOMAXPROCS, machines/8); 1 = sequential); results are byte-identical for every value")
 
 		compare   = flag.Bool("compare", false, "run every dispatch policy and print a comparison table")
 		csv       = flag.Bool("csv", false, "emit a single CSV row instead of text")
@@ -153,6 +172,7 @@ func main() {
 	fc.RedispatchLimit = *redispLimit
 	fc.MachineMTBFSec = *mtbf
 	fc.MachineMTTRSec = *mttr
+	fc.Shards = *shards
 	if *rate > 0 {
 		fc.ArrivalRate = *rate
 	} else {
@@ -211,6 +231,9 @@ func main() {
 			res.Jobs, res.Completed, res.Expired, res.Dropped, res.LostForever,
 			res.Crashes, res.Partitions, res.Degrades, res.Redispatches,
 			res.LostWork, res.PendingExpired, res.Availability, res.SimTime)
+		if *report {
+			printShardLayout(res)
+		}
 		reportBuf.WriteTo(os.Stdout)
 		if res.LostForever != 0 {
 			os.Exit(1)
@@ -251,6 +274,7 @@ func main() {
 	}
 	if *report {
 		fmt.Println()
+		printShardLayout(res)
 		reportBuf.WriteTo(os.Stdout)
 	}
 	if res.LostForever != 0 {

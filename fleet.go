@@ -45,6 +45,12 @@ type FleetConfig struct {
 	// RedispatchLimit caps how many times one job is re-routed after
 	// machine faults before it is dropped (0 means the default, 3).
 	RedispatchLimit int
+	// Shards is the worker-shard count K: machines are partitioned into K
+	// contiguous shards, each advancing on a private event heap between
+	// global dispatcher barriers. 0 auto-sizes to min(GOMAXPROCS,
+	// Machines/8) with a floor of one; 1 is the sequential path. Results
+	// and event streams are byte-identical for every K.
+	Shards int
 }
 
 // MachineFaultSpec describes one machine fault window (FleetConfig.
@@ -146,6 +152,13 @@ type FleetResult struct {
 	Availability float64
 	// SimTime is the simulated span in seconds.
 	SimTime float64
+	// Shards is the effective worker-shard count; ShardEvents and
+	// ShardMachines report per-shard delivered-event totals and machine
+	// counts. These describe the execution layout only — every other field
+	// is identical for every shard count.
+	Shards        int
+	ShardEvents   []int64
+	ShardMachines []int
 	// PerMachine holds one entry per machine, in index order.
 	PerMachine []FleetMachineResult
 }
@@ -293,6 +306,7 @@ func (fc FleetConfig) lower() (cluster.Config, error) {
 		Workload:        spec,
 		Faults:          cs,
 		RedispatchLimit: fc.RedispatchLimit,
+		Shards:          fc.Shards,
 	}, nil
 }
 
@@ -323,6 +337,9 @@ func liftFleetResult(res cluster.Result) FleetResult {
 		PendingExpired: res.PendingExpired,
 		Availability:   res.Availability,
 		SimTime:        res.SimTime,
+		Shards:         res.Shards,
+		ShardEvents:    append([]int64(nil), res.ShardEvents...),
+		ShardMachines:  append([]int(nil), res.ShardMachines...),
 		PerMachine:     make([]FleetMachineResult, len(res.PerMachine)),
 	}
 	for i, m := range res.PerMachine {

@@ -1,7 +1,8 @@
-// BenchmarkFleet* measures the fleet hot path — N machines on one shared
-// event clock behind the global dispatcher — as events/sec over a complete
-// run, with and without machine chaos. scripts/bench_baseline.sh records
-// them into BENCH_BASELINE.json and `make bench-check` gates regressions.
+// BenchmarkFleet* measures the fleet hot path — N machines on sharded event
+// heaps behind the global dispatcher — as events/sec over a complete run,
+// with and without machine chaos, and at 100/1000-machine scale.
+// scripts/bench_baseline.sh records them into BENCH_BASELINE.json and
+// `make bench-check` gates regressions.
 package goodenough
 
 import (
@@ -61,6 +62,44 @@ func BenchmarkFleetChaos(b *testing.B) {
 	var events int64
 	for i := 0; i < b.N; i++ {
 		events += fleetRun(b, fc)
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// fleetScaleConfig is the scaling benchmark fleet: N machines at the
+// per-machine critical load, partitioned into N/8 shards — the layout the
+// sharded engine is designed around. On a single-CPU runner the shards
+// still win (smaller per-shard heaps shrink every sift); on multicore they
+// additionally execute in parallel between barriers.
+func fleetScaleConfig(machines int, duration float64) FleetConfig {
+	fc := DefaultFleetConfig()
+	fc.Machines = machines
+	fc.ArrivalRate = 154 * float64(machines)
+	fc.DurationSec = duration
+	fc.Shards = machines / 8
+	return fc
+}
+
+// BenchmarkFleetScale100 is the 100-machine scaling gate: the per-event
+// cost must stay flat as the fleet grows, which is exactly what the old
+// advance-every-machine-per-event sync scan broke. Gated by
+// `make bench-check` against the committed baseline.
+func BenchmarkFleetScale100(b *testing.B) {
+	b.ReportAllocs()
+	var events int64
+	for i := 0; i < b.N; i++ {
+		events += fleetRun(b, fleetScaleConfig(100, 5))
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkFleetScale1000 pushes to 1000 machines — past the point where
+// the O(N·events) scan made runs infeasible.
+func BenchmarkFleetScale1000(b *testing.B) {
+	b.ReportAllocs()
+	var events int64
+	for i := 0; i < b.N; i++ {
+		events += fleetRun(b, fleetScaleConfig(1000, 1))
 	}
 	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
 }

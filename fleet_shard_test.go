@@ -1,0 +1,124 @@
+package goodenough
+
+import (
+	"bytes"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// shardedChaosRun executes the committed golden chaos scenario at the given
+// shard count and dispatch policy, capturing the full event and decision
+// streams.
+func shardedChaosRun(t *testing.T, shards int, dispatch string) ([]byte, []byte, FleetResult) {
+	t.Helper()
+	fc := chaosFleetConfig(t)
+	fc.Dispatch = dispatch
+	fc.Shards = shards
+	var events, decisions bytes.Buffer
+	res, err := RunFleetWithOptions(fc, RunOptions{Events: &events, Decisions: &decisions})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return events.Bytes(), decisions.Bytes(), res
+}
+
+// stripShardLayout zeroes the execution-layout fields so FleetResults can be
+// compared across shard counts.
+func stripShardLayout(r FleetResult) FleetResult {
+	r.Shards = 0
+	r.ShardEvents = nil
+	r.ShardMachines = nil
+	return r
+}
+
+// TestFleetShardMatrix is the determinism matrix from the sharding work:
+// K ∈ {1, 2, 4, 7} shards over the golden 10-machine chaos scenario must
+// produce byte-identical event JSONL, byte-identical decision JSONL, and an
+// identical FleetResult (up to the layout-reporting fields). The shard
+// count is an execution knob, never a simulation knob.
+func TestFleetShardMatrix(t *testing.T) {
+	seqEvents, seqDecisions, seqRes := shardedChaosRun(t, 1, "p2c")
+	if len(seqEvents) == 0 || len(seqDecisions) == 0 {
+		t.Fatal("sequential run produced empty streams; the comparison is vacuous")
+	}
+	if seqRes.Shards != 1 || len(seqRes.ShardEvents) != 1 {
+		t.Fatalf("sequential layout = %d shards (%v), want 1", seqRes.Shards, seqRes.ShardEvents)
+	}
+	for _, k := range []int{2, 4, 7} {
+		events, decisions, res := shardedChaosRun(t, k, "p2c")
+		if !bytes.Equal(seqEvents, events) {
+			t.Errorf("K=%d: event JSONL diverges from sequential (%d vs %d bytes)",
+				k, len(events), len(seqEvents))
+		}
+		if !bytes.Equal(seqDecisions, decisions) {
+			t.Errorf("K=%d: decision JSONL diverges from sequential (%d vs %d bytes)",
+				k, len(decisions), len(seqDecisions))
+		}
+		if !reflect.DeepEqual(stripShardLayout(seqRes), stripShardLayout(res)) {
+			t.Errorf("K=%d: results diverge:\nseq:     %+v\nsharded: %+v", k, seqRes, res)
+		}
+		if res.Shards != k {
+			t.Errorf("K=%d: result reports %d shards", k, res.Shards)
+		}
+		machines := 0
+		for _, m := range res.ShardMachines {
+			machines += m
+		}
+		if machines != res.Machines {
+			t.Errorf("K=%d: ShardMachines sums to %d, want %d", k, machines, res.Machines)
+		}
+	}
+
+	// The ideal dispatcher reads the cached capacity view (degraded budgets
+	// included); prove its routing is also layout-independent.
+	idealSeq, _, idealSeqRes := shardedChaosRun(t, 1, "ideal")
+	idealSharded, _, idealShardedRes := shardedChaosRun(t, 4, "ideal")
+	if !bytes.Equal(idealSeq, idealSharded) {
+		t.Error("ideal dispatch: event JSONL diverges between K=1 and K=4")
+	}
+	if !reflect.DeepEqual(stripShardLayout(idealSeqRes), stripShardLayout(idealShardedRes)) {
+		t.Errorf("ideal dispatch: results diverge:\nseq:     %+v\nsharded: %+v",
+			idealSeqRes, idealShardedRes)
+	}
+}
+
+// TestFleetShardRaceHammer drives several sharded chaos fleets concurrently.
+// Its value is under -race (the CI fleet-smoke job): shard workers must
+// never share mutable state across shard boundaries or with another fleet
+// instance.
+func TestFleetShardRaceHammer(t *testing.T) {
+	fc := chaosFleetConfig(t)
+	fc.DurationSec = 12
+	fc.Shards = 7
+	// Keep only the fault windows that open inside the shortened horizon.
+	kept := fc.MachineFaults[:0]
+	for _, mf := range fc.MachineFaults {
+		if mf.AtSec < fc.DurationSec {
+			kept = append(kept, mf)
+		}
+	}
+	fc.MachineFaults = kept
+	var wg sync.WaitGroup
+	results := make([]FleetResult, 4)
+	errs := make([]error, 4)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = RunFleet(fc)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if results[i].LostForever != 0 {
+			t.Fatalf("run %d: %d jobs lost forever", i, results[i].LostForever)
+		}
+		if !reflect.DeepEqual(results[i], results[0]) {
+			t.Fatalf("run %d diverged from run 0:\n%+v\n%+v", i, results[i], results[0])
+		}
+	}
+}

@@ -1,7 +1,6 @@
 // Package cluster scales the simulator from one multicore server to a fleet:
-// N machines — each a full scheduler/machine/power stack — driven by one
-// shared event clock and fronted by a global dispatcher that routes every
-// arriving request to a machine.
+// N machines — each a full scheduler/machine/power stack — fronted by a
+// global dispatcher that routes every arriving request to a machine.
 //
 // Failure handling is the point. Machines crash (all cores halt, in-flight
 // progress is wiped, queued work is stranded), partition from the dispatcher
@@ -10,17 +9,21 @@
 // The fleet re-dispatches lost and stranded jobs with retry accounting, and
 // health-aware dispatch policies route around machines that are down or
 // unreachable. A run is deterministic: the same seed and fault schedule
-// yield byte-identical event streams and results.
+// yield byte-identical event streams and results — for any shard count.
 //
-// The design deliberately reuses the single-machine building blocks — the
-// sim kernel's (time, priority, seq) total order, machine.Server's exact
-// energy accounting, sched.Policy for per-node scheduling — so fleet runs
-// inherit every invariant the single-machine path already enforces.
+// Execution is sharded (shard.go): machines are partitioned across K shards,
+// each owning a private event heap that advances its machines independently
+// between global barriers (quantum ticks, machine faults, run end). Only
+// machines with due events are ever touched — a quiescent node costs zero —
+// which replaces the old advance-everyone-on-every-event sync scan. Shard
+// outputs are buffered per machine and merged in machine-index order at each
+// barrier, so the observable streams do not depend on K.
 package cluster
 
 import (
 	"fmt"
 	"math"
+	"runtime"
 
 	"goodenough/internal/faults"
 	"goodenough/internal/job"
@@ -59,6 +62,12 @@ type Config struct {
 	// RedispatchLimit caps per-job re-dispatches (0 means
 	// DefaultRedispatchLimit).
 	RedispatchLimit int
+	// Shards is the worker-shard count K. Machines are partitioned into K
+	// contiguous shards, each advanced by its own goroutine between global
+	// barriers. 0 resolves to min(GOMAXPROCS, Machines/8) with a floor of
+	// one; 1 runs the identical barrier loop inline with no goroutines.
+	// Event streams, decisions, and results are byte-identical for every K.
+	Shards int
 	// Observer, when non-nil, receives the structured event stream:
 	// fleet-level events (dispatch, re-dispatch, machine health) carry the
 	// machine index in Core; per-core events are remapped to globally
@@ -96,7 +105,28 @@ func (c Config) Validate() error {
 	if c.RedispatchLimit < 0 {
 		return fmt.Errorf("cluster: redispatch limit must be non-negative, got %d", c.RedispatchLimit)
 	}
+	if c.Shards < 0 {
+		return fmt.Errorf("cluster: shard count must be non-negative, got %d", c.Shards)
+	}
 	return nil
+}
+
+// resolveShards turns the configured shard count into the effective K.
+func resolveShards(requested, machines int) int {
+	k := requested
+	if k <= 0 {
+		k = runtime.GOMAXPROCS(0)
+		if cap := machines / 8; k > cap {
+			k = cap
+		}
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > machines {
+		k = machines
+	}
+	return k
 }
 
 // MachineResult summarizes one machine's run.
@@ -165,15 +195,37 @@ type Result struct {
 	Availability float64
 	// SimTime is the span actually simulated.
 	SimTime float64
+	// Shards is the effective worker-shard count; ShardEvents and
+	// ShardMachines report, per shard, how many events its private heap
+	// delivered and how many machines it owned — the visibility knob for
+	// uneven partitions. These describe the execution layout, not the
+	// simulation: every other field is identical for every shard count.
+	Shards        int
+	ShardEvents   []int64
+	ShardMachines []int
 	// PerMachine holds one entry per machine.
 	PerMachine []MachineResult
 }
 
+// finRec is one buffered finalization: the global accounting side effects of
+// a job leaving a machine, replayed at the next barrier in machine-index
+// order so float accumulation order never depends on the shard layout. The
+// job pointer rides along for recycling into the arrival pool.
+type finRec struct {
+	j         *job.Job
+	processed float64
+	demand    float64
+	response  float64
+	completed bool
+}
+
 // node is one simulated machine inside the fleet: a server plus the per-node
 // slice of the runner state (waiting queue, quality monitor, mode and energy
-// accounting, idle events).
+// accounting, idle events) and the epoch buffers its shard writes into.
 type node struct {
 	idx    int
+	base   int // global core-ID base: idx * cores
+	shard  *shard
 	server *machine.Server
 	wait   job.FIFO
 	policy sched.Policy
@@ -191,9 +243,23 @@ type node struct {
 
 	arrivalTimes []float64
 	idleEvents   []sim.EventID
+	idleAt       []float64 // armed wakeup time per core (valid while idleEvents[i] != 0)
 	queueExpired int64
 	dispatches   int64
 	redispatches int64
+
+	// In-flight dispatch adjustments: work routed to this machine whose
+	// push event has not yet been delivered by its shard. The cached view
+	// adds these on refresh so barrier-stale reads still see routed load.
+	inflightQW   float64
+	inflightJobs int
+
+	// Epoch buffers, drained by Fleet.flush in machine-index order.
+	evbuf    []obs.Event
+	decbuf   []obs.Decision
+	finbuf   []finRec
+	idleNote bool
+	dirty    bool
 
 	// Mode accounting (mirrors sched.Runner).
 	modeAES      bool
@@ -222,12 +288,12 @@ func (n *node) RecordMode(now float64, aes bool) {
 			n.modeSwitches++
 			obs.Emit(n.obsWrap, obs.Event{Time: now, Type: obs.EventModeSwitch,
 				Core: -1, Job: -1, Flag: aes})
-			if d := n.fleet.decisions; d != nil {
+			if n.fleet.decisions != nil {
 				action := "bq"
 				if aes {
 					action = "aes"
 				}
-				d.ObserveDecision(obs.Decision{Time: now, Kind: obs.DecisionModeSwitch,
+				n.decbuf = append(n.decbuf, obs.Decision{Time: now, Kind: obs.DecisionModeSwitch,
 					Machine: n.idx, Job: -1, Score: n.acc.Quality(),
 					Budget: n.server.Budget(), Action: action})
 			}
@@ -241,22 +307,35 @@ func (n *node) RecordMode(now float64, aes bool) {
 	n.modeSince = now
 }
 
-// finalize records a job leaving this machine into both the node's quality
-// monitor (the policy's compensation signal) and the fleet's global
-// accumulator.
+// finalize records a job leaving this machine into the node's quality
+// monitor (the policy's compensation signal) immediately, and buffers the
+// fleet-global side — accumulator, response sample, recycling — for the
+// next barrier flush.
 func (n *node) finalize(j *job.Job, r machine.Reason) {
 	n.acc.Add(j.Processed, j.Demand)
-	f := n.fleet
-	f.acc.Add(j.Processed, j.Demand)
-	f.finalized++
-	if r == machine.ReasonCompleted {
-		f.responses = append(f.responses, j.Finish-j.Release)
+	completed := r == machine.ReasonCompleted
+	n.finbuf = append(n.finbuf, finRec{j: j, processed: j.Processed,
+		demand: j.Demand, response: j.Finish - j.Release, completed: completed})
+	if completed {
 		obs.Emit(n.obsWrap, obs.Event{Time: j.Finish, Type: obs.EventJobComplete,
 			Core: j.Core, Job: j.ID, Value: j.Processed, Aux: j.Finish - j.Release})
 	} else {
 		obs.Emit(n.obsWrap, obs.Event{Time: j.Finish, Type: obs.EventJobExpire,
 			Core: j.Core, Job: j.ID, Value: j.Processed, Aux: j.Demand})
 	}
+}
+
+// expireLocal finalizes a job that dies on this machine without being served
+// (queue expiry, or crash wreckage not worth re-running), buffering the
+// global accounting like finalize does.
+func (n *node) expireLocal(j *job.Job, finish, at float64, core int) {
+	j.State = job.StateFinalized
+	j.Finish = finish
+	n.queueExpired++
+	n.acc.Add(j.Processed, j.Demand)
+	n.finbuf = append(n.finbuf, finRec{j: j, processed: j.Processed, demand: j.Demand})
+	obs.Emit(n.obsWrap, obs.Event{Time: at, Type: obs.EventJobExpire,
+		Core: core, Job: j.ID, Value: j.Processed, Aux: j.Demand})
 }
 
 func (n *node) noteArrival(now float64, window float64) {
@@ -293,46 +372,69 @@ func (n *node) anyIdleCore() bool {
 	return false
 }
 
-// coreObserver remaps per-core events onto globally unique core IDs
-// (machine*cores + core) so fleet JSONL and Chrome exports keep machines
-// apart without changing the obs.Event wire format.
-type coreObserver struct {
-	sink obs.Observer
-	base int
-}
+// nodeObserver buffers one machine's event emissions into its epoch buffer,
+// remapping per-core events onto globally unique core IDs (machine*cores +
+// core) so fleet JSONL and Chrome exports keep machines apart without
+// changing the obs.Event wire format. Buffers drain at barriers in
+// machine-index order, making the merged stream independent of the shard
+// layout.
+type nodeObserver struct{ n *node }
 
 // Observe implements obs.Observer.
-func (o coreObserver) Observe(e obs.Event) {
+func (o nodeObserver) Observe(e obs.Event) {
 	if e.Core >= 0 {
-		e.Core += o.base
+		e.Core += o.n.base
 	}
-	o.sink.Observe(e)
+	o.n.evbuf = append(o.n.evbuf, e)
+}
+
+// jobRecycler is implemented by workload sources that can reinitialize a
+// finalized job in place (workload.Generator.NextInto), keeping the
+// steady-state arrival path allocation-free.
+type jobRecycler interface {
+	NextInto(*job.Job) *job.Job
 }
 
 // Fleet is a runnable fleet simulation. Build with New, execute with Run.
 type Fleet struct {
-	cfg     Config
-	nodeCfg sched.Config
-	engine  *sim.Engine
-	nodes   []*node
-	gen     workload.Source
-	pending job.FIFO // jobs parked at the dispatcher: no machine eligible
-	acc     *quality.Accumulator
-	obs     obs.Observer
+	cfg       Config
+	nodeCfg   sched.Config
+	global    *sim.Engine // arrivals, quanta, machine faults, parked deadlines
+	shards    []*shard
+	nodes     []*node
+	gen       workload.Source
+	recycler  jobRecycler
+	jobPool   []*job.Job
+	pending   job.FIFO // jobs parked at the dispatcher: no machine eligible
+	acc       *quality.Accumulator
+	obs       obs.Observer
+	decisions obs.DecisionSink
+	idleSink  idleNotifier
 
 	faultEvents []faults.MachineEvent
 	nextArrival *job.Job
 	genDone     bool
 
-	decisions obs.DecisionSink
+	// Cached dispatcher view, one slot per machine: refreshed for touched
+	// machines at every barrier flush, adjusted additively when a job is
+	// routed. Reads cost O(1) and never advance a machine, which is what
+	// makes the full-fleet scans in least-loaded and ideal affordable at
+	// large N.
+	viewQW   []float64
+	viewIdle []int
+	viewCap  []float64
 
-	// fullSync disables the quiescent-machine skip in syncAll (every node
-	// advances on every event); the determinism regression test runs both
-	// ways and demands byte-identical streams. syncErr carries a deferred
-	// catch-up failure into handle's error return.
-	fullSync  bool
-	syncErr   error
-	syncSkips int64 // quiescent machines skipped by syncAll (test visibility)
+	// Eligibility index: the eligible machines in swap-remove order,
+	// maintained on fault transitions so sampling dispatchers draw in O(1).
+	eligList []int
+	eligPos  []int
+	// drain orders eligible machines by queued-work/capacity for the ideal
+	// dispatcher; nil under every other policy.
+	drain *drainHeap
+
+	// Crash-path scratch, reused across faults.
+	displaced []*job.Job
+	drained   []*job.Job
 
 	jobs           int
 	finalized      int
@@ -360,6 +462,9 @@ func New(cfg Config) (*Fleet, error) {
 		limit:   cfg.RedispatchLimit,
 	}
 	f.decisions = cfg.Decisions
+	if r, ok := f.gen.(jobRecycler); ok {
+		f.recycler = r
+	}
 	if f.limit == 0 {
 		f.limit = DefaultRedispatchLimit
 	}
@@ -378,11 +483,13 @@ func New(cfg Config) (*Fleet, error) {
 		server.SetBudget(cfg.Node.PowerBudget)
 		n := &node{
 			idx:        m,
+			base:       m * cfg.Node.Cores,
 			server:     server,
 			policy:     cfg.NewPolicy(),
 			acc:        quality.NewAccumulator(cfg.Node.Quality),
 			up:         true,
 			idleEvents: make([]sim.EventID, cfg.Node.Cores),
+			idleAt:     make([]float64, cfg.Node.Cores),
 			fleet:      f,
 		}
 		if n.policy == nil {
@@ -390,16 +497,47 @@ func New(cfg Config) (*Fleet, error) {
 		}
 		n.finalizeFn = n.finalize
 		if f.obs != nil {
-			n.obsWrap = coreObserver{sink: f.obs, base: m * cfg.Node.Cores}
+			n.obsWrap = nodeObserver{n: n}
 			server.SetObserver(n.obsWrap)
 		}
 		f.nodes[m] = n
 	}
-	f.engine = sim.NewEngine(f.handle)
+	k := resolveShards(cfg.Shards, cfg.Machines)
+	f.shards = make([]*shard, k)
+	lo, size, rem := 0, cfg.Machines/k, cfg.Machines%k
+	for i := range f.shards {
+		hi := lo + size
+		if i < rem {
+			hi++
+		}
+		s := &shard{idx: i, fleet: f, nodes: f.nodes[lo:hi]}
+		s.engine = sim.NewEngine(s.handle)
+		for _, n := range s.nodes {
+			n.shard = s
+		}
+		f.shards[i] = s
+		lo = hi
+	}
+	f.viewQW = make([]float64, cfg.Machines)
+	f.viewIdle = make([]int, cfg.Machines)
+	f.viewCap = make([]float64, cfg.Machines)
+	f.eligList = make([]int, 0, cfg.Machines)
+	f.eligPos = make([]int, cfg.Machines)
+	for m := range f.eligPos {
+		f.eligPos[m] = -1
+	}
+	if _, ok := cfg.Dispatch.(*ideal); ok {
+		f.drain = newDrainHeap(cfg.Machines)
+	}
+	f.global = sim.NewEngine(f.handle)
 	return f, nil
 }
 
 // --- View implementation (the dispatcher's window) ---
+//
+// All load signals read the barrier-refreshed cache (plus in-flight
+// adjustments applied at routing time); only eligibility is live, because
+// fault transitions — the events that change it — are themselves barriers.
 
 // Machines implements View.
 func (f *Fleet) Machines() int { return len(f.nodes) }
@@ -410,24 +548,93 @@ func (f *Fleet) Eligible(m int) bool {
 	return n.up && !n.partitioned
 }
 
-// QueuedWork implements View: remaining work waiting plus planned.
-func (f *Fleet) QueuedWork(m int) float64 {
-	n := f.nodes[m]
+// QueuedWork implements View: remaining work waiting plus planned, as of the
+// machine's last barrier refresh plus everything routed to it since.
+func (f *Fleet) QueuedWork(m int) float64 { return f.viewQW[m] }
+
+// HasIdleCore implements View.
+func (f *Fleet) HasIdleCore(m int) bool { return f.viewIdle[m] > 0 }
+
+// Capacity implements View: the machine's sustainable processing rate under
+// its current (possibly degraded) budget.
+func (f *Fleet) Capacity(m int) float64 { return f.viewCap[m] }
+
+// refreshView recomputes one machine's cached view slots from live state.
+// Called at barrier flushes for touched machines and inline on fault
+// recovery (so pending-queue drains route on fresh state).
+func (f *Fleet) refreshView(n *node) {
 	sum := n.server.TotalLoad()
 	for _, j := range n.wait.Peek() {
 		sum += j.Remaining()
 	}
-	return sum
+	f.viewQW[n.idx] = sum + n.inflightQW
+	idle := 0
+	for _, c := range n.server.Cores {
+		if c.Idle() && c.Healthy() {
+			idle++
+		}
+	}
+	if idle -= n.inflightJobs; idle < 0 {
+		idle = 0
+	}
+	f.viewIdle[n.idx] = idle
+	f.viewCap[n.idx] = capacityAt(n.server)
+	f.updateDrain(n.idx)
 }
 
-// HasIdleCore implements View.
-func (f *Fleet) HasIdleCore(m int) bool { return f.nodes[m].anyIdleCore() }
+// EligibleCount implements eligibleIndex.
+func (f *Fleet) EligibleCount() int { return len(f.eligList) }
 
-// Capacity implements View: the machine's sustainable processing rate under
-// its current (possibly degraded) budget.
-func (f *Fleet) Capacity(m int) float64 { return capacityAt(f.nodes[m].server) }
+// EligibleAt implements eligibleIndex.
+func (f *Fleet) EligibleAt(rank int) int { return f.eligList[rank] }
 
-// --- event loop ---
+// BestDrain implements drainIndex for the ideal dispatcher.
+func (f *Fleet) BestDrain() (int, float64, bool) {
+	if f.drain == nil || len(f.drain.heap) == 0 {
+		return -1, 0, false
+	}
+	m := f.drain.heap[0]
+	return m, f.drain.score[m], true
+}
+
+// setEligible maintains the eligibility index across a machine's fault
+// transitions (swap-remove keeps both directions O(1)).
+func (f *Fleet) setEligible(m int, ok bool) {
+	at := f.eligPos[m]
+	if ok {
+		if at < 0 {
+			f.eligPos[m] = len(f.eligList)
+			f.eligList = append(f.eligList, m)
+		}
+	} else if at >= 0 {
+		last := len(f.eligList) - 1
+		moved := f.eligList[last]
+		f.eligList[at] = moved
+		f.eligPos[moved] = at
+		f.eligList = f.eligList[:last]
+		f.eligPos[m] = -1
+	}
+	f.updateDrain(m)
+}
+
+// updateDrain re-keys one machine in the ideal dispatcher's drain heap.
+func (f *Fleet) updateDrain(m int) {
+	if f.drain == nil {
+		return
+	}
+	n := f.nodes[m]
+	if !n.up || n.partitioned {
+		f.drain.remove(m)
+		return
+	}
+	s := inf
+	if c := f.viewCap[m]; c > 0 {
+		s = f.viewQW[m] / c
+	}
+	f.drain.update(m, s)
+}
+
+// --- event loop (global phase; the shard phase lives in shard.go) ---
 
 // Run executes the fleet simulation to completion.
 func (f *Fleet) Run() (Result, error) {
@@ -436,54 +643,87 @@ func (f *Fleet) Run() (Result, error) {
 		n.policy.Reset()
 	}
 	if in, ok := f.cfg.Dispatch.(idleNotifier); ok {
+		f.idleSink = in
 		for m := range f.nodes {
 			in.NoteIdle(m)
 		}
 	}
+	for m, n := range f.nodes {
+		f.refreshView(n)
+		f.setEligible(m, true)
+	}
 	if err := f.scheduleNextArrival(); err != nil {
 		return Result{}, err
 	}
-	if _, err := f.engine.Schedule(f.nodeCfg.QuantumSec, sim.KindQuantum); err != nil {
+	if _, err := f.global.Schedule(f.nodeCfg.QuantumSec, sim.KindQuantum); err != nil {
 		return Result{}, err
 	}
 	// Machine fault events get priority -1 so a crash at time t is observed
 	// before any arrival or quantum tick at the same instant.
 	f.faultEvents = f.cfg.Faults.Events()
 	for i, fe := range f.faultEvents {
-		if _, err := f.engine.ScheduleWithPriority(fe.At, sim.KindMachineFault, i, -1); err != nil {
+		if _, err := f.global.ScheduleWithPriority(fe.At, sim.KindMachineFault, i, -1); err != nil {
 			return Result{}, err
 		}
 	}
-	if err := f.engine.Run(); err != nil {
+	if err := f.global.Run(); err != nil {
 		return Result{}, err
 	}
+	// Trailing shard events: deadlines past the last global event are
+	// delivered so expiry accounting and the simulated span match the
+	// shared-heap semantics exactly.
+	if err := f.shardPhase(math.Inf(1)); err != nil {
+		return Result{}, err
+	}
+	f.flush()
 	return f.result(), nil
 }
 
-// syncAll brings every machine to the present: advance servers (finalizing
-// completions/expiries), split the energy delta by execution mode, and drop
-// deadline-passed jobs from node queues and the dispatcher's pending queue.
-// Iteration is in machine index order, so the event stream stays
-// deterministic.
-//
-// Machines with nothing to do are skipped: a node whose wait queue is empty
-// and whose server is Quiescent would execute no work, finalize nothing, and
-// emit no events — its Advance only moves the clock. Skipped nodes carry a
-// stale clock until catchUp performs the deferred Advance (one idle span,
-// identical accumulation) immediately before any new work or fault can land
-// on them. fullSync disables the guard; the determinism regression test
-// proves both paths produce byte-identical event streams.
-func (f *Fleet) syncAll(now float64) error {
-	for _, n := range f.nodes {
-		if !f.fullSync && n.wait.Len() == 0 && n.server.Quiescent() {
-			f.syncSkips++
-			continue
-		}
-		if err := f.syncNode(n, now); err != nil {
+// handle is the global-phase event dispatcher: arrivals and parked-job
+// deadlines route on the cached view; quantum ticks and machine faults are
+// barriers that first drain every shard up to their instant.
+func (f *Fleet) handle(e *sim.Event) error {
+	now := e.Time
+	switch e.Kind {
+	case sim.KindArrival:
+		j := f.nextArrival
+		f.nextArrival = nil
+		f.jobs++
+		obs.Emit(f.obs, obs.Event{Time: now, Type: obs.EventJobArrive,
+			Core: -1, Job: j.ID, Value: j.Demand, Aux: j.Deadline})
+		if err := f.scheduleNextArrival(); err != nil {
 			return err
 		}
+		return f.dispatch(j, now, false)
+
+	case sim.KindDeadline:
+		// Parked-job deadline watch; machine-held jobs expire on their
+		// shard's deadline events.
+		f.expirePending(now)
+
+	case sim.KindQuantum:
+		if err := f.barrier(now); err != nil {
+			return err
+		}
+		if err := f.quantumFanout(now); err != nil {
+			return err
+		}
+		f.flush()
+		if !f.finished() {
+			if _, err := f.global.Schedule(now+f.nodeCfg.QuantumSec, sim.KindQuantum); err != nil {
+				return err
+			}
+		}
+
+	case sim.KindMachineFault:
+		if err := f.barrier(now); err != nil {
+			return err
+		}
+		if err := f.applyMachineFault(now, f.faultEvents[e.Ref]); err != nil {
+			return err
+		}
+		f.flush()
 	}
-	f.expirePending(now)
 	return nil
 }
 
@@ -501,23 +741,21 @@ func (f *Fleet) syncNode(n *node, now float64) error {
 		n.lastEnergy = n.server.Energy()
 	}
 	f.expireWaiting(n, now)
+	n.dirty = true
 	return nil
 }
 
-// catchUp performs the Advance that syncAll deferred for a quiescent
-// machine. Called before anything lands on the node — a policy invocation,
-// a dispatched job, a fault transition — so no work ever executes against a
-// stale clock. A node already at the present is left alone (syncAll settled
-// it this event, including queue expiry).
-func (f *Fleet) catchUp(n *node, now float64) {
+// catchUp advances a machine to the present before anything lands on it —
+// a policy invocation, a pushed job, a fault transition — so no work ever
+// executes against a stale clock. Per-machine touch times are
+// non-decreasing (shard heaps deliver in time order, and barriers only move
+// clocks forward), so a node already at the present was settled at this
+// instant, queue expiry included.
+func (f *Fleet) catchUp(n *node, now float64) error {
 	if n.server.Now() >= now {
-		return
+		return nil
 	}
-	if err := f.syncNode(n, now); err != nil && f.syncErr == nil {
-		// Unreachable in practice (the guard above makes the advance strictly
-		// forward); recorded rather than dropped so handle can surface it.
-		f.syncErr = err
-	}
+	return f.syncNode(n, now)
 }
 
 // expireWaiting finalizes a node's queued jobs whose deadlines passed
@@ -528,19 +766,13 @@ func (f *Fleet) expireWaiting(n *node, now float64) {
 		if j == nil {
 			return
 		}
-		j.State = job.StateFinalized
-		j.Finish = j.Deadline
-		n.queueExpired++
-		n.acc.Add(j.Processed, j.Demand)
-		f.acc.Add(j.Processed, j.Demand)
-		f.finalized++
-		obs.Emit(n.obsWrap, obs.Event{Time: now, Type: obs.EventJobExpire,
-			Core: -1, Job: j.ID, Value: j.Processed, Aux: j.Demand})
+		n.expireLocal(j, j.Deadline, now, -1)
 	}
 }
 
 // expirePending finalizes jobs that died parked at the dispatcher — the
-// whole fleet was unreachable for their entire remaining window.
+// whole fleet was unreachable for their entire remaining window. Runs in the
+// global phase, so it settles accounting directly rather than buffering.
 func (f *Fleet) expirePending(now float64) {
 	for {
 		j := f.pending.PopExpired(now)
@@ -554,68 +786,16 @@ func (f *Fleet) expirePending(now float64) {
 		f.finalized++
 		obs.Emit(f.obs, obs.Event{Time: now, Type: obs.EventJobExpire,
 			Core: -1, Job: j.ID, Value: j.Processed, Aux: j.Demand})
+		f.recycle(j)
 	}
-}
-
-// handle is the shared-clock event dispatcher.
-func (f *Fleet) handle(e *sim.Event) error {
-	now := e.Time
-	if err := f.syncAll(now); err != nil {
-		return err
-	}
-	if f.syncErr != nil {
-		return f.syncErr
-	}
-	switch e.Kind {
-	case sim.KindArrival:
-		j := f.nextArrival
-		f.nextArrival = nil
-		f.jobs++
-		obs.Emit(f.obs, obs.Event{Time: now, Type: obs.EventJobArrive,
-			Core: -1, Job: j.ID, Value: j.Demand, Aux: j.Deadline})
-		// Every job gets a deadline event so expiry is observed promptly
-		// wherever the job ends up (a node queue, a core, or pending).
-		if _, err := f.engine.Schedule(j.Deadline, sim.KindDeadline); err != nil {
-			return err
-		}
-		if err := f.scheduleNextArrival(); err != nil {
-			return err
-		}
-		f.dispatch(j, now, false)
-
-	case sim.KindQuantum:
-		for _, n := range f.nodes {
-			if n.up {
-				f.invoke(n, now, sched.TriggerQuantum)
-			}
-		}
-		if !f.finished() {
-			if _, err := f.engine.Schedule(now+f.nodeCfg.QuantumSec, sim.KindQuantum); err != nil {
-				return err
-			}
-		}
-
-	case sim.KindCoreIdle:
-		// Core carries the core index, Ref the machine index.
-		n := f.nodes[e.Ref]
-		n.idleEvents[e.Core] = 0
-		if n.up && n.server.Cores[e.Core].Idle() && n.server.Cores[e.Core].Healthy() {
-			f.invoke(n, now, sched.TriggerIdleCore)
-			f.noteIdle(n)
-		}
-
-	case sim.KindDeadline:
-		// syncAll already finalized whatever was due.
-
-	case sim.KindMachineFault:
-		f.applyMachineFault(now, f.faultEvents[e.Ref])
-	}
-	return f.syncErr
 }
 
 // invoke runs one machine's scheduling policy and re-arms its idle events.
-func (f *Fleet) invoke(n *node, now float64, trig sched.Trigger) {
-	f.catchUp(n, now)
+// Safe from a shard worker (everything it touches is node-local).
+func (f *Fleet) invoke(n *node, now float64, trig sched.Trigger) error {
+	if err := f.catchUp(n, now); err != nil {
+		return err
+	}
 	obs.Emit(n.obsWrap, obs.Event{Time: now, Type: obs.EventBatch, Core: -1, Job: -1,
 		Value: float64(n.wait.Len()), Aux: float64(trig)})
 	n.pctx = sched.Context{
@@ -633,57 +813,83 @@ func (f *Fleet) invoke(n *node, now float64, trig sched.Trigger) {
 	}
 	n.policy.Schedule(&n.pctx)
 	f.refreshIdleEvents(n, now)
+	n.dirty = true
+	return nil
 }
 
 // refreshIdleEvents re-arms a KindCoreIdle event per busy core at its
-// projected drain time, tagged with the machine index in Ref.
+// projected drain time on the machine's shard heap, tagged with the machine
+// index in Ref. A core whose projected time is unchanged keeps its armed
+// event — re-planning one core must not churn the heap for the other seven.
 func (f *Fleet) refreshIdleEvents(n *node, now float64) {
+	eng := n.shard.engine
 	for i, c := range n.server.Cores {
-		if id := n.idleEvents[i]; id != 0 {
-			f.engine.Cancel(id)
-			n.idleEvents[i] = 0
-		}
 		if c.Idle() || !c.Healthy() {
+			if id := n.idleEvents[i]; id != 0 {
+				eng.Cancel(id)
+				n.idleEvents[i] = 0
+			}
 			continue
 		}
 		at := c.ProjectedIdle(now)
 		if at < now {
 			at = now
 		}
-		id, err := f.engine.ScheduleCoreRef(at+1e-9, sim.KindCoreIdle, i, n.idx)
+		at += 1e-9
+		if id := n.idleEvents[i]; id != 0 {
+			if n.idleAt[i] == at {
+				continue
+			}
+			eng.Cancel(id)
+			n.idleEvents[i] = 0
+		}
+		id, err := eng.ScheduleCoreRef(at, sim.KindCoreIdle, i, n.idx)
 		if err == nil {
 			n.idleEvents[i] = id
+			n.idleAt[i] = at
 		}
 	}
 }
 
-// noteIdle tells heap-keeping dispatchers this machine has spare capacity.
-func (f *Fleet) noteIdle(n *node) {
-	if !n.up || n.partitioned || !n.anyIdleCore() {
+// noteIdleNow tells heap-keeping dispatchers this machine has spare
+// capacity, immediately. Global phase only (fault recovery); shard workers
+// set node.idleNote instead, applied at the barrier flush.
+func (f *Fleet) noteIdleNow(n *node) {
+	if f.idleSink == nil || !n.up || n.partitioned || !n.anyIdleCore() {
 		return
 	}
-	if in, ok := f.cfg.Dispatch.(idleNotifier); ok {
-		in.NoteIdle(n.idx)
+	f.idleSink.NoteIdle(n.idx)
+}
+
+// recycle returns a finalized job to the arrival pool when the workload
+// source supports in-place reinitialization.
+func (f *Fleet) recycle(j *job.Job) {
+	if f.recycler != nil && !f.genDone {
+		f.jobPool = append(f.jobPool, j)
 	}
 }
 
-// dispatch routes one job. With no eligible machine the job parks at the
-// dispatcher until a machine recovers or the job's deadline passes.
-func (f *Fleet) dispatch(j *job.Job, now float64, redisp bool) {
+// dispatch routes one job on the cached view. With no eligible machine the
+// job parks at the dispatcher — watched by a global deadline event — until a
+// machine recovers or the deadline passes.
+func (f *Fleet) dispatch(j *job.Job, now float64, redisp bool) error {
 	m, score, ok := f.cfg.Dispatch.Pick(f)
 	if !ok {
 		f.pending.Push(j)
+		if _, err := f.global.Schedule(j.Deadline, sim.KindDeadline); err != nil {
+			return err
+		}
 		if f.decisions != nil {
 			// No eligible machine: the job parks at the dispatcher.
 			f.decisions.ObserveDecision(obs.Decision{Time: now, Kind: obs.DecisionDispatch,
 				Machine: -1, Job: j.ID, Action: "park"})
 		}
-		return
+		return nil
 	}
 	n := f.nodes[m]
-	f.catchUp(n, now)
-	n.wait.Push(j)
-	n.noteArrival(now, f.nodeCfg.RateWindow)
+	if err := f.sendJob(n, j, now); err != nil {
+		return err
+	}
 	if redisp {
 		f.redispatches++
 		n.redispatches++
@@ -695,32 +901,39 @@ func (f *Fleet) dispatch(j *job.Job, now float64, redisp bool) {
 				Load: j.Remaining(), Budget: n.server.Budget(), Action: "redispatch"})
 		}
 	} else {
-		eligible := 0
-		for i := range f.nodes {
-			if f.Eligible(i) {
-				eligible++
-			}
-		}
 		n.dispatches++
 		obs.Emit(f.obs, obs.Event{Time: now, Type: obs.EventDispatch,
-			Core: m, Job: j.ID, Value: score, Aux: float64(eligible)})
+			Core: m, Job: j.ID, Value: score, Aux: float64(len(f.eligList))})
 		if f.decisions != nil {
 			f.decisions.ObserveDecision(obs.Decision{Time: now, Kind: obs.DecisionDispatch,
-				Machine: m, Job: j.ID, Score: score, Alts: eligible,
-				Load: f.QueuedWork(m), Budget: n.server.Budget(), Action: "dispatch"})
+				Machine: m, Job: j.ID, Score: score, Alts: len(f.eligList),
+				Load: f.viewQW[m], Budget: n.server.Budget(), Action: "dispatch"})
 		}
 	}
-	if n.wait.Len() >= f.nodeCfg.CounterTrigger {
-		f.invoke(n, now, sched.TriggerCounter)
-	} else if n.anyIdleCore() {
-		f.invoke(n, now, sched.TriggerIdleCore)
+	return nil
+}
+
+// sendJob hands a routed job to the target machine's shard (push event at
+// now, deadline watch at the job's deadline) and adjusts the cached view so
+// subsequent picks this epoch see the routed load.
+func (f *Fleet) sendJob(n *node, j *job.Job, now float64) error {
+	if err := n.shard.push(now, n, j); err != nil {
+		return err
 	}
+	n.inflightQW += j.Remaining()
+	n.inflightJobs++
+	f.viewQW[n.idx] += j.Remaining()
+	if f.viewIdle[n.idx] > 0 {
+		f.viewIdle[n.idx]--
+	}
+	f.updateDrain(n.idx)
+	return nil
 }
 
 // redispatch re-routes a job displaced by a machine fault, enforcing the
 // retry cap: beyond the limit the job is dropped — finalized with whatever
 // it achieved (nothing, after a crash wipe) so it never escapes accounting.
-func (f *Fleet) redispatch(j *job.Job, now float64) {
+func (f *Fleet) redispatch(j *job.Job, now float64) error {
 	if j.Requeues > f.limit {
 		j.State = job.StateFinalized
 		j.Finish = now
@@ -734,46 +947,45 @@ func (f *Fleet) redispatch(j *job.Job, now float64) {
 				Machine: -1, Job: j.ID, Alts: j.Requeues, Load: j.Remaining(),
 				Action: "limit"})
 		}
-		return
+		f.recycle(j)
+		return nil
 	}
-	f.dispatch(j, now, true)
+	return f.dispatch(j, now, true)
 }
 
-// applyMachineFault transitions one machine's health state.
-func (f *Fleet) applyMachineFault(now float64, fe faults.MachineEvent) {
+// applyMachineFault transitions one machine's health state. Runs at a
+// barrier: every shard has drained to now, so the machine's live state is
+// exact.
+func (f *Fleet) applyMachineFault(now float64, fe faults.MachineEvent) error {
 	n := f.nodes[fe.Machine]
-	f.catchUp(n, now)
+	if err := f.catchUp(n, now); err != nil {
+		return err
+	}
 	switch fe.Kind {
 	case faults.MachineCrash:
 		if !n.up {
-			return
+			return nil
 		}
 		n.up = false
 		n.downSince = now
 		n.crashes++
+		f.setEligible(n.idx, false)
 		// Halt every core; in-flight progress is wiped — this is the
 		// difference from a core failure, where partial work survives on
 		// the job. The wiped units are the crash's lost work.
-		var displaced []*job.Job
+		f.displaced = f.displaced[:0]
 		orphans := 0
 		wiped := 0.0
 		for i, c := range n.server.Cores {
 			if id := n.idleEvents[i]; id != 0 {
-				f.engine.Cancel(id)
+				n.shard.engine.Cancel(id)
 				n.idleEvents[i] = 0
 			}
 			for _, entry := range c.Fail(now) {
 				j := entry.Job
 				if j.Done() || j.Expired(now) {
 					// Nothing worth re-running elsewhere; finalize in place.
-					j.State = job.StateFinalized
-					j.Finish = now
-					n.queueExpired++
-					n.acc.Add(j.Processed, j.Demand)
-					f.acc.Add(j.Processed, j.Demand)
-					f.finalized++
-					obs.Emit(n.obsWrap, obs.Event{Time: now, Type: obs.EventJobExpire,
-						Core: i, Job: j.ID, Value: j.Processed, Aux: j.Demand})
+					n.expireLocal(j, now, now, i)
 					continue
 				}
 				orphans++
@@ -782,65 +994,66 @@ func (f *Fleet) applyMachineFault(now float64, fe faults.MachineEvent) {
 				j.Core = -1
 				j.State = job.StateWaiting
 				j.Requeues++
-				displaced = append(displaced, j)
+				f.displaced = append(f.displaced, j)
 			}
 		}
 		// Stranded waiting jobs: never started, but the machine holding
 		// them is gone; they re-route with the same retry accounting.
-		for _, j := range n.wait.Drain() {
+		f.drained = n.wait.AppendDrain(f.drained[:0])
+		for _, j := range f.drained {
 			if j.Expired(now) {
-				j.State = job.StateFinalized
-				j.Finish = j.Deadline
-				n.queueExpired++
-				n.acc.Add(j.Processed, j.Demand)
-				f.acc.Add(j.Processed, j.Demand)
-				f.finalized++
-				obs.Emit(n.obsWrap, obs.Event{Time: now, Type: obs.EventJobExpire,
-					Core: -1, Job: j.ID, Value: j.Processed, Aux: j.Demand})
+				n.expireLocal(j, j.Deadline, now, -1)
 				continue
 			}
 			j.Requeues++
-			displaced = append(displaced, j)
+			f.displaced = append(f.displaced, j)
 		}
 		f.lostWork += wiped
 		obs.Emit(f.obs, obs.Event{Time: now, Type: obs.EventMachineDown,
 			Core: n.idx, Job: -1, Value: float64(orphans), Aux: wiped})
-		for _, j := range displaced {
-			f.redispatch(j, now)
+		for _, j := range f.displaced {
+			if err := f.redispatch(j, now); err != nil {
+				return err
+			}
 		}
 
 	case faults.MachineRecover:
 		if n.up {
-			return
+			return nil
 		}
 		n.up = true
 		n.downTime += now - n.downSince
 		for _, c := range n.server.Cores {
 			c.Recover(now)
 		}
+		f.setEligible(n.idx, !n.partitioned)
+		f.refreshView(n)
 		obs.Emit(f.obs, obs.Event{Time: now, Type: obs.EventMachineUp,
 			Core: n.idx, Job: -1})
-		f.noteIdle(n)
-		f.drainPending(now)
+		f.noteIdleNow(n)
+		return f.drainPending(now)
 
 	case faults.MachinePartition:
 		if n.partitioned {
-			return
+			return nil
 		}
 		n.partitioned = true
 		f.partitions++
+		f.setEligible(n.idx, false)
 		obs.Emit(f.obs, obs.Event{Time: now, Type: obs.EventMachinePartition,
 			Core: n.idx, Job: -1, Flag: true})
 
 	case faults.MachineHeal:
 		if !n.partitioned {
-			return
+			return nil
 		}
 		n.partitioned = false
+		f.setEligible(n.idx, n.up)
+		f.refreshView(n)
 		obs.Emit(f.obs, obs.Event{Time: now, Type: obs.EventMachinePartition,
 			Core: n.idx, Job: -1, Flag: false})
-		f.noteIdle(n)
-		f.drainPending(now)
+		f.noteIdleNow(n)
+		return f.drainPending(now)
 
 	case faults.MachineSlow:
 		n.slowFactor = fe.Factor
@@ -854,7 +1067,7 @@ func (f *Fleet) applyMachineFault(now float64, fe faults.MachineEvent) {
 				Score: fe.Factor, Action: "slow"})
 		}
 		if n.up {
-			f.invoke(n, now, sched.TriggerFault)
+			return f.invoke(n, now, sched.TriggerFault)
 		}
 
 	case faults.MachineRestore:
@@ -868,25 +1081,26 @@ func (f *Fleet) applyMachineFault(now float64, fe faults.MachineEvent) {
 				Score: 1, Action: "restore"})
 		}
 		if n.up {
-			f.invoke(n, now, sched.TriggerFault)
+			return f.invoke(n, now, sched.TriggerFault)
 		}
 	}
+	return nil
 }
 
 // drainPending re-routes jobs parked at the dispatcher once a machine is
 // reachable again, oldest first.
-func (f *Fleet) drainPending(now float64) {
+func (f *Fleet) drainPending(now float64) error {
 	for f.pending.Len() > 0 {
 		j := f.pending.Peek()[0]
 		m, score, ok := f.cfg.Dispatch.Pick(f)
 		if !ok {
-			return
+			return nil
 		}
 		f.pending.PopJob(j)
 		n := f.nodes[m]
-		f.catchUp(n, now)
-		n.wait.Push(j)
-		n.noteArrival(now, f.nodeCfg.RateWindow)
+		if err := f.sendJob(n, j, now); err != nil {
+			return err
+		}
 		n.dispatches++
 		obs.Emit(f.obs, obs.Event{Time: now, Type: obs.EventDispatch,
 			Core: m, Job: j.ID, Value: score, Aux: 0})
@@ -895,24 +1109,26 @@ func (f *Fleet) drainPending(now float64) {
 				Machine: m, Job: j.ID, Score: score,
 				Budget: n.server.Budget(), Action: "drain"})
 		}
-		if n.wait.Len() >= f.nodeCfg.CounterTrigger {
-			f.invoke(n, now, sched.TriggerCounter)
-		} else if n.anyIdleCore() {
-			f.invoke(n, now, sched.TriggerIdleCore)
-		}
 	}
+	return nil
 }
 
 func (f *Fleet) scheduleNextArrival() error {
 	if f.genDone {
 		return nil
 	}
-	j := f.gen.Next()
+	var j *job.Job
+	if n := len(f.jobPool); f.recycler != nil && n > 0 {
+		j = f.recycler.NextInto(f.jobPool[n-1])
+		f.jobPool = f.jobPool[:n-1]
+	} else {
+		j = f.gen.Next()
+	}
 	if j == nil {
 		f.genDone = true
 		return nil
 	}
-	if _, err := f.engine.Schedule(j.Release, sim.KindArrival); err != nil {
+	if _, err := f.global.Schedule(j.Release, sim.KindArrival); err != nil {
 		return fmt.Errorf("cluster: job source emitted job %d out of order: %w", j.ID, err)
 	}
 	f.nextArrival = j
@@ -920,27 +1136,21 @@ func (f *Fleet) scheduleNextArrival() error {
 }
 
 // finished reports whether quantum ticks can stop: no future arrivals,
-// nothing parked or queued anywhere, every core idle.
+// nothing parked, every generated job finalized (a busy core or queued job
+// implies an unfinalized one, so this subsumes the old all-cores-idle scan).
+// Exact at quantum barriers, where every finalization buffer has flushed.
 func (f *Fleet) finished() bool {
-	if !f.genDone || f.pending.Len() > 0 {
-		return false
-	}
-	for _, n := range f.nodes {
-		if n.wait.Len() > 0 {
-			return false
-		}
-		for _, c := range n.server.Cores {
-			if !c.Idle() {
-				return false
-			}
-		}
-	}
-	return true
+	return f.genDone && f.pending.Len() == 0 && f.finalized == f.jobs
 }
 
-// result assembles the fleet summary after the event queue drains.
+// result assembles the fleet summary after the event queues drain.
 func (f *Fleet) result() Result {
-	simTime := f.engine.Now()
+	simTime := f.global.Now()
+	for _, s := range f.shards {
+		if t := s.engine.Now(); t > simTime {
+			simTime = t
+		}
+	}
 	res := Result{
 		Dispatch:       f.cfg.Dispatch.Name(),
 		Scheduler:      f.nodes[0].policy.Name(),
@@ -955,7 +1165,14 @@ func (f *Fleet) result() Result {
 		Partitions:     f.partitions,
 		Degrades:       f.degrades,
 		SimTime:        simTime,
+		Shards:         len(f.shards),
+		ShardEvents:    make([]int64, len(f.shards)),
+		ShardMachines:  make([]int, len(f.shards)),
 		PerMachine:     make([]MachineResult, len(f.nodes)),
+	}
+	for i, s := range f.shards {
+		res.ShardEvents[i] = s.engine.Processed
+		res.ShardMachines[i] = len(s.nodes)
 	}
 	res.MeanResponse = stats.Mean(f.responses)
 	res.P95Response = stats.Quantile(f.responses, 0.95)
@@ -1011,5 +1228,12 @@ func (f *Fleet) result() Result {
 	return res
 }
 
-// EventsProcessed reports how many kernel events the run delivered.
-func (f *Fleet) EventsProcessed() int64 { return f.engine.Processed }
+// EventsProcessed reports how many kernel events the run delivered, summed
+// over the global heap and every shard heap.
+func (f *Fleet) EventsProcessed() int64 {
+	total := f.global.Processed
+	for _, s := range f.shards {
+		total += s.engine.Processed
+	}
+	return total
+}

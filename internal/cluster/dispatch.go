@@ -52,6 +52,28 @@ type idleNotifier interface {
 	NoteIdle(m int)
 }
 
+// eligibleIndex is implemented by Views that maintain the eligible-machine
+// set incrementally (updated on fault transitions, not per pick), so
+// sampling policies can draw from it in O(1) instead of scanning all N
+// machines per dispatch.
+type eligibleIndex interface {
+	// EligibleCount returns the number of eligible machines.
+	EligibleCount() int
+	// EligibleAt returns the machine at the given rank in [0,
+	// EligibleCount()). Rank order is arbitrary but deterministic.
+	EligibleAt(rank int) int
+}
+
+// drainIndex is implemented by Views that maintain the queued-work/capacity
+// drain scores in an indexed min-heap, keeping the omniscient ideal
+// baseline O(log N) per routing change instead of O(N) per pick.
+type drainIndex interface {
+	// BestDrain returns the eligible machine with the minimum
+	// queued-work/capacity score (ties to the lower index), or ok=false
+	// when none is eligible.
+	BestDrain() (m int, score float64, ok bool)
+}
+
 // Policies lists the accepted dispatch policy names.
 func Policies() []string { return []string{"rr", "least-loaded", "p2c", "ideal"} }
 
@@ -168,7 +190,41 @@ func (p *powerOfK) Pick(v View) (int, float64, bool) {
 		}
 	}
 	// No idle machine known: sample k distinct reachable machines and take
-	// the least loaded.
+	// the least loaded. With an eligibility index the sample is drawn by
+	// rank in O(k); otherwise fall back to collecting the eligible list.
+	if ei, ok := v.(eligibleIndex); ok {
+		n := ei.EligibleCount()
+		if n == 0 {
+			return -1, 0, false
+		}
+		k := p.k
+		if k > n {
+			k = n
+		}
+		p.scratch = p.scratch[:0]
+		for len(p.scratch) < k {
+			r := p.src.Intn(n)
+			dup := false
+			for _, seen := range p.scratch {
+				if seen == r {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				p.scratch = append(p.scratch, r)
+			}
+		}
+		best, bestScore := -1, 0.0
+		for _, r := range p.scratch {
+			m := ei.EligibleAt(r)
+			s := v.QueuedWork(m)
+			if best < 0 || s < bestScore || (s == bestScore && m < best) {
+				best, bestScore = m, s
+			}
+		}
+		return best, bestScore, true
+	}
 	p.scratch = p.scratch[:0]
 	for m := 0; m < v.Machines(); m++ {
 		if v.Eligible(m) {
@@ -210,6 +266,9 @@ func (i *ideal) Name() string { return "ideal" }
 func (i *ideal) Reset()       {}
 
 func (i *ideal) Pick(v View) (int, float64, bool) {
+	if di, ok := v.(drainIndex); ok {
+		return di.BestDrain()
+	}
 	best, bestScore := -1, 0.0
 	for m := 0; m < v.Machines(); m++ {
 		if !v.Eligible(m) {
@@ -230,6 +289,103 @@ func (i *ideal) Pick(v View) (int, float64, bool) {
 }
 
 const inf = 1e300
+
+// drainHeap is an indexed binary min-heap of machines keyed by
+// (drain score, machine index): the backing structure for drainIndex.
+// Re-keying an entry costs O(log N) and happens only when a machine's
+// queued work or capacity actually changes (a routed job, a barrier view
+// refresh, a fault transition), replacing the O(N) scoring scan the ideal
+// dispatcher ran on every pick.
+type drainHeap struct {
+	heap  []int     // machine indices, heap-ordered
+	pos   []int     // machine -> heap slot, -1 when absent
+	score []float64 // machine -> current key
+}
+
+func newDrainHeap(n int) *drainHeap {
+	d := &drainHeap{
+		heap:  make([]int, 0, n),
+		pos:   make([]int, n),
+		score: make([]float64, n),
+	}
+	for i := range d.pos {
+		d.pos[i] = -1
+	}
+	return d
+}
+
+func (d *drainHeap) less(a, b int) bool {
+	ma, mb := d.heap[a], d.heap[b]
+	if d.score[ma] != d.score[mb] {
+		return d.score[ma] < d.score[mb]
+	}
+	return ma < mb
+}
+
+func (d *drainHeap) swap(a, b int) {
+	d.heap[a], d.heap[b] = d.heap[b], d.heap[a]
+	d.pos[d.heap[a]] = a
+	d.pos[d.heap[b]] = b
+}
+
+func (d *drainHeap) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !d.less(i, p) {
+			return
+		}
+		d.swap(i, p)
+		i = p
+	}
+}
+
+func (d *drainHeap) siftDown(i int) {
+	for {
+		l := 2*i + 1
+		if l >= len(d.heap) {
+			return
+		}
+		m := l
+		if r := l + 1; r < len(d.heap) && d.less(r, l) {
+			m = r
+		}
+		if !d.less(m, i) {
+			return
+		}
+		d.swap(i, m)
+		i = m
+	}
+}
+
+// update sets machine m's score, inserting m if absent.
+func (d *drainHeap) update(m int, score float64) {
+	d.score[m] = score
+	if i := d.pos[m]; i >= 0 {
+		d.siftUp(i)
+		d.siftDown(d.pos[m])
+		return
+	}
+	d.heap = append(d.heap, m)
+	d.pos[m] = len(d.heap) - 1
+	d.siftUp(len(d.heap) - 1)
+}
+
+// remove drops machine m if present.
+func (d *drainHeap) remove(m int) {
+	i := d.pos[m]
+	if i < 0 {
+		return
+	}
+	last := len(d.heap) - 1
+	d.swap(i, last)
+	d.heap = d.heap[:last]
+	d.pos[m] = -1
+	if i < last {
+		moved := d.heap[i]
+		d.siftUp(i)
+		d.siftDown(d.pos[moved])
+	}
+}
 
 // capacityAt computes a machine's sustainable aggregate processing rate:
 // every healthy core running at its equal share of the current budget.

@@ -1,0 +1,180 @@
+package cluster
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"goodenough/internal/core"
+	"goodenough/internal/faults"
+	"goodenough/internal/obs"
+	"goodenough/internal/sched"
+	"goodenough/internal/workload"
+)
+
+// shardRun executes one fleet scenario — light load over six machines so
+// several sit quiescent between jobs, with a crash, a partition, and a
+// slowdown landing mid-run — at the given shard count, and returns the full
+// event stream, decision stream, and Result.
+func shardRun(t *testing.T, shards int) ([]byte, []byte, Result) {
+	t.Helper()
+	node := sched.Defaults()
+	var events, decisions bytes.Buffer
+	ej := obs.NewJSONL(&events)
+	dl := obs.NewDecisionLog(&decisions)
+	specs := []faults.MachineSpec{
+		{At: 1.5, Kind: faults.MachineCrash, Machine: 2, Duration: 2},
+		{At: 2.0, Kind: faults.MachinePartition, Machine: 3, Duration: 3},
+		{At: 2.5, Kind: faults.MachineSlow, Machine: 4, Duration: 2, Factor: 0.5},
+	}
+	cs, err := faults.NewCluster(specs, 6, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disp, err := NewDispatcher("rr", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := New(Config{
+		Machines:  6,
+		Node:      node,
+		NewPolicy: func() sched.Policy { return core.NewGE(node.QGE) },
+		Dispatch:  disp,
+		Workload: workload.Spec{
+			ArrivalRate: 25,
+			ParetoAlpha: 3,
+			Xmin:        130,
+			Xmax:        1000,
+			Window:      0.15,
+			Duration:    8,
+			Seed:        7,
+		},
+		Faults:    cs,
+		Shards:    shards,
+		Observer:  ej,
+		Decisions: dl,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ej.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return events.Bytes(), decisions.Bytes(), res
+}
+
+// stripLayout zeroes the fields that describe the execution layout rather
+// than the simulation, so Results can be compared across shard counts.
+func stripLayout(r Result) Result {
+	r.Shards = 0
+	r.ShardEvents = nil
+	r.ShardMachines = nil
+	return r
+}
+
+// TestShardDeterminism proves the shard layout is invisible: for every K
+// the fleet must produce a byte-identical event stream, byte-identical
+// decision stream, and a deeply equal Result versus the sequential (K=1)
+// run. This is the regression gate for the barrier protocol — buffered
+// shard-phase effects must merge in exactly the order the shared-heap
+// implementation produced them.
+func TestShardDeterminism(t *testing.T) {
+	seqEvents, seqDecisions, seqRes := shardRun(t, 1)
+	if len(seqEvents) == 0 {
+		t.Fatal("scenario produced no events; the comparison is vacuous")
+	}
+	if seqRes.Jobs == 0 || seqRes.Crashes == 0 {
+		t.Fatalf("scenario too weak: jobs=%d crashes=%d (want both > 0)",
+			seqRes.Jobs, seqRes.Crashes)
+	}
+	if seqRes.Shards != 1 {
+		t.Fatalf("Shards = %d, want 1", seqRes.Shards)
+	}
+	for _, k := range []int{2, 3, 4, 6} {
+		events, decisions, res := shardRun(t, k)
+		if !bytes.Equal(seqEvents, events) {
+			t.Errorf("K=%d: event streams diverge: seq=%d bytes, sharded=%d bytes\nfirst divergence near: %s",
+				k, len(seqEvents), len(events), firstDiff(seqEvents, events))
+		}
+		if !bytes.Equal(seqDecisions, decisions) {
+			t.Errorf("K=%d: decision streams diverge: seq=%d bytes, sharded=%d bytes\nfirst divergence near: %s",
+				k, len(seqDecisions), len(decisions), firstDiff(seqDecisions, decisions))
+		}
+		if !reflect.DeepEqual(stripLayout(seqRes), stripLayout(res)) {
+			t.Errorf("K=%d: results diverge:\nseq:     %+v\nsharded: %+v", k, seqRes, res)
+		}
+		want := k
+		if want > 6 {
+			want = 6
+		}
+		if res.Shards != want {
+			t.Errorf("K=%d: Shards = %d, want %d", k, res.Shards, want)
+		}
+		var total int64
+		machines := 0
+		for i := range res.ShardEvents {
+			total += res.ShardEvents[i]
+			machines += res.ShardMachines[i]
+		}
+		if machines != 6 {
+			t.Errorf("K=%d: ShardMachines sums to %d, want 6", k, machines)
+		}
+		if total <= 0 {
+			t.Errorf("K=%d: shard heaps delivered no events", k)
+		}
+	}
+}
+
+// TestResolveShards pins the auto-sizing rule: min(GOMAXPROCS, N/8),
+// floored at one, capped at the machine count.
+func TestResolveShards(t *testing.T) {
+	cases := []struct {
+		requested, machines, want int
+	}{
+		{1, 10, 1},
+		{4, 10, 4},
+		{16, 10, 10}, // capped at machine count
+		{0, 4, 1},    // auto on a small fleet floors at one
+	}
+	for _, c := range cases {
+		if got := resolveShards(c.requested, c.machines); got != c.want {
+			t.Errorf("resolveShards(%d, %d) = %d, want %d",
+				c.requested, c.machines, got, c.want)
+		}
+	}
+	if got := resolveShards(0, 100000); got < 1 {
+		t.Errorf("auto shards = %d, want >= 1", got)
+	}
+}
+
+// firstDiff returns a short window around the first differing byte.
+func firstDiff(a, b []byte) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			lo := i - 40
+			if lo < 0 {
+				lo = 0
+			}
+			hiA, hiB := i+40, i+40
+			if hiA > len(a) {
+				hiA = len(a)
+			}
+			if hiB > len(b) {
+				hiB = len(b)
+			}
+			return "a: " + string(a[lo:hiA]) + "\nb: " + string(b[lo:hiB])
+		}
+	}
+	return "streams are a prefix of each other"
+}

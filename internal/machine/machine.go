@@ -346,7 +346,10 @@ func (c *Core) Advance(m power.Model, to float64, finalize FinalizeFunc) {
 
 func (c *Core) finalizeHead(at float64, finalize FinalizeFunc, r Reason) {
 	head := c.entries[0]
-	c.entries = c.entries[1:]
+	// Pop by copying down: re-slicing from the front would strand capacity
+	// and force the next SetPlan to reallocate.
+	copy(c.entries, c.entries[1:])
+	c.entries = c.entries[:len(c.entries)-1]
 	head.Job.State = job.StateFinalized
 	head.Job.Finish = at
 	if r == ReasonCompleted {

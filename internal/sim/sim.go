@@ -436,6 +436,27 @@ func (e *Engine) Run() error {
 	return nil
 }
 
+// RunUntil delivers pending events with time strictly below limit, leaving
+// later events queued for a future call. The clock advances only to the last
+// delivered event — never to limit itself — so a subsequent Schedule at
+// exactly limit remains legal. Sharded simulations use this as the barrier
+// primitive: each shard's private engine drains up to the barrier time chosen
+// by a global coordinator, then parks. Horizon and the attached context are
+// not consulted (shard engines are bounded by their callers, not by
+// wall-clock safety nets); KindEnd stops delivery as in Run.
+func (e *Engine) RunUntil(limit float64) error {
+	for len(e.heap) > 0 && e.nodes[e.heap[0]].time < limit {
+		stop, err := e.deliver()
+		if err != nil {
+			return err
+		}
+		if stop {
+			return nil
+		}
+	}
+	return nil
+}
+
 // Step delivers exactly one event, returning false when the queue is empty.
 // Used by tests that need to observe intermediate state.
 func (e *Engine) Step() (bool, error) {

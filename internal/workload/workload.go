@@ -237,6 +237,15 @@ func NewGenerator(spec Spec) *Generator {
 
 // Next returns the next job, or nil when the arrival window is exhausted.
 func (g *Generator) Next() *job.Job {
+	return g.NextInto(nil)
+}
+
+// NextInto is Next with job recycling: when reuse is non-nil its storage is
+// reinitialized in place instead of allocating, so a caller that owns the
+// full job lifecycle (the fleet simulation recycles finalized jobs) keeps
+// the steady-state arrival path allocation-free. The draw sequence is
+// identical to Next — recycling never perturbs determinism.
+func (g *Generator) NextInto(reuse *job.Job) *job.Job {
 	if g.done {
 		return nil
 	}
@@ -251,7 +260,20 @@ func (g *Generator) Next() *job.Job {
 	if shape.RandomWindow {
 		window = g.windows.Uniform(shape.WindowMin, shape.WindowMax)
 	}
-	j := job.New(g.nextID, g.clock, g.clock+window, demand)
+	j := reuse
+	if j == nil {
+		j = job.New(g.nextID, g.clock, g.clock+window, demand)
+	} else {
+		*j = job.Job{
+			ID:       g.nextID,
+			Release:  g.clock,
+			Deadline: g.clock + window,
+			Demand:   demand,
+			Target:   demand,
+			Core:     -1,
+			State:    job.StateWaiting,
+		}
+	}
 	g.nextID++
 	return j
 }

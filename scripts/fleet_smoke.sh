@@ -5,8 +5,10 @@
 # require each run to finish with zero lost-forever jobs. gefleet exits
 # nonzero itself when any job escapes accounting, so the policy shoot-out
 # doubles as the assertion. A second run of the default policy must produce
-# a byte-identical CSV row (same seed + schedule => same simulation). Used
-# by `make fleet-smoke` and the CI fleet-smoke job.
+# a byte-identical CSV row (same seed + schedule => same simulation), and a
+# third run on 4 event-heap shards under the race detector must match it
+# byte for byte too (the shard count is an execution knob, never a
+# simulation knob). Used by `make fleet-smoke` and the CI fleet-smoke job.
 set -eu
 
 TMP=$(mktemp -d)
@@ -29,6 +31,16 @@ if ! cmp -s "$TMP/a.csv" "$TMP/b.csv"; then
     exit 1
 fi
 cat "$TMP/a.csv"
+
+echo "fleet-smoke: sharded run (-shards 4) under -race"
+go build -race -o "$TMP/gefleet-race" ./cmd/gefleet
+"$TMP/gefleet-race" -machines 10 -duration 30 -shards 4 \
+    -chaos @testdata/fleet_chaos.json -csv >"$TMP/sharded.csv"
+if ! cmp -s "$TMP/a.csv" "$TMP/sharded.csv"; then
+    echo "fleet-smoke: sharded run diverged from sequential" >&2
+    diff "$TMP/a.csv" "$TMP/sharded.csv" >&2 || true
+    exit 1
+fi
 
 CRASHES=$(awk -F, 'NR==2{print $14}' "$TMP/a.csv")
 REDISP=$(awk -F, 'NR==2{print $17}' "$TMP/a.csv")
